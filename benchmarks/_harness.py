@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+regenerated artifact is printed (visible with ``pytest -s``) *and* written
+to ``benchmarks/results/<name>.txt`` so that a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the full set of
+reproduced tables on disk for EXPERIMENTS.md-style comparison.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table/figure and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    The interesting output of these benchmarks is the regenerated figure,
+    not a statistically tight timing distribution; one round keeps the
+    whole harness fast while still recording wall-clock cost.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""Codec micro-benchmarks: the library's own encode/decode performance.
+
+These are true pytest-benchmark timings (multiple rounds) of the GF(2^8)
+codecs on paper-sized stripes -- the NumPy stand-ins for the paper's ISA-L
+encoder measurements.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import AzureLRC, MLECCodec, ReedSolomon
+
+CHUNK = 1 << 16  # 64 KiB chunks keep a round under a few ms
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_rs_encode_17_3(benchmark, rng):
+    rs = ReedSolomon(17, 3)
+    data = rng.integers(0, 256, size=(17, CHUNK), dtype=np.uint8)
+    benchmark(rs.parity, data)
+
+
+def test_rs_decode_17_3_three_erasures(benchmark, rng):
+    rs = ReedSolomon(17, 3)
+    stripe = rs.encode(rng.integers(0, 256, size=(17, CHUNK), dtype=np.uint8))
+    benchmark(rs.decode, stripe, [0, 8, 19])
+
+
+def test_lrc_encode_14_2_4(benchmark, rng):
+    lrc = AzureLRC(14, 2, 4)
+    data = rng.integers(0, 256, size=(14, CHUNK), dtype=np.uint8)
+    benchmark(lrc.encode, data)
+
+
+def test_lrc_local_repair(benchmark, rng):
+    lrc = AzureLRC(14, 2, 4)
+    stripe = lrc.encode(rng.integers(0, 256, size=(14, CHUNK), dtype=np.uint8))
+    benchmark(lrc.decode, stripe, [3])
+
+
+def test_mlec_encode_paper_code(benchmark, rng):
+    codec = MLECCodec(10, 2, 17, 3)
+    data = rng.integers(
+        0, 256, size=(codec.data_chunks, 1 << 12), dtype=np.uint8
+    )
+    benchmark(codec.encode, data)
+
+
+def test_mlec_iterative_decode(benchmark, rng):
+    codec = MLECCodec(10, 2, 17, 3)
+    data = rng.integers(
+        0, 256, size=(codec.data_chunks, 1 << 12), dtype=np.uint8
+    )
+    grid = codec.encode(data)
+    erasures = [(3, 0), (3, 5), (3, 11), (3, 19), (7, 2)]
+    corrupted = grid.copy()
+    for cell in erasures:
+        corrupted[cell] = 0
+    benchmark(codec.decode, corrupted, erasures)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Failure-tolerance audit: what is *guaranteed* vs merely probable.
+
+Operators need two different numbers: the failure combinations a scheme
+survives no matter what (guarantees, for SLAs) and the probability of
+surviving beyond them (for risk budgeting).  This example prints both for
+every MLEC scheme, SLEC placement, and the (14,2,4) LRC — and verifies
+each guarantee against the exact burst DP.
+
+Run:  python examples/failure_tolerance_audit.py
+"""
+
+from repro import PAPER_MLEC, mlec_scheme_from_name
+from repro.analysis.burst_dp import mlec_burst_pdl, slec_burst_pdl
+from repro.core.config import LRCParams, SLECParams
+from repro.core.scheme import LRCScheme, SLECScheme
+from repro.core.tolerance import lrc_tolerance, mlec_tolerance, slec_tolerance
+from repro.core.types import Level, Placement
+from repro.reporting import format_table
+
+
+def main() -> None:
+    rows = []
+    checks = []
+
+    for name in ("C/C", "C/D", "D/C", "D/D"):
+        scheme = mlec_scheme_from_name(name, PAPER_MLEC)
+        t = mlec_tolerance(scheme)
+        rows.append([
+            f"MLEC {name}", t.arbitrary_disks, t.rack_failures,
+            f"y <= x+{t.disks_per_rack_scatter}",
+        ])
+        # Verify the guarantee boundary with the exact DP.
+        safe = mlec_burst_pdl(scheme, 3 + t.disks_per_rack_scatter, 3)
+        checks.append((f"MLEC {name} @ boundary", safe))
+
+    for level, placement in [
+        (Level.LOCAL, Placement.CLUSTERED),
+        (Level.LOCAL, Placement.DECLUSTERED),
+        (Level.NETWORK, Placement.CLUSTERED),
+        (Level.NETWORK, Placement.DECLUSTERED),
+    ]:
+        scheme = SLECScheme(SLECParams(7, 3), level, placement)
+        t = slec_tolerance(scheme)
+        scatter = (
+            f"y <= x+{t.disks_per_rack_scatter}"
+            if t.disks_per_rack_scatter is not None else "none"
+        )
+        rows.append([scheme.name, t.arbitrary_disks, t.rack_failures, scatter])
+        if level is Level.LOCAL:
+            checks.append(
+                (scheme.name + " @ p disks", slec_burst_pdl(scheme, 3, 3))
+            )
+
+    lrc = LRCScheme(LRCParams(14, 2, 4))
+    t = lrc_tolerance(lrc)
+    rows.append(["LRC-Dp (14,2,4)", t.arbitrary_disks, t.rack_failures, "none"])
+
+    print(format_table(
+        ["scheme", "any disks", "whole racks", "scatter guarantee"],
+        rows,
+        title="Guaranteed failure tolerance (worst case over placements):",
+    ))
+
+    print("\nDP verification of the guarantee boundaries (all must be ~0):")
+    for label, pdl in checks:
+        print(f"  {label:>28}: PDL = {pdl:.3g}")
+        assert pdl <= 1e-12
+
+    print(
+        "\nReading: MLEC is the only family with both multi-rack tolerance"
+        "\nand a scatter guarantee that grows with the number of affected"
+        "\nracks -- the 'best of both worlds' the paper's §2 argues for."
+    )
+
+
+if __name__ == "__main__":
+    main()

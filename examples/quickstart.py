@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Quickstart: encode data with MLEC, survive failures, plan a repair.
+
+Walks the paper's core loop end to end on real bytes:
+
+1. build the paper's (10+2)/(17+3) MLEC as a byte-level codec;
+2. encode a user stripe, erase chunks, classify the damage (Table 1);
+3. decode and verify bit-exactness;
+4. size the repair for a catastrophic local pool with all four repair
+   methods at datacenter scale.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import PAPER_MLEC, RepairMethod, mlec_scheme_from_name
+from repro.codes import DecodeReport, MLECCodec
+from repro.core.failure_modes import classify_network_stripe, classify_stripe
+from repro.repair import CatastrophicRepairModel
+from repro.reporting import format_table
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The paper's headline code, as an actual GF(2^8) codec.
+    # ------------------------------------------------------------------
+    codec = MLECCodec(
+        PAPER_MLEC.k_n, PAPER_MLEC.p_n, PAPER_MLEC.k_l, PAPER_MLEC.p_l
+    )
+    print(f"MLEC codec: {codec}")
+    print(f"  user chunks per stripe : {codec.data_chunks}")
+    print(f"  total chunks per stripe: {codec.total_chunks}")
+    print(f"  storage overhead       : {codec.storage_overhead:.1%}\n")
+
+    # ------------------------------------------------------------------
+    # 2. Encode a stripe and lose some disks.
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(2023)
+    chunk_len = 4096  # small chunks keep the demo instant
+    data = rng.integers(0, 256, size=(codec.data_chunks, chunk_len), dtype=np.uint8)
+    grid = codec.encode(data)
+
+    # A burst: local stripe (row) 3 loses 4 chunks -> a LOST local stripe;
+    # row 7 loses 2 chunks -> locally recoverable.
+    erasures = [(3, 0), (3, 5), (3, 11), (3, 19), (7, 2), (7, 9)]
+    for row in (3, 7):
+        failed = sum(1 for r, _ in erasures if r == row)
+        state = classify_stripe(failed, codec.p_l)
+        print(f"local stripe {row}: {failed} failed chunks -> {state.value}")
+    lost_rows = codec.lost_rows(erasures)
+    net_state = classify_network_stripe(len(lost_rows), codec.p_n)
+    print(f"network stripe: {len(lost_rows)} lost local stripes -> {net_state.value}\n")
+
+    # ------------------------------------------------------------------
+    # 3. Decode and verify.
+    # ------------------------------------------------------------------
+    corrupted = grid.copy()
+    for cell in erasures:
+        corrupted[cell] = 0
+    report = DecodeReport()
+    recovered = codec.decode(corrupted, erasures, report)
+    assert np.array_equal(recovered, grid), "bit-exact recovery failed!"
+    print(f"decode OK: {report}")
+    print(f"user data intact: {np.array_equal(codec.extract_data(recovered), data)}\n")
+
+    # ------------------------------------------------------------------
+    # 4. Datacenter-scale repair planning for a catastrophic pool.
+    # ------------------------------------------------------------------
+    scheme = mlec_scheme_from_name("C/D", PAPER_MLEC)
+    model = CatastrophicRepairModel(scheme)
+    rows = []
+    for method in RepairMethod:
+        s = model.summary(method)
+        rows.append([
+            str(method),
+            s["cross_rack_traffic_TB"],
+            s["network_time_h"],
+            s["local_time_h"],
+        ])
+    print(format_table(
+        ["method", "cross-rack TB", "network h", "local h"],
+        rows,
+        title=f"Catastrophic local pool repair on {scheme} "
+              f"({scheme.local_pool_capacity_bytes / 1e12:.0f} TB pool, "
+              f"{model.failed_disks} failed disks):",
+    ))
+    print("\nR_MIN moves ~4 orders of magnitude less data than R_ALL -- the"
+          "\npaper's headline repair result, from first principles.")
+
+
+if __name__ == "__main__":
+    main()

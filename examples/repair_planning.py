@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Repair-method deep dive: R_ALL vs R_FCO vs R_HYB vs R_MIN (Figs 8-10).
+
+Injects a catastrophic local pool failure (p_l+1 simultaneous disks, the
+paper's fault model) into each MLEC scheme and reports, per repair method:
+cross-rack traffic, network/local stage times, and the resulting one-year
+durability of the whole system.  Then drills down to stripe granularity on
+one sampled declustered pool to show *which* chunks each method ships.
+
+Run:  python examples/repair_planning.py
+"""
+
+import numpy as np
+
+from repro import PAPER_MLEC, RepairMethod, mlec_scheme_from_name
+from repro.analysis.durability import mlec_durability_nines
+from repro.core.failure_modes import LocalPoolDamage
+from repro.repair import CatastrophicRepairModel, plan_repair
+from repro.reporting import format_table
+
+SCHEMES = ("C/C", "C/D", "D/C", "D/D")
+
+
+def main() -> None:
+    print("Catastrophic local-pool repair, per scheme and method")
+    print("(paper Figures 8, 9 and 10):\n")
+    for name in SCHEMES:
+        scheme = mlec_scheme_from_name(name, PAPER_MLEC)
+        model = CatastrophicRepairModel(scheme)
+        rows = []
+        for method in RepairMethod:
+            s = model.summary(method)
+            nines = mlec_durability_nines(scheme, method)
+            rows.append([
+                str(method), s["cross_rack_traffic_TB"],
+                s["network_time_h"], s["local_time_h"], nines,
+            ])
+        print(format_table(
+            ["method", "x-rack TB", "net h", "local h", "nines/yr"],
+            rows, title=f"--- {name} ---",
+        ))
+        print()
+
+    # ------------------------------------------------------------------
+    # Stripe-level plan on one declustered pool.
+    # ------------------------------------------------------------------
+    print("Stripe-level planning for one catastrophic local-Dp pool")
+    print("(120 disks, 4 failed; 20k-stripe sample):\n")
+    damage_model = LocalPoolDamage(
+        pool_disks=120, failed_disks=4, k_l=17, p_l=3, chunks_per_disk=3400
+    )
+    rng = np.random.default_rng(11)
+    damage = damage_model.sample_stripe_damage(rng)
+    rows = []
+    for method in RepairMethod:
+        plan = plan_repair(method, damage, p_l=3, stripe_width=20)
+        rows.append([
+            str(method),
+            plan.total_network_chunks,
+            plan.total_local_chunks,
+            int(plan.extra_chunks.sum()),
+            plan.cross_rack_chunk_transfers(k_n=10),
+        ])
+    print(format_table(
+        ["method", "net chunks", "local chunks", "extra chunks", "x-rack xfers"],
+        rows,
+    ))
+    lost = int((damage > 3).sum())
+    affected = int((damage > 0).sum())
+    print(f"\nSampled pool: {affected} affected stripes, only {lost} lost --")
+    print("declustering is why R_HYB/R_MIN barely touch the network, and")
+    print("why the paper's Finding 4 (§4.2.3) crowns C/D and D/D after")
+    print("repair optimization.")
+
+
+if __name__ == "__main__":
+    main()

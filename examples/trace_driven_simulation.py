@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Trace-driven full-system simulation: 57,600 disks under failure bursts.
+
+Generates a synthetic Backblaze-style failure trace (independent background
+failures plus rack-localized bursts -- the substitution for proprietary
+operator traces), replays it through the full event-driven MLEC simulator
+for every scheme, and compares what the R_ALL and R_MIN repair methods ship
+across racks.
+
+Run:  python examples/trace_driven_simulation.py [--months 6]
+"""
+
+import argparse
+
+from repro import PAPER_MLEC, RepairMethod, mlec_scheme_from_name
+from repro.core.config import YEAR
+from repro.reporting import format_table
+from repro.sim.failures import TraceFailures
+from repro.sim.simulator import MLECSystemSimulator
+from repro.sim.traces import SyntheticTraceGenerator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--months", type=int, default=6)
+    args = parser.parse_args()
+    duration = args.months / 12 * YEAR
+
+    # An ugly operational period: nominal 1% AFR background plus a monthly
+    # rack-localized burst averaging 6 disks.
+    generator = SyntheticTraceGenerator(
+        background_afr=0.01,
+        bursts_per_year=12.0,
+        burst_size=6.0,
+        burst_racks=1,
+        burst_window=300.0,
+    )
+    trace = generator.generate(duration=duration, seed=42)
+    print(
+        f"synthetic trace: {len(trace)} failures over {args.months} months "
+        f"(annualized AFR {trace.annualized_failure_rate:.2%})\n"
+    )
+
+    rows = []
+    for name in ("C/C", "C/D", "D/C", "D/D"):
+        scheme = mlec_scheme_from_name(name, PAPER_MLEC)
+        for method in (RepairMethod.R_ALL, RepairMethod.R_MIN):
+            sim = MLECSystemSimulator(
+                scheme, method, failure_model=TraceFailures(trace.events)
+            )
+            r = sim.run(mission_time=duration, seed=1)
+            rows.append([
+                name, str(method), r.n_disk_failures,
+                r.n_catastrophic_events,
+                "YES" if r.lost_data else "no",
+                r.cross_rack_repair_bytes / 1e12,
+                r.local_repair_bytes / 1e15,
+            ])
+    print(format_table(
+        ["scheme", "method", "failures", "catastrophic", "data loss",
+         "x-rack TB", "local PB"],
+        rows,
+        title="Full-system replay:",
+    ))
+    print(
+        "\nBursts occasionally push a pool past p_l concurrent failures;"
+        "\nwhen they do, R_ALL ships the whole pool across racks while"
+        "\nR_MIN ships a few GB -- the same contrast as Figure 8, now"
+        "\nemerging from an event-driven run instead of a closed form."
+    )
+
+
+if __name__ == "__main__":
+    main()

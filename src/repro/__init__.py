@@ -1,0 +1,60 @@
+"""repro: MLEC -- multi-level erasure coding at data-center scale.
+
+A from-scratch reproduction of *"Design Considerations and Analysis of
+Multi-Level Erasure Coding in Large-Scale Data Centers"* (Wang et al.,
+SC '23): codecs, placement schemes, repair methods, an event-driven
+durability simulator, and the analytic machinery (dynamic programming,
+Markov chains, rare-event splitting) behind every figure and table of the
+paper's evaluation.
+
+Quick start::
+
+    from repro import MLECParams, mlec_scheme_from_name
+    from repro.repair import CatastrophicRepairModel
+    from repro.core.types import RepairMethod
+
+    scheme = mlec_scheme_from_name("C/D", MLECParams(10, 2, 17, 3))
+    model = CatastrophicRepairModel(scheme)
+    model.cross_rack_traffic_bytes(RepairMethod.R_MIN)  # bytes over the net
+"""
+
+from .core.config import (
+    PAPER_MLEC,
+    BandwidthConfig,
+    DatacenterConfig,
+    FailureConfig,
+    LRCParams,
+    MLECParams,
+    SLECParams,
+    paper_setup,
+)
+from .core.scheme import (
+    MLEC_SCHEME_NAMES,
+    LRCScheme,
+    MLECScheme,
+    SLECScheme,
+    mlec_scheme_from_name,
+)
+from .core.types import Level, Placement, RepairMethod
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_MLEC",
+    "BandwidthConfig",
+    "DatacenterConfig",
+    "FailureConfig",
+    "LRCParams",
+    "MLECParams",
+    "SLECParams",
+    "paper_setup",
+    "MLEC_SCHEME_NAMES",
+    "LRCScheme",
+    "MLECScheme",
+    "SLECScheme",
+    "mlec_scheme_from_name",
+    "Level",
+    "Placement",
+    "RepairMethod",
+    "__version__",
+]

@@ -1,0 +1,72 @@
+"""Analytic machinery: combinatorics, DP, Markov chains, splitting, trade-offs."""
+
+from .burst_dp import mlec_burst_pdl, slec_burst_pdl
+from .combinatorics import (
+    any_of_many,
+    exactly_j_cells_over_threshold_pmf,
+    hypergeom_tail,
+    poisson_binomial_pmf,
+    poisson_binomial_tail,
+    rack_selection_hits_pmf,
+)
+from .durability import (
+    lrc_durability_nines,
+    mlec_durability_nines,
+    slec_durability_nines,
+)
+from .markov import (
+    PoolReliabilityChain,
+    birth_death_mttdl,
+    local_pool_catastrophic_rate,
+    system_catastrophic_probability,
+)
+from .nines import (
+    mttdl_to_pdl,
+    nines_to_pdl,
+    pdl_to_mttdl,
+    pdl_to_nines,
+    per_pool_to_system_pdl,
+)
+from .splitting import (
+    splitting_durability_nines,
+    stage1_pool_rate,
+    stage2_network_pdl,
+)
+from .tradeoff import (
+    TradeoffPoint,
+    lrc_tradeoff,
+    mlec_tradeoff,
+    pareto_front,
+    slec_tradeoff,
+)
+
+__all__ = [
+    "mlec_burst_pdl",
+    "slec_burst_pdl",
+    "any_of_many",
+    "exactly_j_cells_over_threshold_pmf",
+    "hypergeom_tail",
+    "poisson_binomial_pmf",
+    "poisson_binomial_tail",
+    "rack_selection_hits_pmf",
+    "lrc_durability_nines",
+    "mlec_durability_nines",
+    "slec_durability_nines",
+    "PoolReliabilityChain",
+    "birth_death_mttdl",
+    "local_pool_catastrophic_rate",
+    "system_catastrophic_probability",
+    "mttdl_to_pdl",
+    "nines_to_pdl",
+    "pdl_to_mttdl",
+    "pdl_to_nines",
+    "per_pool_to_system_pdl",
+    "splitting_durability_nines",
+    "stage1_pool_rate",
+    "stage2_network_pdl",
+    "TradeoffPoint",
+    "lrc_tradeoff",
+    "mlec_tradeoff",
+    "pareto_front",
+    "slec_tradeoff",
+]

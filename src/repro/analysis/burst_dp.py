@@ -1,0 +1,537 @@
+"""Exact PDL under correlated failure bursts by dynamic programming (§3).
+
+The paper's third methodology: "count the number of all the possible disk
+failure layouts under a certain correlated failure burst scenario, and then
+count how many such failure layouts could cause a data loss".  This module
+does exactly that -- no sampling -- for all four MLEC schemes and the SLEC
+placements, under the burst model "y simultaneous failures across x racks,
+at least one per affected rack, all layouts equally likely".
+
+Two layers of counting:
+
+1. *Within a rack*: failures land uniformly among the rack's disks; the
+   distribution of the number of catastrophic pool positions (pools with
+   more than ``p_l`` failures) follows from exchangeable-cell counting
+   (:func:`repro.analysis.combinatorics.exactly_j_cells_over_threshold_pmf`).
+
+2. *Across racks*: a generic cell-collision DP
+   (:class:`CellCollisionDP`) tracks how many shared positions have
+   accumulated 1, 2, ... catastrophic pools, rack by rack, and kills states
+   where any position reaches the loss threshold.  An outer DP allocates
+   the ``y`` failures (and, for network-clustered schemes, the ``x`` racks)
+   across rack groups.
+
+Declustered caveat: wherever a declustered placement is involved the DP
+uses the worst-case declustering assumption (a pool with more than ``p_l``
+failures *has* lost stripes; any ``p_n+1`` co-striped catastrophic pools
+*do* lose a network stripe).  For clustered-everything (C/C, Loc-Cp,
+Net-Cp) the numbers are exact; for D-flavoured schemes they are tight upper
+bounds, and the Monte-Carlo burst engine (:mod:`repro.sim.burst`) provides
+the placement-averaged refinement.  The test suite checks DP >= MC.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.scheme import MLECScheme, SLECScheme
+from ..core.types import Level, Placement
+from .combinatorics import exactly_j_cells_over_threshold_pmf
+
+__all__ = [
+    "CellCollisionDP",
+    "mlec_burst_pdl",
+    "slec_burst_pdl",
+]
+
+
+class CellCollisionDP:
+    """Survival DP for racks throwing marks into shared exchangeable cells.
+
+    ``n_cells`` positions are shared across racks.  Racks are processed one
+    at a time; rack ``i`` contributes ``j`` marks (with a caller-supplied
+    distribution over ``j``), thrown into ``j`` *distinct* cells uniformly.
+    A cell that accumulates ``threshold`` marks is a data loss; the DP
+    tracks the joint distribution of how many cells sit at each occupancy
+    level ``1..threshold-1`` and accumulates only surviving states.
+
+    States are dicts ``{(n_1, ..., n_{threshold-1}): weight}``.  With the
+    paper's parameters the state space stays in the low thousands.
+    """
+
+    def __init__(self, n_cells: int, threshold: int) -> None:
+        if n_cells <= 0 or threshold < 1:
+            raise ValueError("n_cells and threshold must be positive")
+        self.n_cells = n_cells
+        self.threshold = threshold
+        self.levels = threshold - 1  # tracked occupancy levels 1..threshold-1
+        empty = (0,) * self.levels
+        self.states: dict[tuple[int, ...], float] = {empty: 1.0}
+
+    def survive_probability(self) -> float:
+        """Total surviving weight (callers keep it normalized)."""
+        return float(sum(self.states.values()))
+
+    def add_rack(self, j_pmf: np.ndarray) -> None:
+        """Fold in one rack with ``P[j marks] = j_pmf[j]``.
+
+        Marks hitting a level-``i`` cell promote it to level ``i+1``; a hit
+        on a level-``threshold-1`` cell is a loss and the state's weight is
+        dropped.  The hit split across levels is multivariate
+        hypergeometric over the cell counts.
+        """
+        j_pmf = np.asarray(j_pmf, dtype=float)
+        new: dict[tuple[int, ...], float] = {}
+        for state, weight in self.states.items():
+            n_free = self.n_cells - sum(state)
+            for j, pj in enumerate(j_pmf):
+                if pj <= 0.0:
+                    continue
+                if j == 0:
+                    key = state
+                    new[key] = new.get(key, 0.0) + weight * pj
+                    continue
+                if j > self.n_cells:
+                    continue  # impossible; weight is lost (treated as loss)
+                denom = math.comb(self.n_cells, j)
+                for split, ways in self._splits(state, n_free, j):
+                    w = weight * pj * ways / denom
+                    new[split] = new.get(split, 0.0) + w
+        self.states = new
+
+    def _splits(self, state, n_free, j):
+        """Yield (new_state, ways) for surviving allocations of j marks."""
+        if self.levels == 0:
+            # threshold == 1: any mark is a loss; only j == 0 survives
+            # (handled by caller), so nothing to yield here.
+            return []
+        out = []
+        # a[i] = marks hitting level-(i+1) cells, i = 0..levels-1; the top
+        # level cannot take any mark (that would reach the threshold).
+        top = self.levels - 1
+
+        def rec(i, remaining, counts, ways):
+            if i == top:
+                # marks on the top level would cause loss -> must be 0
+                a_free = remaining
+                if a_free > n_free:
+                    return
+                w = ways * math.comb(n_free, a_free)
+                new_state = list(state)
+                for lvl in range(self.levels):
+                    new_state[lvl] += counts[lvl]
+                # free-cell hits create level-1 cells
+                new_state[0] += a_free
+                out.append((tuple(new_state), w))
+                return
+            for a in range(min(state[i], remaining) + 1):
+                counts[i] -= a  # a cells leave level i+1... see note below
+                counts[i + 1] += a
+                rec(i + 1, remaining - a, counts, ways * math.comb(state[i], a))
+                counts[i] += a
+                counts[i + 1] -= a
+
+        # counts: net change per level; start at zero.
+        rec(0, j, [0] * self.levels, 1.0)
+        return out
+
+
+def _prune_states(
+    states: dict[tuple[int, ...], np.ndarray], rel_tol: float = 1e-16
+) -> dict[tuple[int, ...], np.ndarray]:
+    """Drop DP states whose weight is negligible *at every failure count*.
+
+    The weight vectors are indexed by total failures ``r`` and span many
+    orders of magnitude across ``r`` (layout counts grow combinatorially),
+    so pruning must compare each entry against the aggregate at the same
+    ``r`` -- a state is dropped only if it is below float precision of the
+    final ratio everywhere.
+    """
+    if not states:
+        return states
+    agg = np.zeros_like(next(iter(states.values())))
+    for v in states.values():
+        agg += v
+    cutoff = agg * rel_tol
+    return {s: v for s, v in states.items() if bool(np.any(v > cutoff))}
+
+
+def _rack_failure_ways(disks_per_rack: int, max_f: int) -> np.ndarray:
+    """log C(disks_per_rack, f) for f = 0..max_f (layout-count weights)."""
+    f = np.arange(max_f + 1)
+    return np.array(
+        [math.lgamma(disks_per_rack + 1) - math.lgamma(k + 1)
+         - math.lgamma(disks_per_rack - k + 1) for k in f]
+    )
+
+
+def _scaled_rack_weights(disks_per_rack: int, max_f: int) -> np.ndarray:
+    """Layout-count weights C(disks, f) scaled to stay in float range.
+
+    Each weight is divided by ``exp(f * c)`` with a per-failure constant
+    ``c``; any product of weights over racks whose failure counts sum to a
+    fixed total is then scaled by the same ``exp(-total * c)``, which
+    cancels in every survive/total ratio.
+    """
+    log_ways = _rack_failure_ways(disks_per_rack, max_f)
+    c = log_ways[max_f] / max_f if max_f > 0 else 0.0
+    f = np.arange(max_f + 1)
+    return np.exp(log_ways - f * c)
+
+
+@lru_cache(maxsize=None)
+def _cat_position_pmf(
+    cells: int, cell_size: int, failures: int, p_l: int
+) -> tuple[float, ...]:
+    """Cached P[exactly j catastrophic positions | f failures in rack]."""
+    return tuple(
+        exactly_j_cells_over_threshold_pmf(cells, cell_size, failures, p_l)
+    )
+
+
+def _per_rack_j_distributions(
+    cells: int, cell_size: int, max_f: int, p_l: int
+) -> list[np.ndarray]:
+    """j-pmf of catastrophic positions for every per-rack failure count."""
+    return [
+        np.asarray(_cat_position_pmf(cells, cell_size, f, p_l))
+        for f in range(max_f + 1)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Network-declustered schemes: racks are exchangeable, loss happens when
+# enough racks contain a catastrophic pool.
+# ----------------------------------------------------------------------
+def _netdp_pdl(
+    disks_per_rack: int,
+    cells: int,
+    cell_size: int,
+    p_l: int,
+    loss_racks: int,
+    failures: int,
+    racks: int,
+) -> float:
+    """P[>= loss_racks racks hold a catastrophic pool] under the burst.
+
+    DP over the ``x`` affected racks, allocating failures (>= 1 each,
+    weighted by layout counts C(disks_per_rack, f)) and tracking the capped
+    count of catastrophic racks.  Exact counting; weights are renormalized
+    every step to stay in float range.
+    """
+    max_f = min(failures, disks_per_rack)
+    j_dists = _per_rack_j_distributions(cells, cell_size, max_f, p_l)
+    q_cat = np.array([1.0 - d[0] for d in j_dists])  # P[rack catastrophic | f]
+    w = _scaled_rack_weights(disks_per_rack, max_f)
+
+    cap = loss_racks
+    # dp[u, c] = weight of using u failures so far with c catastrophic racks
+    dp = np.zeros((failures + 1, cap + 1))
+    dp[0, 0] = 1.0
+    for _ in range(racks):
+        new = np.zeros_like(dp)
+        for f in range(1, max_f + 1):
+            wf = w[f]
+            src = dp[: failures + 1 - f]
+            cat = q_cat[f]
+            new[f:, : cap] += src[:, :cap] * (wf * (1 - cat))
+            new[f:, 1 : cap + 1] += src[:, :cap] * (wf * cat)
+            new[f:, cap] += src[:, cap] * wf
+        total = new.sum()
+        if total <= 0.0:
+            return float("nan")
+        dp = new / total  # rescale; relative shares are what matters
+    final = dp[failures]
+    denom = final.sum()
+    if denom <= 0.0:
+        return float("nan")
+    return float(final[cap] / denom)
+
+
+# ----------------------------------------------------------------------
+# Network-clustered schemes: racks live in groups of n_n; loss requires
+# >= p_n+1 catastrophic pools at the same pool position within one group.
+# ----------------------------------------------------------------------
+def _netcp_group_tables(
+    disks_per_rack: int,
+    cells: int,
+    cell_size: int,
+    p_l: int,
+    loss_threshold: int,
+    group_size: int,
+    max_m: int,
+    max_r: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-group survival and total tables.
+
+    Returns ``(survive, total)`` with shape ``(max_m+1, max_r+1)``:
+    ``total[m, r]`` is the (scaled) number of layouts of ``r`` failures in
+    ``m`` affected racks of the group (each >= 1), and ``survive[m, r]`` the
+    portion in which no pool position collects ``loss_threshold``
+    catastrophic pools.
+    """
+    max_f = min(max_r, disks_per_rack)
+    w = _scaled_rack_weights(disks_per_rack, max_f)
+    j_dists = _per_rack_j_distributions(cells, cell_size, max_f, p_l)
+
+    survive = np.zeros((max_m + 1, max_r + 1))
+    total = np.zeros((max_m + 1, max_r + 1))
+    survive[0, 0] = total[0, 0] = 1.0
+
+    # total[m] is a plain convolution over failure counts.
+    conv = np.zeros(max_r + 1)
+    conv[0] = 1.0
+    for m in range(1, max_m + 1):
+        new = np.zeros_like(conv)
+        for f in range(1, max_f + 1):
+            new[f:] += conv[: max_r + 1 - f] * w[f]
+        conv = new
+        total[m] = conv
+
+    # survive[m] needs the collision DP; run it incrementally per failure
+    # allocation.  State: {(occupancy-levels): weights indexed by r}.
+    # Implemented as dict state -> np.ndarray over r.
+    states: dict[tuple[int, ...], np.ndarray] = {}
+    empty = (0,) * (loss_threshold - 1)
+    init = np.zeros(max_r + 1)
+    init[0] = 1.0
+    states[empty] = init
+    dp_proto = CellCollisionDP(cells, loss_threshold)
+    for m in range(1, max_m + 1):
+        new_states: dict[tuple[int, ...], np.ndarray] = {}
+        for state, vec in states.items():
+            n_free = cells - sum(state)
+            for f in range(1, max_f + 1):
+                j_pmf = j_dists[f]
+                shifted_src = vec[: max_r + 1 - f]
+                if shifted_src.sum() == 0.0:
+                    continue
+                for j, pj in enumerate(j_pmf):
+                    if pj <= 1e-300:
+                        continue
+                    if j == 0:
+                        arr = new_states.setdefault(state, np.zeros(max_r + 1))
+                        arr[f:] += shifted_src * (w[f] * pj)
+                        continue
+                    if j > cells:
+                        continue
+                    denom = math.comb(cells, j)
+                    dp_proto.states = {state: 1.0}
+                    for split, ways in dp_proto._splits(state, n_free, j):
+                        arr = new_states.setdefault(split, np.zeros(max_r + 1))
+                        arr[f:] += shifted_src * (w[f] * pj * ways / denom)
+        states = _prune_states(new_states)
+        agg = np.zeros(max_r + 1)
+        for vec in states.values():
+            agg += vec
+        survive[m] = agg
+    return survive, total
+
+
+def _netcp_pdl(
+    disks_per_rack: int,
+    cells: int,
+    cell_size: int,
+    p_l: int,
+    loss_threshold: int,
+    group_size: int,
+    n_groups: int,
+    failures: int,
+    racks: int,
+) -> float:
+    """PDL for network-clustered schemes: exact count over group layouts."""
+    max_m = min(group_size, racks)
+    survive, total = _netcp_group_tables(
+        disks_per_rack, cells, cell_size, p_l, loss_threshold,
+        group_size, max_m, failures,
+    )
+    # Outer DP over groups: allocate affected racks m_g (weight C(group,m))
+    # and failures r_g; numerator uses survive, denominator total.
+    choose = np.array([math.comb(group_size, m) for m in range(max_m + 1)])
+    num = _fold_groups(survive, choose, n_groups, racks, failures, max_m)
+    den = _fold_groups(total, choose, n_groups, racks, failures, max_m)
+    return _ratio_to_pdl(num, den)
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def mlec_burst_pdl(scheme: MLECScheme, failures: int, racks: int) -> float:
+    """Exact (worst-case-declustering) PDL of an MLEC scheme under a burst.
+
+    Parameters
+    ----------
+    scheme:
+        Any of the four MLEC schemes.
+    failures, racks:
+        The burst: ``failures`` simultaneous disk failures spread over
+        ``racks`` racks (each affected rack has at least one).
+    """
+    if racks < 1 or racks > scheme.dc.racks:
+        raise ValueError("racks out of range")
+    if failures < racks:
+        raise ValueError("need at least one failure per affected rack")
+    s = scheme
+    if s.local_placement is Placement.CLUSTERED:
+        cells = s.local_pools_per_rack
+        cell_size = s.params.n_l
+    else:
+        cells = s.dc.enclosures_per_rack
+        cell_size = s.dc.disks_per_enclosure
+    loss = s.params.p_n + 1
+    if s.network_placement is Placement.DECLUSTERED:
+        return _netdp_pdl(
+            s.dc.disks_per_rack, cells, cell_size, s.params.p_l,
+            loss, failures, racks,
+        )
+    return _netcp_pdl(
+        s.dc.disks_per_rack, cells, cell_size, s.params.p_l,
+        loss, s.network_group_racks, s.network_groups, failures, racks,
+    )
+
+
+def slec_burst_pdl(scheme: SLECScheme, failures: int, racks: int) -> float:
+    """Exact (worst-case-declustering) PDL of a SLEC placement under a burst.
+
+    * Local SLEC: loss iff any local pool exceeds ``p`` failures -- the
+      network-Dp machinery with a loss threshold of one catastrophic rack.
+    * Network-Dp: worst case, loss iff at least ``p+1`` racks are affected
+      (every affected rack has a failed disk and any ``p+1`` disks in
+      distinct racks co-host a stripe).
+    * Network-Cp: collision DP over in-rack disk positions within each rack
+      group, threshold ``p+1``.
+    """
+    if racks < 1 or racks > scheme.dc.racks:
+        raise ValueError("racks out of range")
+    if failures < racks:
+        raise ValueError("need at least one failure per affected rack")
+    s = scheme
+    p = s.params.p
+    if s.level is Level.LOCAL:
+        if s.placement is Placement.CLUSTERED:
+            cells = s.dc.disks_per_rack // s.params.n
+            cell_size = s.params.n
+        else:
+            cells = s.dc.enclosures_per_rack
+            cell_size = s.dc.disks_per_enclosure
+        # Loss as soon as one rack has a catastrophic pool.
+        return _netdp_pdl(
+            s.dc.disks_per_rack, cells, cell_size, p, 1, failures, racks
+        )
+    if s.placement is Placement.DECLUSTERED:
+        return 1.0 if racks >= p + 1 else 0.0
+    # Network-Cp: each failed disk marks its in-rack position; loss iff a
+    # position inside one rack group collects p+1 marks.  This is the
+    # group-collision DP with "cells = disk positions" and each rack
+    # contributing exactly f marks (all failures are marks).
+    return _netcp_pdl_positions(
+        s.dc.disks_per_rack, p + 1, s.params.n,
+        s.dc.racks // s.params.n, failures, racks,
+    )
+
+
+def _netcp_pdl_positions(
+    disks_per_rack: int,
+    loss_threshold: int,
+    group_size: int,
+    n_groups: int,
+    failures: int,
+    racks: int,
+) -> float:
+    """Network-Cp SLEC: marks are the failed disks' in-rack positions."""
+    max_m = min(group_size, racks)
+    max_f = min(failures, disks_per_rack)
+    w = _scaled_rack_weights(disks_per_rack, max_f)
+
+    # Inner per-group tables, rack by rack; each rack with f failures
+    # throws exactly f marks into distinct position cells.
+    cells = disks_per_rack
+    dp_proto = CellCollisionDP(cells, loss_threshold)
+    empty = (0,) * (loss_threshold - 1)
+    states: dict[tuple[int, ...], np.ndarray] = {}
+    init = np.zeros(failures + 1)
+    init[0] = 1.0
+    states[empty] = init
+    survive = np.zeros((max_m + 1, failures + 1))
+    total = np.zeros((max_m + 1, failures + 1))
+    survive[0, 0] = total[0, 0] = 1.0
+    conv = init.copy()
+    for m in range(1, max_m + 1):
+        new_conv = np.zeros_like(conv)
+        for f in range(1, max_f + 1):
+            new_conv[f:] += conv[: failures + 1 - f] * w[f]
+        conv = new_conv
+        total[m] = conv
+
+        new_states: dict[tuple[int, ...], np.ndarray] = {}
+        for state, vec in states.items():
+            n_free = cells - sum(state)
+            for f in range(1, max_f + 1):
+                src = vec[: failures + 1 - f]
+                if src.sum() == 0.0:
+                    continue
+                denom = math.comb(cells, f)
+                for split, ways in dp_proto._splits(state, n_free, f):
+                    arr = new_states.setdefault(split, np.zeros(failures + 1))
+                    arr[f:] += src * (w[f] * ways / denom)
+        states = _prune_states(new_states)
+        agg = np.zeros(failures + 1)
+        for vec in states.values():
+            agg += vec
+        survive[m] = agg
+
+    choose = np.array([math.comb(group_size, m) for m in range(max_m + 1)])
+    num = _fold_groups(survive, choose, n_groups, racks, failures, max_m)
+    den = _fold_groups(total, choose, n_groups, racks, failures, max_m)
+    return _ratio_to_pdl(num, den)
+
+
+def _fold_groups(
+    tables: np.ndarray,
+    choose: np.ndarray,
+    n_groups: int,
+    racks: int,
+    failures: int,
+    max_m: int,
+) -> tuple[float, float]:
+    """Convolve per-group (racks, failures) tables across all groups.
+
+    Returns ``(value, log_scale)``: the DP cell for exactly (racks,
+    failures), along with the accumulated log of the rescaling applied to
+    keep floats in range -- the true value is ``value * exp(log_scale)``.
+    """
+    dp = np.zeros((racks + 1, failures + 1))
+    dp[0, 0] = 1.0
+    log_scale = 0.0
+    for _ in range(n_groups):
+        new = np.zeros_like(dp)
+        for m in range(0, max_m + 1):
+            t = tables[m] * choose[m]
+            nz = np.nonzero(t)[0]
+            if nz.size == 0:
+                continue
+            for r in nz:
+                new[m:, r:] += dp[: racks + 1 - m, : failures + 1 - r] * t[r]
+        dp = new
+        scale = dp.max()
+        if scale > 0:
+            dp /= scale
+            log_scale += math.log(scale)
+    return float(dp[racks, failures]), log_scale
+
+
+def _ratio_to_pdl(
+    num: tuple[float, float], den: tuple[float, float]
+) -> float:
+    """PDL = 1 - survive/total from two scaled fold results."""
+    num_val, num_log = num
+    den_val, den_log = den
+    if den_val <= 0.0:
+        return float("nan")
+    if num_val <= 0.0:
+        return 1.0
+    ratio = num_val / den_val * math.exp(num_log - den_log)
+    return float(min(1.0, max(0.0, 1.0 - ratio)))

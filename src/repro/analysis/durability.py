@@ -1,0 +1,263 @@
+"""System durability models: MLEC x repair methods, SLEC, and LRC.
+
+This module produces the paper's durability numbers-in-nines:
+
+* Figure 10 -- MLEC durability under R_ALL/R_FCO/R_HYB/R_MIN, by iterating
+  the Markov model: a local pool becomes a super-disk whose "failure" is a
+  catastrophic pool event (rate from
+  :class:`repro.analysis.markov.PoolReliabilityChain`) and whose "repair"
+  is the chosen method's network-stage time.  Data loss needs ``p_n+1``
+  concurrently-catastrophic pools that actually share a network stripe --
+  the sharing probability is where chunk-aware repair methods (anything but
+  R_ALL) and declustered placements pick up their extra nines.
+
+* Figures 12/15 -- SLEC and LRC one-year durability from the same
+  damage-class chain applied to their single-level pools.
+
+All results are 1-year durabilities expressed in nines.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.config import BandwidthConfig, FailureConfig, YEAR
+from ..core.scheme import LRCScheme, MLECScheme, SLECScheme
+from ..core.types import Level, Placement, RepairMethod
+from ..repair.bandwidth import BandwidthModel
+from .combinatorics import any_of_many
+from .markov import PoolReliabilityChain, birth_death_mttdl, local_pool_reliability_chain
+from .nines import mttdl_to_pdl, pdl_to_nines, per_pool_to_system_pdl
+
+__all__ = [
+    "mlec_durability_nines",
+    "slec_durability_nines",
+    "lrc_durability_nines",
+]
+
+
+# ----------------------------------------------------------------------
+# MLEC (Figure 10)
+# ----------------------------------------------------------------------
+def _network_exposure_time(
+    scheme: MLECScheme,
+    method: RepairMethod,
+    chain: PoolReliabilityChain,
+    bw: BandwidthConfig,
+    failures: FailureConfig,
+) -> float:
+    """Seconds a catastrophic pool stays catastrophic under a method.
+
+    R_ALL/R_FCO must push whole disks' worth of data through the network
+    before the pool exits the catastrophic state; R_HYB/R_MIN only need the
+    lost local stripes (a tiny set for declustered pools), after which the
+    pool is locally recoverable again.
+    """
+    net_rate = BandwidthModel(scheme, bw).network_repair_rate().rate
+    p_l = scheme.params.p_l
+    if method is RepairMethod.R_ALL:
+        rebuild = scheme.local_pool_capacity_bytes
+    elif method is RepairMethod.R_FCO:
+        rebuild = (p_l + 1) * scheme.dc.disk_capacity_bytes
+    else:
+        lost_stripes = chain.lost_stripe_fraction() * chain.stripes_in_pool
+        per_stripe = (p_l + 1) if method is RepairMethod.R_HYB else 1
+        rebuild = lost_stripes * per_stripe * scheme.dc.chunk_size_bytes
+    return failures.detection_time + rebuild / net_rate
+
+
+def _stripe_share_probability(
+    scheme: MLECScheme, method: RepairMethod, rho: float
+) -> float:
+    """P[>= 1 network stripe actually lost | p_n+1 catastrophic pools].
+
+    R_ALL treats every local stripe of a catastrophic pool as lost
+    (``rho = 1`` effectively); chunk-aware methods know only a ``rho``
+    fraction is lost.  Network-Dp additionally needs the pools to be
+    co-striped at all (the alignment factor), which is what makes D/D
+    competitive after repair optimization (§4.2.3 Finding 1).
+    """
+    s = scheme
+    threshold = s.params.p_n + 1
+    eff_rho = 1.0 if method is RepairMethod.R_ALL else rho
+    joint = eff_rho**threshold
+
+    if s.network_placement is Placement.CLUSTERED:
+        # All stripes of a network pool span all its member pools.
+        stripes = s.local_stripes_per_pool()
+        return any_of_many(joint, stripes)
+
+    # Declustered: alignment probability that one network stripe's rows use
+    # p_n+1 specific pools (in distinct racks).
+    r, n_n = s.dc.racks, s.params.n_n
+    align = 1.0
+    for j in range(threshold):
+        align *= (n_n - j) / (r - j)
+    align /= s.local_pools_per_rack**threshold
+    return any_of_many(align * joint, s.network_stripes_total())
+
+
+def mlec_durability_nines(
+    scheme: MLECScheme,
+    method: RepairMethod,
+    bw: BandwidthConfig | None = None,
+    failures: FailureConfig | None = None,
+) -> float:
+    """One-year durability (nines) of an MLEC scheme under a repair method.
+
+    The network-level birth-death chain counts concurrently-catastrophic
+    local pools among the pools that can share network stripes: the
+    ``k_n+p_n`` members of one network pool for C/x placements, every local
+    pool in the system for D/x placements.
+    """
+    bw = bw if bw is not None else BandwidthConfig()
+    failures = failures if failures is not None else FailureConfig()
+    s = scheme
+
+    chain = local_pool_reliability_chain(s, bw, failures)
+    pool_rate = 1.0 / chain.mttf()  # catastrophic events / pool-second
+    tau = _network_exposure_time(s, method, chain, bw, failures)
+    q = _stripe_share_probability(s, method, chain.lost_stripe_fraction())
+
+    threshold = s.params.p_n + 1
+    if s.network_placement is Placement.CLUSTERED:
+        members = s.params.n_n
+        n_chains = s.total_local_pools // members
+    else:
+        members = s.total_local_pools
+        n_chains = 1
+
+    up = np.array([(members - i) * pool_rate for i in range(threshold)])
+    down = np.array([i / tau for i in range(threshold)])
+    if q <= 0.0:
+        return pdl_to_nines(0.0)
+    mttdl = birth_death_mttdl(up, down, absorb_fraction=q)
+    pdl = per_pool_to_system_pdl(mttdl_to_pdl(mttdl), n_chains)
+    return pdl_to_nines(pdl)
+
+
+# ----------------------------------------------------------------------
+# SLEC (Figure 12)
+# ----------------------------------------------------------------------
+def slec_durability_nines(
+    scheme: SLECScheme,
+    bw: BandwidthConfig | None = None,
+    failures: FailureConfig | None = None,
+) -> float:
+    """One-year durability (nines) of a SLEC placement.
+
+    Pool geometry and repair rates per placement:
+
+    * Loc-Cp: ``k+p``-disk pools, spare-disk write-bound repair;
+    * Loc-Dp: enclosure pools with declustered priority repair;
+    * Net-Cp: ``k+p`` disks across a rack group, spare-disk write-bound;
+    * Net-Dp: one system-wide declustered pool, network-wide repair.
+    """
+    bw = bw if bw is not None else BandwidthConfig()
+    failures = failures if failures is not None else FailureConfig()
+    s = scheme
+    k, p, n = s.params.k, s.params.p, s.params.n
+    dc = s.dc
+    d_bw = bw.disk_repair_bandwidth
+
+    if s.level is Level.LOCAL:
+        if s.placement is Placement.CLUSTERED:
+            pool_disks, clustered = n, True
+            repair_rate = min((n - 1) * d_bw / k, d_bw)
+            n_pools = dc.total_disks // n
+        else:
+            pool_disks, clustered = dc.disks_per_enclosure, False
+            repair_rate = (pool_disks - 1) * d_bw / (k + 1)
+            n_pools = dc.racks * dc.enclosures_per_rack
+    else:
+        r_bw = bw.rack_repair_bandwidth
+        if s.placement is Placement.CLUSTERED:
+            pool_disks, clustered = n, True
+            # Reads flow from the group's other racks; the rebuilt stream
+            # lands on one spare disk.
+            repair_rate = min((n - 1) * r_bw / k, d_bw)
+            n_pools = dc.total_disks // n
+        else:
+            pool_disks, clustered = dc.total_disks, False
+            repair_rate = dc.racks * r_bw / (k + 1)
+            n_pools = 1
+
+    chain = PoolReliabilityChain(
+        pool_disks=pool_disks,
+        stripe_width=n,
+        parities=p,
+        clustered=clustered,
+        disk_capacity_bytes=dc.disk_capacity_bytes,
+        chunk_size_bytes=dc.chunk_size_bytes,
+        failure_rate=failures.failure_rate_per_second,
+        detection_time=failures.detection_time,
+        repair_rate=repair_rate,
+    )
+    pdl = per_pool_to_system_pdl(mttdl_to_pdl(chain.mttf()), n_pools)
+    return pdl_to_nines(pdl)
+
+
+# ----------------------------------------------------------------------
+# LRC (Figure 15)
+# ----------------------------------------------------------------------
+def lrc_durability_nines(
+    scheme: LRCScheme,
+    bw: BandwidthConfig | None = None,
+    failures: FailureConfig | None = None,
+) -> float:
+    """One-year durability (nines) of a declustered LRC.
+
+    Modelled as one system-wide declustered pool: the damage-class chain
+    runs to ``r+2`` concurrent failures per stripe (every pattern of size
+    ``<= r+1`` is recoverable for a maximally recoverable LRC), and the
+    absorbing transition is scaled by the fraction of ``r+2``-size patterns
+    that are actually unrecoverable (peeling criterion) -- most are not,
+    because the failures must crowd into one local group.
+    """
+    bw = bw if bw is not None else BandwidthConfig()
+    failures = failures if failures is not None else FailureConfig()
+    s = scheme
+    params = s.params
+    dc = s.dc
+
+    # Fraction of (r+2)-subsets of stripe positions that are unrecoverable.
+    from ..sim.burst import LRCBurstEvaluator
+
+    u = LRCBurstEvaluator(s)._unrecoverable_fraction_by_size()
+    threshold = params.r + 2
+    if threshold >= len(u):
+        threshold = len(u) - 1
+    absorb = float(u[threshold])
+    if absorb <= 0.0:
+        return pdl_to_nines(0.0)
+
+    # Single-failure repairs read the local group; deeper damage classes
+    # fall back to global decode (k reads per rebuilt chunk).
+    r_bw = bw.rack_repair_bandwidth
+    rate_local = dc.racks * r_bw / (params.group_size + 1)
+    rate_global = dc.racks * r_bw / (params.k + 1)
+
+    chain = PoolReliabilityChain(
+        pool_disks=dc.total_disks,
+        stripe_width=params.n,
+        parities=threshold - 1,
+        clustered=False,
+        disk_capacity_bytes=dc.disk_capacity_bytes,
+        chunk_size_bytes=dc.chunk_size_bytes,
+        failure_rate=failures.failure_rate_per_second,
+        detection_time=failures.detection_time,
+        repair_rate=rate_global,
+    )
+    up, down = chain.rates()
+    # Demoting the single-failure class uses cheap local-group repair.
+    light = PoolReliabilityChain(
+        **{**chain.__dict__, "repair_rate": rate_local}
+    )
+    down[1] = 1.0 / light.demote_time(1)
+    q = chain.absorb_probability() * absorb
+    if q <= 0.0:
+        return pdl_to_nines(0.0)
+    mttdl = birth_death_mttdl(up, down, absorb_fraction=q)
+    return pdl_to_nines(mttdl_to_pdl(mttdl))

@@ -1,0 +1,65 @@
+"""Durability unit conversions: PDL, nines, MTTDL.
+
+The paper measures "data durability in one year ... in the number of nines,
+defined as -log10(PDL)" (§4.2.3).  These helpers convert between the three
+common representations, guarding the edge cases (PDL of exactly 0 or 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.config import YEAR
+
+__all__ = [
+    "pdl_to_nines",
+    "nines_to_pdl",
+    "mttdl_to_pdl",
+    "pdl_to_mttdl",
+    "per_pool_to_system_pdl",
+]
+
+#: Nines reported when PDL underflows to zero (effectively "never").
+MAX_NINES = 300.0
+
+
+def pdl_to_nines(pdl: float) -> float:
+    """Number of nines of durability for a probability of data loss."""
+    if not 0.0 <= pdl <= 1.0:
+        raise ValueError(f"PDL must be in [0, 1], got {pdl}")
+    if pdl == 0.0:
+        return MAX_NINES
+    return -math.log10(pdl)
+
+
+def nines_to_pdl(nines: float) -> float:
+    """Probability of data loss for a number of nines."""
+    if nines < 0:
+        raise ValueError("nines must be non-negative")
+    return 10.0 ** (-nines)
+
+
+def mttdl_to_pdl(mttdl_seconds: float, horizon_seconds: float = YEAR) -> float:
+    """PDL over a horizon for an exponential time-to-data-loss model."""
+    if mttdl_seconds <= 0:
+        return 1.0
+    return float(-math.expm1(-horizon_seconds / mttdl_seconds))
+
+
+def pdl_to_mttdl(pdl: float, horizon_seconds: float = YEAR) -> float:
+    """Inverse of :func:`mttdl_to_pdl`."""
+    if not 0.0 < pdl < 1.0:
+        raise ValueError("PDL must be strictly inside (0, 1)")
+    return -horizon_seconds / math.log1p(-pdl)
+
+
+def per_pool_to_system_pdl(pool_pdl: float, n_pools: int) -> float:
+    """System PDL when any of ``n_pools`` independent pools losing data
+    loses data for the system: ``1 - (1 - pdl)^n`` computed stably."""
+    if not 0.0 <= pool_pdl <= 1.0:
+        raise ValueError("pool_pdl must be in [0, 1]")
+    if pool_pdl == 0.0:
+        return 0.0
+    if pool_pdl == 1.0:
+        return 1.0
+    return float(-math.expm1(n_pools * math.log1p(-pool_pdl)))

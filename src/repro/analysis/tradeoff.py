@@ -1,0 +1,228 @@
+"""Durability-vs-throughput trade-off sweeps (paper §5.1.2 and §5.2.2).
+
+Figures 12 and 15 scatter one point per EC configuration: x = one-year
+durability in nines, y = single-core encoding throughput.  "For fairness,
+all the dots have a configuration with around 30% parity space overhead"
+-- i.e. parity bytes are ~30% of raw capacity.
+
+This module enumerates the admissible configurations for each scheme family
+(the code must also physically fit the datacenter: clustered pool sizes must
+divide the enclosure, network groups must divide the rack count) and
+computes both coordinates from the analytic models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+
+from ..codes.throughput import IsalThroughputModel
+from ..core.config import (
+    BandwidthConfig,
+    DatacenterConfig,
+    FailureConfig,
+    LRCParams,
+    MLECParams,
+    SLECParams,
+)
+from ..core.scheme import LRCScheme, MLECScheme, SLECScheme, mlec_scheme_from_name
+from ..core.types import Level, Placement, RepairMethod
+from .durability import (
+    lrc_durability_nines,
+    mlec_durability_nines,
+    slec_durability_nines,
+)
+
+__all__ = [
+    "TradeoffPoint",
+    "enumerate_mlec_configs",
+    "enumerate_slec_configs",
+    "enumerate_lrc_configs",
+    "mlec_tradeoff",
+    "slec_tradeoff",
+    "lrc_tradeoff",
+]
+
+#: The paper's parity-space band: "around 30%".
+DEFAULT_BAND = (0.27, 0.33)
+
+
+@dataclasses.dataclass(frozen=True)
+class TradeoffPoint:
+    """One scatter point of Figure 12/15."""
+
+    label: str
+    config: str
+    durability_nines: float
+    throughput_bytes_per_s: float
+
+    @property
+    def throughput_gb_per_s(self) -> float:
+        return self.throughput_bytes_per_s / 1e9
+
+
+def _in_band(fraction: float, band: tuple[float, float]) -> bool:
+    return band[0] <= fraction <= band[1]
+
+
+def enumerate_mlec_configs(
+    scheme_name: str,
+    dc: DatacenterConfig | None = None,
+    band: tuple[float, float] = DEFAULT_BAND,
+    max_k: int = 24,
+    max_p: int = 4,
+) -> Iterator[MLECScheme]:
+    """All MLEC schemes of one placement family inside the parity band.
+
+    Skips parameter sets that do not physically fit the datacenter (e.g. a
+    local-Cp pool size that does not divide the enclosure).
+    """
+    dc = dc if dc is not None else DatacenterConfig()
+    for p_n in range(1, max_p + 1):
+        for k_n in range(2, max_k + 1):
+            for p_l in range(1, max_p + 1):
+                for k_l in range(2, max_k + 1):
+                    params = MLECParams(k_n, p_n, k_l, p_l)
+                    if not _in_band(params.parity_fraction, band):
+                        continue
+                    try:
+                        yield mlec_scheme_from_name(scheme_name, params, dc)
+                    except ValueError:
+                        continue  # does not fit the topology
+
+
+def enumerate_slec_configs(
+    level: Level,
+    placement: Placement,
+    dc: DatacenterConfig | None = None,
+    band: tuple[float, float] = DEFAULT_BAND,
+    max_k: int = 50,
+    max_p: int = 15,
+) -> Iterator[SLECScheme]:
+    """All SLEC schemes of one placement inside the parity band."""
+    dc = dc if dc is not None else DatacenterConfig()
+    for p in range(1, max_p + 1):
+        for k in range(2, max_k + 1):
+            params = SLECParams(k, p)
+            if not _in_band(params.parity_fraction, band):
+                continue
+            try:
+                yield SLECScheme(params, level, placement, dc)
+            except ValueError:
+                continue
+
+
+def enumerate_lrc_configs(
+    dc: DatacenterConfig | None = None,
+    band: tuple[float, float] = DEFAULT_BAND,
+    max_k: int = 40,
+    max_l: int = 4,
+    max_r: int = 12,
+) -> Iterator[LRCScheme]:
+    """All declustered LRC configurations inside the parity band."""
+    dc = dc if dc is not None else DatacenterConfig()
+    for l in range(1, max_l + 1):
+        for r in range(1, max_r + 1):
+            for k in range(l, max_k + 1):
+                if k % l:
+                    continue
+                params = LRCParams(k, l, r)
+                if not _in_band(params.parity_fraction, band):
+                    continue
+                try:
+                    yield LRCScheme(params, dc)
+                except ValueError:
+                    continue
+
+
+# ----------------------------------------------------------------------
+# Point computation
+# ----------------------------------------------------------------------
+def mlec_tradeoff(
+    scheme_name: str,
+    method: RepairMethod = RepairMethod.R_MIN,
+    dc: DatacenterConfig | None = None,
+    bw: BandwidthConfig | None = None,
+    failures: FailureConfig | None = None,
+    band: tuple[float, float] = DEFAULT_BAND,
+    model: IsalThroughputModel | None = None,
+) -> list[TradeoffPoint]:
+    """Figure 12's MLEC dots for one scheme family (paper uses R_MIN)."""
+    model = model if model is not None else IsalThroughputModel()
+    points = []
+    for scheme in enumerate_mlec_configs(scheme_name, dc, band):
+        points.append(
+            TradeoffPoint(
+                label=scheme_name,
+                config=str(scheme.params),
+                durability_nines=mlec_durability_nines(scheme, method, bw, failures),
+                throughput_bytes_per_s=model.mlec_throughput(scheme.params),
+            )
+        )
+    return points
+
+
+def slec_tradeoff(
+    level: Level,
+    placement: Placement,
+    dc: DatacenterConfig | None = None,
+    bw: BandwidthConfig | None = None,
+    failures: FailureConfig | None = None,
+    band: tuple[float, float] = DEFAULT_BAND,
+    model: IsalThroughputModel | None = None,
+) -> list[TradeoffPoint]:
+    """Figure 12's SLEC dots for one placement."""
+    model = model if model is not None else IsalThroughputModel()
+    loc = "Loc" if level is Level.LOCAL else "Net"
+    label = f"{loc}-{placement}p-S"
+    points = []
+    for scheme in enumerate_slec_configs(level, placement, dc, band):
+        points.append(
+            TradeoffPoint(
+                label=label,
+                config=str(scheme.params),
+                durability_nines=slec_durability_nines(scheme, bw, failures),
+                throughput_bytes_per_s=model.slec_throughput(scheme.params),
+            )
+        )
+    return points
+
+
+def lrc_tradeoff(
+    dc: DatacenterConfig | None = None,
+    bw: BandwidthConfig | None = None,
+    failures: FailureConfig | None = None,
+    band: tuple[float, float] = DEFAULT_BAND,
+    model: IsalThroughputModel | None = None,
+) -> list[TradeoffPoint]:
+    """Figure 15's LRC-Dp dots."""
+    model = model if model is not None else IsalThroughputModel()
+    points = []
+    for scheme in enumerate_lrc_configs(dc, band):
+        points.append(
+            TradeoffPoint(
+                label="LRC-Dp",
+                config=str(scheme.params),
+                durability_nines=lrc_durability_nines(scheme, bw, failures),
+                throughput_bytes_per_s=model.lrc_throughput(scheme.params),
+            )
+        )
+    return points
+
+
+def pareto_front(points: list[TradeoffPoint]) -> list[TradeoffPoint]:
+    """Points not dominated in (durability, throughput), sorted by nines.
+
+    Useful for summarizing a dense scatter: a point is on the front when no
+    other point has both more nines and more throughput.
+    """
+    front = []
+    for p in points:
+        dominated = any(
+            q.durability_nines > p.durability_nines
+            and q.throughput_bytes_per_s > p.throughput_bytes_per_s
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.durability_nines)

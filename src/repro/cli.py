@@ -1,0 +1,276 @@
+"""Command-line interface: ``mlec-sim``.
+
+Operator-facing entry points over the library's analyses::
+
+    mlec-sim info C/D --code 10+2/17+3
+    mlec-sim burst C/C -y 60 -x 3 --exact
+    mlec-sim repair D/D --code 10+2/17+3
+    mlec-sim durability C/D --method RMIN --detection-minutes 1
+    mlec-sim tradeoff C/D --top 10
+    mlec-sim simulate C/D --months 3 --afr 0.05 --seed 7
+
+Code parameters are written ``kn+pn/kl+pl`` (MLEC).  All other knobs
+default to the paper's §3 setup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+from .core.config import MLECParams, YEAR
+from .core.scheme import MLEC_SCHEME_NAMES, mlec_scheme_from_name
+from .core.tolerance import mlec_tolerance
+from .core.types import RepairMethod
+
+__all__ = ["main", "parse_mlec_code"]
+
+_CODE_RE = re.compile(
+    r"^\(?(\d+)\+(\d+)\)?/\(?(\d+)\+(\d+)\)?$"
+)
+
+
+def parse_mlec_code(text: str) -> MLECParams:
+    """Parse ``kn+pn/kl+pl`` (parentheses optional) into MLECParams."""
+    match = _CODE_RE.match(text.strip())
+    if not match:
+        raise argparse.ArgumentTypeError(
+            f"bad MLEC code {text!r}; expected e.g. 10+2/17+3"
+        )
+    k_n, p_n, k_l, p_l = (int(g) for g in match.groups())
+    return MLECParams(k_n, p_n, k_l, p_l)
+
+
+def _add_scheme_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "scheme", choices=MLEC_SCHEME_NAMES,
+        help="MLEC placement scheme (network/local)",
+    )
+    parser.add_argument(
+        "--code", type=parse_mlec_code, default=MLECParams(10, 2, 17, 3),
+        help="code parameters kn+pn/kl+pl (default: the paper's 10+2/17+3)",
+    )
+
+
+def _scheme_from(args):
+    return mlec_scheme_from_name(args.scheme, args.code)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_info(args) -> int:
+    scheme = _scheme_from(args)
+    report = mlec_tolerance(scheme)
+    print(f"scheme            : {scheme}")
+    print(f"parity overhead   : {scheme.params.parity_fraction:.1%} of raw capacity")
+    print(f"local pool        : {scheme.local_pool_disks} disks "
+          f"({scheme.local_pool_capacity_bytes / 1e12:.0f} TB), "
+          f"{scheme.total_local_pools} pools total")
+    print(f"network pool      : {scheme.network_group_racks} racks x "
+          f"{scheme.network_groups} group(s)")
+    print("guaranteed tolerance:")
+    print(f"  any disks       : {report.arbitrary_disks}")
+    print(f"  whole racks     : {report.rack_failures}")
+    print(f"  scattered bursts: y <= x + {report.disks_per_rack_scatter} "
+          f"failures over x racks")
+    return 0
+
+
+def cmd_burst(args) -> int:
+    scheme = _scheme_from(args)
+    if args.exact:
+        from .analysis.burst_dp import mlec_burst_pdl
+
+        pdl = mlec_burst_pdl(scheme, args.failures, args.racks)
+        kind = "exact DP (worst-case declustering)"
+    else:
+        import numpy as np
+
+        from .sim.burst import MLECBurstEvaluator, burst_pdl
+
+        pdl = burst_pdl(
+            MLECBurstEvaluator(scheme), args.failures, args.racks,
+            trials=args.trials, rng=np.random.default_rng(args.seed),
+        )
+        kind = f"Monte-Carlo ({args.trials} trials)"
+    print(f"PDL[{args.failures} failures across {args.racks} racks] = "
+          f"{pdl:.3e}   [{kind}]")
+    survivable = mlec_tolerance(scheme).survives_burst(args.failures, args.racks)
+    print(f"guaranteed survivable: {'yes' if survivable else 'no'}")
+    return 0
+
+
+def cmd_repair(args) -> int:
+    from .repair.methods import CatastrophicRepairModel
+    from .reporting import format_table
+
+    scheme = _scheme_from(args)
+    model = CatastrophicRepairModel(scheme, failed_disks=args.failed_disks)
+    rows = []
+    for method in RepairMethod:
+        s = model.summary(method)
+        rows.append([str(method), s["cross_rack_traffic_TB"],
+                     s["network_time_h"], s["local_time_h"], s["total_time_h"]])
+    print(format_table(
+        ["method", "x-rack TB", "net h", "local h", "total h"], rows,
+        title=f"Catastrophic pool repair on {scheme} "
+              f"({model.failed_disks} failed disks):",
+    ))
+    return 0
+
+
+def cmd_durability(args) -> int:
+    from .analysis.durability import mlec_durability_nines
+    from .core.config import FailureConfig
+
+    scheme = _scheme_from(args)
+    failures = FailureConfig(
+        annual_failure_rate=args.afr,
+        detection_time=args.detection_minutes * 60.0,
+    )
+    method = RepairMethod(args.method)
+    nines = mlec_durability_nines(scheme, method, failures=failures)
+    print(f"{scheme} with {method}: {nines:.1f} nines/year "
+          f"(AFR {args.afr:.1%}, detection {args.detection_minutes:g} min)")
+    return 0
+
+
+def cmd_tradeoff(args) -> int:
+    from .analysis.tradeoff import mlec_tradeoff, pareto_front
+    from .reporting import format_table
+
+    points = pareto_front(mlec_tradeoff(args.scheme))[-args.top:]
+    rows = [[p.config, round(p.durability_nines, 1),
+             round(p.throughput_gb_per_s, 2)] for p in points]
+    print(format_table(
+        ["config", "nines/yr", "GB/s"], rows,
+        title=f"{args.scheme} Pareto front (~30% parity overhead):",
+    ))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .sim.failures import ExponentialFailures
+    from .sim.simulator import MLECSystemSimulator
+
+    scheme = _scheme_from(args)
+    method = RepairMethod(args.method)
+    sim = MLECSystemSimulator(
+        scheme, method, failure_model=ExponentialFailures(args.afr)
+    )
+    result = sim.run(mission_time=args.months / 12 * YEAR, seed=args.seed)
+    print(f"simulated {args.months} months of {scheme} + {method} "
+          f"at AFR {args.afr:.1%} (seed {args.seed}):")
+    print(f"  disk failures        : {result.n_disk_failures}")
+    print(f"  catastrophic pools   : {result.n_catastrophic_events}")
+    print(f"  data loss events     : {len(result.data_loss_events)}")
+    print(f"  cross-rack repair    : {result.cross_rack_repair_bytes / 1e12:.3f} TB")
+    print(f"  local repair         : {result.local_repair_bytes / 1e15:.3f} PB")
+    return 1 if result.lost_data else 0
+
+
+def cmd_traffic(args) -> int:
+    from .analysis.markov import local_pool_catastrophic_rate
+    from .core.config import LRCParams, SLECParams
+    from .core.scheme import LRCScheme, SLECScheme
+    from .core.types import Level, Placement
+    from .repair.traffic_comparison import (
+        lrc_annual_cross_rack_traffic,
+        mlec_annual_cross_rack_traffic,
+        slec_annual_cross_rack_traffic,
+    )
+    from .reporting import format_table
+
+    mlec = _scheme_from(args)
+    pool_rate = local_pool_catastrophic_rate(mlec) * mlec.total_local_pools
+    rows = []
+    for method in RepairMethod:
+        rate = mlec_annual_cross_rack_traffic(mlec, method, pool_rate)
+        rows.append([f"MLEC {mlec.name} {method}", rate.tb_per_day])
+    slec = SLECScheme(
+        SLECParams(args.slec_k, args.slec_p), Level.NETWORK,
+        Placement.DECLUSTERED, mlec.dc,
+    )
+    rows.append([f"Net-Dp-S ({args.slec_k}+{args.slec_p})",
+                 slec_annual_cross_rack_traffic(slec).tb_per_day])
+    lrc = LRCScheme(LRCParams(args.lrc_k, args.lrc_l, args.lrc_r), mlec.dc)
+    rows.append([f"LRC-Dp ({args.lrc_k},{args.lrc_l},{args.lrc_r})",
+                 lrc_annual_cross_rack_traffic(lrc).tb_per_day])
+    print(format_table(
+        ["scheme", "cross-rack TB/day"], rows,
+        title="Expected cross-rack repair traffic (steady state):",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mlec-sim",
+        description="Multi-level erasure coding analysis "
+                    "(SC '23 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="scheme geometry and guaranteed tolerance")
+    _add_scheme_args(p)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("burst", help="PDL of a correlated failure burst")
+    _add_scheme_args(p)
+    p.add_argument("-y", "--failures", type=int, required=True)
+    p.add_argument("-x", "--racks", type=int, required=True)
+    p.add_argument("--exact", action="store_true",
+                   help="exact DP instead of Monte-Carlo")
+    p.add_argument("--trials", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_burst)
+
+    p = sub.add_parser("repair", help="catastrophic-pool repair comparison")
+    _add_scheme_args(p)
+    p.add_argument("--failed-disks", type=int, default=None)
+    p.set_defaults(func=cmd_repair)
+
+    p = sub.add_parser("durability", help="one-year durability in nines")
+    _add_scheme_args(p)
+    p.add_argument("--method", choices=[m.value for m in RepairMethod],
+                   default="RMIN")
+    p.add_argument("--afr", type=float, default=0.01)
+    p.add_argument("--detection-minutes", type=float, default=30.0)
+    p.set_defaults(func=cmd_durability)
+
+    p = sub.add_parser("tradeoff", help="durability/throughput Pareto front")
+    p.add_argument("scheme", choices=MLEC_SCHEME_NAMES)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_tradeoff)
+
+    p = sub.add_parser("traffic", help="repair network traffic vs SLEC/LRC")
+    _add_scheme_args(p)
+    p.add_argument("--slec-k", type=int, default=7)
+    p.add_argument("--slec-p", type=int, default=3)
+    p.add_argument("--lrc-k", type=int, default=14)
+    p.add_argument("--lrc-l", type=int, default=2)
+    p.add_argument("--lrc-r", type=int, default=4)
+    p.set_defaults(func=cmd_traffic)
+
+    p = sub.add_parser("simulate", help="event-driven full-system simulation")
+    _add_scheme_args(p)
+    p.add_argument("--months", type=float, default=12.0)
+    p.add_argument("--afr", type=float, default=0.01)
+    p.add_argument("--method", choices=[m.value for m in RepairMethod],
+                   default="RMIN")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Erasure-coding codecs: GF(2^8) substrate, Reed-Solomon, LRC, MLEC."""
+
+from .gf256 import (
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mat_inv,
+    gf_mat_rank,
+    gf_matmul,
+    gf_mul,
+    gf_pow,
+    rs_generator_matrix,
+)
+from .lrc import AzureLRC
+from .mlec_codec import DecodeReport, MLECCodec
+from .reed_solomon import ReedSolomon
+from .throughput import IsalThroughputModel, measure_encoding_throughput
+from .wide_rs import WideReedSolomon
+
+__all__ = [
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_mat_inv",
+    "gf_mat_rank",
+    "gf_matmul",
+    "gf_mul",
+    "gf_pow",
+    "rs_generator_matrix",
+    "ReedSolomon",
+    "AzureLRC",
+    "MLECCodec",
+    "DecodeReport",
+    "IsalThroughputModel",
+    "measure_encoding_throughput",
+    "WideReedSolomon",
+]

@@ -1,0 +1,290 @@
+"""Vectorized GF(2^8) finite-field arithmetic.
+
+This module provides the Galois-field substrate used by every codec in the
+library (Reed-Solomon, LRC, and the two-level MLEC codec).  The paper's
+authors used Intel ISA-L for encoding; we build the equivalent functionality
+in pure NumPy so the whole stack is self-contained and runs anywhere.
+
+The field is GF(2^8) with the primitive polynomial ``x^8 + x^4 + x^3 + x^2 +
+1`` (0x11D), the same polynomial used by ISA-L, Jerasure, and most storage
+systems.  Multiplication is implemented with exp/log tables so that bulk
+operations vectorize: ``exp[(log[a] + log[b]) % 255]``.
+
+All public functions accept and return ``numpy.uint8`` arrays (scalars are
+fine too) and broadcast like normal NumPy ufuncs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PRIMITIVE_POLY",
+    "GF_ORDER",
+    "EXP_TABLE",
+    "LOG_TABLE",
+    "INV_TABLE",
+    "MUL_TABLE",
+    "gf_add",
+    "gf_sub",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "gf_poly_eval",
+    "gf_matmul",
+    "gf_mat_inv",
+    "gf_mat_rank",
+    "gf_solve",
+    "vandermonde_matrix",
+    "cauchy_matrix",
+    "rs_generator_matrix",
+]
+
+#: Primitive polynomial for GF(2^8): x^8 + x^4 + x^3 + x^2 + 1.
+PRIMITIVE_POLY: int = 0x11D
+
+#: Number of elements in the field.
+GF_ORDER: int = 256
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Build exp/log tables for the field.
+
+    ``EXP_TABLE`` has length 512 so that ``EXP_TABLE[log a + log b]`` never
+    needs an explicit modulo: log values are < 255 each, so their sum is
+    < 510.
+    """
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    # Extend so that index arithmetic up to 509 wraps correctly.
+    exp[255:510] = exp[0:255]
+    exp[510:] = exp[0:2]
+    return exp, log
+
+
+EXP_TABLE, LOG_TABLE = _build_tables()
+
+#: Multiplicative inverse table; INV_TABLE[0] is 0 as a sentinel (never use).
+INV_TABLE = np.zeros(256, dtype=np.uint8)
+INV_TABLE[1:] = EXP_TABLE[255 - LOG_TABLE[np.arange(1, 256)]]
+
+#: Full 256x256 multiplication table.  64 KiB; used for the hottest loops.
+_a = np.arange(256, dtype=np.int32)
+MUL_TABLE = np.zeros((256, 256), dtype=np.uint8)
+MUL_TABLE[1:, 1:] = EXP_TABLE[(LOG_TABLE[_a[1:, None]] + LOG_TABLE[_a[None, 1:]]) % 255]
+del _a
+
+
+def gf_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Field addition (XOR).  Identical to subtraction in GF(2^m)."""
+    return np.bitwise_xor(a, b)
+
+
+# In characteristic-2 fields subtraction *is* addition.
+gf_sub = gf_add
+
+
+def gf_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise field multiplication with NumPy broadcasting."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    return MUL_TABLE[a, b]
+
+
+def gf_inv(a: np.ndarray) -> np.ndarray:
+    """Element-wise multiplicative inverse.
+
+    Raises
+    ------
+    ZeroDivisionError
+        If any element is zero.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    if np.any(a == 0):
+        raise ZeroDivisionError("zero has no multiplicative inverse in GF(256)")
+    return INV_TABLE[a]
+
+
+def gf_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise field division ``a / b``.
+
+    Raises
+    ------
+    ZeroDivisionError
+        If any element of ``b`` is zero.
+    """
+    return gf_mul(a, gf_inv(b))
+
+
+def gf_pow(a: np.ndarray, n: int) -> np.ndarray:
+    """Element-wise field exponentiation ``a ** n`` for integer ``n >= 0``.
+
+    ``0 ** 0`` is defined as 1, matching the usual polynomial-evaluation
+    convention.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    if n < 0:
+        raise ValueError("negative exponents not supported; invert first")
+    if n == 0:
+        return np.ones_like(a)
+    out = np.zeros_like(a)
+    nz = a != 0
+    out[nz] = EXP_TABLE[(LOG_TABLE[a[nz]].astype(np.int64) * n) % 255]
+    return out
+
+
+def gf_poly_eval(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Evaluate a polynomial with ``coeffs`` (highest degree first) at ``x``.
+
+    Horner's rule, vectorized over ``x``.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.uint8)
+    x = np.asarray(x, dtype=np.uint8)
+    acc = np.zeros_like(x)
+    for c in coeffs:
+        acc = gf_add(gf_mul(acc, x), c)
+    return acc
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix multiplication over GF(2^8).
+
+    ``a`` has shape (m, k), ``b`` has shape (k, n); the result has shape
+    (m, n).  The inner loop runs over ``k`` (typically small: the stripe
+    width), with full (m, n) blocks XOR-accumulated per step, which is the
+    vectorization-friendly order for encoding wide data blocks.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} @ {b.shape}")
+    m, k = a.shape
+    n = b.shape[1]
+    out = np.zeros((m, n), dtype=np.uint8)
+    for j in range(k):
+        # Broadcast one column of coefficients against one row of data.
+        out ^= MUL_TABLE[a[:, j][:, None], b[j][None, :]]
+    return out
+
+
+def gf_mat_inv(mat: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination.
+
+    Raises
+    ------
+    np.linalg.LinAlgError
+        If the matrix is singular.
+    """
+    mat = np.asarray(mat, dtype=np.uint8)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValueError("matrix must be square")
+    n = mat.shape[0]
+    aug = np.concatenate([mat.copy(), np.eye(n, dtype=np.uint8)], axis=1)
+    for col in range(n):
+        pivot_rows = np.nonzero(aug[col:, col])[0]
+        if pivot_rows.size == 0:
+            raise np.linalg.LinAlgError("singular matrix over GF(256)")
+        pivot = col + int(pivot_rows[0])
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        aug[col] = gf_mul(aug[col], INV_TABLE[aug[col, col]])
+        # Eliminate the column everywhere else in one vectorized sweep.
+        factors = aug[:, col].copy()
+        factors[col] = 0
+        aug ^= MUL_TABLE[factors[:, None], aug[col][None, :]]
+    return aug[:, n:]
+
+
+def gf_mat_rank(mat: np.ndarray) -> int:
+    """Rank of a matrix over GF(2^8) by Gaussian elimination."""
+    mat = np.asarray(mat, dtype=np.uint8).copy()
+    if mat.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    rows, cols = mat.shape
+    rank = 0
+    for col in range(cols):
+        if rank == rows:
+            break
+        pivot_rows = np.nonzero(mat[rank:, col])[0]
+        if pivot_rows.size == 0:
+            continue
+        pivot = rank + int(pivot_rows[0])
+        if pivot != rank:
+            mat[[rank, pivot]] = mat[[pivot, rank]]
+        mat[rank] = gf_mul(mat[rank], INV_TABLE[mat[rank, col]])
+        factors = mat[:, col].copy()
+        factors[rank] = 0
+        mat ^= MUL_TABLE[factors[:, None], mat[rank][None, :]]
+        rank += 1
+    return rank
+
+
+def gf_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``a @ x = b`` over GF(2^8) for square non-singular ``a``.
+
+    ``b`` may be a vector or a matrix of right-hand sides.
+    """
+    b = np.asarray(b, dtype=np.uint8)
+    squeeze = b.ndim == 1
+    if squeeze:
+        b = b[:, None]
+    x = gf_matmul(gf_mat_inv(a), b)
+    return x[:, 0] if squeeze else x
+
+
+def vandermonde_matrix(rows: int, cols: int) -> np.ndarray:
+    """Vandermonde matrix V[i, j] = alpha_i ** j with alpha_i = i + 1.
+
+    Using distinct non-zero evaluation points 1..rows keeps every square
+    submatrix of the *encoding* construction well-conditioned for the sizes
+    used by storage codes.  (The systematic generator built from it in
+    :func:`rs_generator_matrix` is what guarantees MDS behaviour.)
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    if rows >= GF_ORDER:
+        raise ValueError("at most 255 distinct evaluation points exist")
+    alphas = np.arange(1, rows + 1, dtype=np.uint8)
+    out = np.empty((rows, cols), dtype=np.uint8)
+    for j in range(cols):
+        out[:, j] = gf_pow(alphas, j)
+    return out
+
+
+def cauchy_matrix(rows: int, cols: int) -> np.ndarray:
+    """Cauchy matrix C[i, j] = 1 / (x_i + y_j) with disjoint x, y sets.
+
+    Every square submatrix of a Cauchy matrix is non-singular, which makes
+    ``[I ; C]`` an MDS generator directly -- this is the construction used
+    for the parity rows of our Reed-Solomon codes.
+    """
+    if rows + cols > GF_ORDER:
+        raise ValueError(f"rows + cols must be <= {GF_ORDER}")
+    x = np.arange(cols, cols + rows, dtype=np.uint8)
+    y = np.arange(0, cols, dtype=np.uint8)
+    return INV_TABLE[np.bitwise_xor(x[:, None], y[None, :])]
+
+
+def rs_generator_matrix(k: int, p: int) -> np.ndarray:
+    """Systematic MDS generator matrix ``[I_k ; P]`` of shape (k+p, k).
+
+    The parity block ``P`` is a (p, k) Cauchy matrix, so any k rows of the
+    generator are linearly independent: the code tolerates any p erasures.
+    """
+    if k <= 0 or p < 0:
+        raise ValueError("k must be positive and p non-negative")
+    if k + p > GF_ORDER:
+        raise ValueError(f"k + p must be <= {GF_ORDER} for GF(256)")
+    gen = np.zeros((k + p, k), dtype=np.uint8)
+    gen[:k] = np.eye(k, dtype=np.uint8)
+    if p:
+        gen[k:] = cauchy_matrix(p, k)
+    return gen

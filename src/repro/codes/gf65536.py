@@ -1,0 +1,175 @@
+"""Vectorized GF(2^16) arithmetic for wide-stripe codes.
+
+GF(2^8) caps a Reed-Solomon stripe at 255 chunks.  The wide-stripe trend
+the paper cites (Kadekodi et al., FAST '23 -- its reference [48]) pushes
+past that, so this module provides the 16-bit field: stripes up to 65,535
+chunks wide.
+
+Design differences from :mod:`repro.codes.gf256`:
+
+* a full multiplication table would be 8 GiB, so multiplication goes
+  through exp/log tables (256 KiB each) with a vectorized modular index;
+* symbols are ``uint16``; byte payloads are viewed as ``uint16`` arrays
+  (little-endian pairs), which is exactly how wide-stripe systems treat
+  data.
+
+The primitive polynomial is ``x^16 + x^12 + x^3 + x + 1`` (0x1100B), the
+standard choice (CCSDS / DVB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PRIMITIVE_POLY_16",
+    "ORDER",
+    "gf16_mul",
+    "gf16_inv",
+    "gf16_pow",
+    "gf16_matmul",
+    "gf16_mat_inv",
+    "gf16_mat_rank",
+    "cauchy_matrix_16",
+    "rs16_generator_matrix",
+]
+
+#: x^16 + x^12 + x^3 + x + 1.
+PRIMITIVE_POLY_16 = 0x1100B
+
+#: Field size.
+ORDER = 1 << 16
+
+_MASK = ORDER - 1  # 65535: the multiplicative group order
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(2 * _MASK, dtype=np.uint16)
+    log = np.zeros(ORDER, dtype=np.int32)
+    x = 1
+    for i in range(_MASK):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & ORDER:
+            x ^= PRIMITIVE_POLY_16
+    exp[_MASK:] = exp[:_MASK]
+    return exp, log
+
+
+EXP16, LOG16 = _build_tables()
+
+
+def gf16_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise GF(2^16) multiplication with broadcasting."""
+    a = np.asarray(a, dtype=np.uint16)
+    b = np.asarray(b, dtype=np.uint16)
+    out = EXP16[LOG16[a] + LOG16[b]]
+    # Zero annihilates; the table path mishandles it (log 0 is a sentinel).
+    return np.where((a == 0) | (b == 0), np.uint16(0), out)
+
+
+def gf16_inv(a: np.ndarray) -> np.ndarray:
+    """Element-wise multiplicative inverse."""
+    a = np.asarray(a, dtype=np.uint16)
+    if np.any(a == 0):
+        raise ZeroDivisionError("zero has no inverse in GF(2^16)")
+    return EXP16[_MASK - LOG16[a]]
+
+
+def gf16_pow(a: np.ndarray, n: int) -> np.ndarray:
+    """Element-wise power ``a ** n`` for ``n >= 0`` (``0**0 == 1``)."""
+    a = np.asarray(a, dtype=np.uint16)
+    if n < 0:
+        raise ValueError("negative exponents not supported")
+    if n == 0:
+        return np.ones_like(a)
+    out = np.zeros_like(a)
+    nz = a != 0
+    out[nz] = EXP16[(LOG16[a[nz]].astype(np.int64) * n) % _MASK]
+    return out
+
+
+def gf16_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^16); shapes (m, k) @ (k, n)."""
+    a = np.asarray(a, dtype=np.uint16)
+    b = np.asarray(b, dtype=np.uint16)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} @ {b.shape}")
+    m, k = a.shape
+    n = b.shape[1]
+    out = np.zeros((m, n), dtype=np.uint16)
+    for j in range(k):
+        col = a[:, j]
+        row = b[j]
+        prod = EXP16[LOG16[col][:, None] + LOG16[row][None, :]]
+        prod = np.where((col[:, None] == 0) | (row[None, :] == 0),
+                        np.uint16(0), prod)
+        out ^= prod
+    return out
+
+
+def gf16_mat_inv(mat: np.ndarray) -> np.ndarray:
+    """Gauss-Jordan inverse over GF(2^16)."""
+    mat = np.asarray(mat, dtype=np.uint16)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValueError("matrix must be square")
+    n = mat.shape[0]
+    aug = np.concatenate([mat.copy(), np.eye(n, dtype=np.uint16)], axis=1)
+    for col in range(n):
+        pivots = np.nonzero(aug[col:, col])[0]
+        if pivots.size == 0:
+            raise np.linalg.LinAlgError("singular matrix over GF(2^16)")
+        pivot = col + int(pivots[0])
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        aug[col] = gf16_mul(aug[col], gf16_inv(aug[col, col]))
+        factors = aug[:, col].copy()
+        factors[col] = 0
+        elim = gf16_mul(factors[:, None], aug[col][None, :])
+        aug ^= elim
+    return aug[:, n:]
+
+
+def gf16_mat_rank(mat: np.ndarray) -> int:
+    """Rank over GF(2^16) by elimination."""
+    mat = np.asarray(mat, dtype=np.uint16).copy()
+    rows, cols = mat.shape
+    rank = 0
+    for col in range(cols):
+        if rank == rows:
+            break
+        pivots = np.nonzero(mat[rank:, col])[0]
+        if pivots.size == 0:
+            continue
+        pivot = rank + int(pivots[0])
+        if pivot != rank:
+            mat[[rank, pivot]] = mat[[pivot, rank]]
+        mat[rank] = gf16_mul(mat[rank], gf16_inv(mat[rank, col]))
+        factors = mat[:, col].copy()
+        factors[rank] = 0
+        mat ^= gf16_mul(factors[:, None], mat[rank][None, :])
+        rank += 1
+    return rank
+
+
+def cauchy_matrix_16(rows: int, cols: int) -> np.ndarray:
+    """Cauchy matrix over GF(2^16): every square submatrix invertible."""
+    if rows + cols > ORDER:
+        raise ValueError(f"rows + cols must be <= {ORDER}")
+    x = np.arange(cols, cols + rows, dtype=np.uint16)
+    y = np.arange(0, cols, dtype=np.uint16)
+    return gf16_inv(np.bitwise_xor(x[:, None], y[None, :]))
+
+
+def rs16_generator_matrix(k: int, p: int) -> np.ndarray:
+    """Systematic MDS generator ``[I_k ; Cauchy]`` over GF(2^16)."""
+    if k <= 0 or p < 0:
+        raise ValueError("k must be positive and p non-negative")
+    if k + p > ORDER:
+        raise ValueError(f"k + p must be <= {ORDER}")
+    gen = np.zeros((k + p, k), dtype=np.uint16)
+    gen[:k] = np.eye(k, dtype=np.uint16)
+    if p:
+        gen[k:] = cauchy_matrix_16(p, k)
+    return gen

@@ -1,0 +1,140 @@
+"""Encoding-throughput models (paper §5.1.1, Figure 11).
+
+The paper measured single-core encoding throughput with Intel ISA-L on a
+Xeon Gold 6240R.  Offline we substitute two things (see DESIGN.md):
+
+* :func:`measure_encoding_throughput` -- a *live* measurement of this
+  library's vectorized NumPy Reed-Solomon encoder.  Absolute numbers are
+  lower than ISA-L's hand-tuned SIMD (table lookups vs GFNI), but the
+  functional shape -- throughput falling with more parities ``p`` and wider
+  stripes ``k`` -- is the same, which is what every cross-scheme conclusion
+  rests on.
+
+* :class:`IsalThroughputModel` -- an analytic model calibrated to the
+  paper's reported scale: ``T(k, p) = min(T_max, R0 / (p * w(k)))`` with a
+  quadratic cache penalty ``w(k) = 1 + (k/K0)^2``.  Calibration anchors are
+  the paper's own numbers: a (28+12) SLEC at ~1 GB/s and a (17+3)/(17+3)
+  MLEC at ~3 GB/s (§5.1.2 Finding 2), with the Figure 11 colour scale
+  topping out around 12 GB/s.
+
+Scheme-level costs (encoding work per user byte):
+
+* SLEC ``(k+p)``:  ``p * w(k)`` -- every user byte feeds ``p`` parities.
+* MLEC ``(k_n+p_n)/(k_l+p_l)``: ``p_n * w(k_n) + (k_n+p_n)/k_n * p_l * w(k_l)``
+  -- the network stage, then local encoding of *all* local stripes
+  including the network-parity ones (the 2-level discount that lets MLEC
+  keep throughput at high durability).
+* LRC ``(k, l, r)``: ``r * w(k) + w(k/l)`` -- wide global parities plus one
+  cheap local parity pass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from ..core.config import GB, LRCParams, MLECParams, SLECParams
+from .reed_solomon import ReedSolomon
+
+__all__ = [
+    "measure_encoding_throughput",
+    "IsalThroughputModel",
+]
+
+
+def measure_encoding_throughput(
+    k: int,
+    p: int,
+    chunk_bytes: int = 1 << 20,
+    repeats: int = 3,
+    seed: int = 0,
+) -> float:
+    """Measure this library's RS encoder throughput, bytes of user data/s.
+
+    Encodes ``k`` chunks of ``chunk_bytes`` each, ``repeats`` times, and
+    returns the best rate (standard practice for microbenchmarks: the
+    minimum time is the least noisy estimator).
+    """
+    rs = ReedSolomon(k, p)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(k, chunk_bytes), dtype=np.uint8)
+    rs.parity(data)  # warm up tables and allocator
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rs.parity(data)
+        best = min(best, time.perf_counter() - t0)
+    return k * chunk_bytes / best
+
+
+@dataclasses.dataclass(frozen=True)
+class IsalThroughputModel:
+    """Calibrated single-core ISA-L-class throughput model.
+
+    Attributes
+    ----------
+    base_rate:
+        ``R0``: raw parity-accumulation rate for narrow stripes, bytes/s.
+    cache_knee:
+        ``K0``: stripe width at which the working set starts to spill out
+        of cache (the quadratic penalty doubles the cost at ``k = K0``).
+    max_rate:
+        Upper clamp -- narrow codes saturate the memory system rather than
+        scaling unboundedly.
+    """
+
+    base_rate: float = 31.1 * GB
+    cache_knee: float = 22.2
+    max_rate: float = 12.0 * GB
+
+    def cache_penalty(self, k: int) -> float:
+        """``w(k)``: relative per-parity cost inflation at stripe width k."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return 1.0 + (k / self.cache_knee) ** 2
+
+    # ------------------------------------------------------------------
+    # Per-scheme cost (work per user byte) and throughput
+    # ------------------------------------------------------------------
+    def slec_cost(self, params: SLECParams) -> float:
+        return params.p * self.cache_penalty(params.k)
+
+    def mlec_cost(self, params: MLECParams) -> float:
+        network = params.p_n * self.cache_penalty(params.k_n)
+        inflation = params.n_n / params.k_n  # local stripes per user stripe
+        local = inflation * params.p_l * self.cache_penalty(params.k_l)
+        return network + local
+
+    def lrc_cost(self, params: LRCParams) -> float:
+        global_part = params.r * self.cache_penalty(params.k)
+        local_part = self.cache_penalty(params.group_size)
+        return global_part + local_part
+
+    def _to_rate(self, cost: float) -> float:
+        if cost <= 0:
+            return self.max_rate
+        return min(self.max_rate, self.base_rate / cost)
+
+    def slec_throughput(self, params: SLECParams) -> float:
+        """User bytes/s for a single-level (k+p) code."""
+        return self._to_rate(self.slec_cost(params))
+
+    def mlec_throughput(self, params: MLECParams) -> float:
+        """User bytes/s for a two-level MLEC code."""
+        return self._to_rate(self.mlec_cost(params))
+
+    def lrc_throughput(self, params: LRCParams) -> float:
+        """User bytes/s for a (k, l, r) LRC."""
+        return self._to_rate(self.lrc_cost(params))
+
+    def heatmap(
+        self, k_values: np.ndarray, p_values: np.ndarray
+    ) -> np.ndarray:
+        """Figure 11's grid: throughput[p_idx, k_idx] in bytes/s."""
+        out = np.empty((len(p_values), len(k_values)))
+        for i, p in enumerate(p_values):
+            for j, k in enumerate(k_values):
+                out[i, j] = self.slec_throughput(SLECParams(int(k), int(p)))
+        return out

@@ -1,0 +1,62 @@
+"""Core abstractions: configuration, scheme descriptors, failure modes."""
+
+from .config import (
+    PAPER_MLEC,
+    BandwidthConfig,
+    DatacenterConfig,
+    FailureConfig,
+    LRCParams,
+    MLECParams,
+    SLECParams,
+    paper_setup,
+)
+from .failure_modes import (
+    LocalPoolDamage,
+    NetworkStripeState,
+    StripeState,
+    classify_network_stripe,
+    classify_stripe,
+)
+from .scheme import (
+    MLEC_SCHEME_NAMES,
+    LRCScheme,
+    MLECScheme,
+    SLECScheme,
+    mlec_scheme_from_name,
+)
+from .tolerance import (
+    ToleranceReport,
+    lrc_tolerance,
+    mlec_tolerance,
+    slec_tolerance,
+)
+from .types import Level, Placement, RepairMethod, SchemeKind
+
+__all__ = [
+    "PAPER_MLEC",
+    "BandwidthConfig",
+    "DatacenterConfig",
+    "FailureConfig",
+    "LRCParams",
+    "MLECParams",
+    "SLECParams",
+    "paper_setup",
+    "LocalPoolDamage",
+    "NetworkStripeState",
+    "StripeState",
+    "classify_network_stripe",
+    "classify_stripe",
+    "MLEC_SCHEME_NAMES",
+    "LRCScheme",
+    "MLECScheme",
+    "SLECScheme",
+    "mlec_scheme_from_name",
+    "ToleranceReport",
+    "lrc_tolerance",
+    "mlec_tolerance",
+    "slec_tolerance",
+    "Level",
+    "Placement",
+    "RepairMethod",
+    "SchemeKind",
+]

@@ -1,0 +1,280 @@
+"""Scheme descriptors: code parameters bound to placements and a topology.
+
+A *scheme* is the full physical story of an EC deployment: which code runs
+at which level, how pools are carved out of the datacenter, and therefore
+what a stripe's failure domains look like.  The paper's four MLEC schemes
+(C/C, C/D, D/C, D/D -- §2.2), four SLEC placements (§2.1/§5.1.3) and the
+declustered LRC (§5.2.1) are all expressible.
+
+These objects are pure descriptions -- they do maths about pool counts and
+sizes but hold no mutable state; the simulator, the burst engine, and the
+analytic models all consume them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .config import DatacenterConfig, LRCParams, MLECParams, SLECParams
+from .types import Level, Placement
+
+__all__ = [
+    "MLECScheme",
+    "SLECScheme",
+    "LRCScheme",
+    "mlec_scheme_from_name",
+    "MLEC_SCHEME_NAMES",
+]
+
+#: The four canonical MLEC scheme names, in the paper's presentation order.
+MLEC_SCHEME_NAMES = ("C/C", "C/D", "D/C", "D/D")
+
+
+@dataclasses.dataclass(frozen=True)
+class MLECScheme:
+    """An MLEC code bound to placements and a datacenter topology.
+
+    Attributes
+    ----------
+    params:
+        The ``(k_n+p_n)/(k_l+p_l)`` code parameters.
+    network_placement / local_placement:
+        Clustered or declustered placement at each level.
+    dc:
+        Datacenter topology.
+
+    Notes
+    -----
+    Pool geometry (paper §2.2 and §3):
+
+    * local-Cp pool: exactly ``k_l+p_l`` disks; the enclosure size must be a
+      multiple of the pool size.
+    * local-Dp pool: one pool per enclosure (all its disks).
+    * network-Cp: racks are grouped ``k_n+p_n`` at a time; the local pools
+      at the same position across a group form one network pool, so the
+      rack count must be a multiple of ``k_n+p_n``.
+    * network-Dp: the whole system is one network pool; a network stripe's
+      local stripes land in ``k_n+p_n`` distinct racks.
+    """
+
+    params: MLECParams
+    network_placement: Placement
+    local_placement: Placement
+    dc: DatacenterConfig = dataclasses.field(default_factory=DatacenterConfig)
+
+    def __post_init__(self) -> None:
+        if self.local_placement is Placement.CLUSTERED:
+            if self.dc.disks_per_enclosure % self.params.n_l:
+                raise ValueError(
+                    f"enclosure size {self.dc.disks_per_enclosure} is not a "
+                    f"multiple of the local-Cp pool size {self.params.n_l}"
+                )
+        else:
+            if self.dc.disks_per_enclosure < self.params.n_l:
+                raise ValueError(
+                    "a local-Dp pool (one enclosure) must hold at least one "
+                    f"stripe: {self.dc.disks_per_enclosure} < {self.params.n_l}"
+                )
+        if self.network_placement is Placement.CLUSTERED:
+            if self.dc.racks % self.params.n_n:
+                raise ValueError(
+                    f"rack count {self.dc.racks} is not a multiple of the "
+                    f"network-Cp group size {self.params.n_n}"
+                )
+        else:
+            if self.dc.racks < self.params.n_n:
+                raise ValueError(
+                    f"need at least {self.params.n_n} racks for a network "
+                    f"stripe, have {self.dc.racks}"
+                )
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Short scheme name in the paper's notation, e.g. ``"C/D"``."""
+        return f"{self.network_placement}/{self.local_placement}"
+
+    # ------------------------------------------------------------------
+    # Local-level pool geometry
+    # ------------------------------------------------------------------
+    @property
+    def local_pool_disks(self) -> int:
+        """Disks per local pool: ``k_l+p_l`` for Cp, the enclosure for Dp."""
+        if self.local_placement is Placement.CLUSTERED:
+            return self.params.n_l
+        return self.dc.disks_per_enclosure
+
+    @property
+    def local_pools_per_enclosure(self) -> int:
+        if self.local_placement is Placement.CLUSTERED:
+            return self.dc.disks_per_enclosure // self.params.n_l
+        return 1
+
+    @property
+    def local_pools_per_rack(self) -> int:
+        return self.local_pools_per_enclosure * self.dc.enclosures_per_rack
+
+    @property
+    def total_local_pools(self) -> int:
+        return self.local_pools_per_rack * self.dc.racks
+
+    @property
+    def local_pool_capacity_bytes(self) -> int:
+        """Raw capacity of one local pool (paper Table 2's "pool size")."""
+        return self.local_pool_disks * self.dc.disk_capacity_bytes
+
+    # ------------------------------------------------------------------
+    # Network-level pool geometry
+    # ------------------------------------------------------------------
+    @property
+    def network_group_racks(self) -> int:
+        """Racks per network pool group (all racks for Dp)."""
+        if self.network_placement is Placement.CLUSTERED:
+            return self.params.n_n
+        return self.dc.racks
+
+    @property
+    def network_groups(self) -> int:
+        """Number of disjoint network pool groups in the system."""
+        return self.dc.racks // self.network_group_racks
+
+    # ------------------------------------------------------------------
+    # Failure-tolerance primitives
+    # ------------------------------------------------------------------
+    @property
+    def catastrophic_disk_threshold(self) -> int:
+        """Simultaneous disk failures that make a local pool catastrophic.
+
+        ``p_l + 1`` for both placements: a Cp pool's stripes span all its
+        disks, and under the standard declustering assumption any ``p_l+1``
+        disks of a Dp pool co-host some stripe's chunks.
+        """
+        return self.params.p_l + 1
+
+    @property
+    def data_loss_pool_threshold(self) -> int:
+        """Catastrophic local pools in one network pool that lose data."""
+        return self.params.p_n + 1
+
+    def local_stripes_per_pool(self) -> int:
+        """Local stripes stored in one full local pool."""
+        chunks = self.local_pool_disks * self.dc.chunks_per_disk
+        return chunks // self.params.n_l
+
+    def network_stripes_total(self) -> int:
+        """Network stripes stored in the full system."""
+        total_chunks = self.dc.total_disks * self.dc.chunks_per_disk
+        return total_chunks // (self.params.n_n * self.params.n_l)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.params} {self.name}"
+
+
+@dataclasses.dataclass(frozen=True)
+class SLECScheme:
+    """A single-level EC bound to a placement level and discipline.
+
+    The four variants of the paper: local-Cp, local-Dp, network-Cp and
+    network-Dp (Figure 2a/b and §5.1.3).
+    """
+
+    params: SLECParams
+    level: Level
+    placement: Placement
+    dc: DatacenterConfig = dataclasses.field(default_factory=DatacenterConfig)
+
+    def __post_init__(self) -> None:
+        if self.level is Level.LOCAL:
+            if self.placement is Placement.CLUSTERED:
+                if self.dc.disks_per_enclosure % self.params.n:
+                    raise ValueError(
+                        "enclosure size must be a multiple of k+p for local-Cp"
+                    )
+            elif self.dc.disks_per_enclosure < self.params.n:
+                raise ValueError("enclosure too small for one stripe")
+        else:
+            if self.placement is Placement.CLUSTERED:
+                if self.dc.racks % self.params.n:
+                    raise ValueError(
+                        "rack count must be a multiple of k+p for network-Cp"
+                    )
+            elif self.dc.racks < self.params.n:
+                raise ValueError("need at least k+p racks for network SLEC")
+
+    @property
+    def name(self) -> str:
+        loc = "Loc" if self.level is Level.LOCAL else "Net"
+        return f"{loc}-{self.placement}p-S"
+
+    @property
+    def pool_disks(self) -> int:
+        """Disks per pool.
+
+        Local-Cp: ``k+p``.  Local-Dp: an enclosure.  Network-Cp: one disk in
+        each of ``k+p`` racks.  Network-Dp: the whole system.
+        """
+        if self.level is Level.LOCAL:
+            if self.placement is Placement.CLUSTERED:
+                return self.params.n
+            return self.dc.disks_per_enclosure
+        if self.placement is Placement.CLUSTERED:
+            return self.params.n
+        return self.dc.total_disks
+
+    @property
+    def tolerates_rack_failure(self) -> bool:
+        """Network SLEC spreads chunks across racks; local SLEC does not."""
+        return self.level is Level.NETWORK
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.params} {self.name}"
+
+
+@dataclasses.dataclass(frozen=True)
+class LRCScheme:
+    """A ``(k, l, r)`` LRC with one-level declustered placement (§5.2.1).
+
+    Every chunk of a stripe lands in a separate rack; the paper found no
+    deployed clustered LRC, so declustered is the only placement here.
+    """
+
+    params: LRCParams
+    dc: DatacenterConfig = dataclasses.field(default_factory=DatacenterConfig)
+
+    def __post_init__(self) -> None:
+        if self.dc.racks < self.params.n:
+            raise ValueError(
+                f"need at least {self.params.n} racks for stripe width"
+            )
+
+    @property
+    def name(self) -> str:
+        return "LRC-Dp"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.params} {self.name}"
+
+
+def mlec_scheme_from_name(
+    name: str,
+    params: MLECParams,
+    dc: DatacenterConfig | None = None,
+) -> MLECScheme:
+    """Build one of the four canonical MLEC schemes from its short name.
+
+    ``name`` is e.g. ``"C/D"`` (case-insensitive): network placement first,
+    local placement second, as in the paper.
+    """
+    key = name.strip().upper()
+    if key not in MLEC_SCHEME_NAMES:
+        raise ValueError(f"unknown MLEC scheme {name!r}; expected one of "
+                         f"{MLEC_SCHEME_NAMES}")
+    net, loc = key.split("/")
+    return MLECScheme(
+        params=params,
+        network_placement=Placement(net),
+        local_placement=Placement(loc),
+        dc=dc if dc is not None else DatacenterConfig(),
+    )

@@ -1,0 +1,19 @@
+"""Datasets transcribed or synthesized for the reproduction."""
+
+from .scaling import (
+    ScalingSeries,
+    average_sold_capacity_tb,
+    backblaze_disks,
+    max_available_capacity_tb,
+    storage_scaling_table,
+    us_doe_disks,
+)
+
+__all__ = [
+    "ScalingSeries",
+    "average_sold_capacity_tb",
+    "backblaze_disks",
+    "max_available_capacity_tb",
+    "storage_scaling_table",
+    "us_doe_disks",
+]

@@ -1,0 +1,27 @@
+"""Repair methods, bandwidth models, planners, and traffic comparisons."""
+
+from .bandwidth import BandwidthModel, RateBreakdown
+from .executor import RepairExecution, RepairExecutor
+from .methods import CatastrophicRepairModel, RepairStageTimes
+from .planner import RepairPlan, plan_repair
+from .traffic_comparison import (
+    TrafficRate,
+    lrc_annual_cross_rack_traffic,
+    mlec_annual_cross_rack_traffic,
+    slec_annual_cross_rack_traffic,
+)
+
+__all__ = [
+    "BandwidthModel",
+    "RateBreakdown",
+    "RepairExecution",
+    "RepairExecutor",
+    "CatastrophicRepairModel",
+    "RepairStageTimes",
+    "RepairPlan",
+    "plan_repair",
+    "TrafficRate",
+    "lrc_annual_cross_rack_traffic",
+    "mlec_annual_cross_rack_traffic",
+    "slec_annual_cross_rack_traffic",
+]

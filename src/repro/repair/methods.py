@@ -1,0 +1,164 @@
+"""Catastrophic-pool repair methods: traffic and time models (§2.4, §4.2).
+
+This module quantifies the four repair methods (R_ALL, R_FCO, R_HYB, R_MIN)
+for a catastrophic local pool failure -- the paper's Figures 8 (cross-rack
+traffic) and 9 (network vs local repair time), and the catastrophic half of
+Figure 6 / Table 2.
+
+Traffic accounting: every chunk rebuilt *via the network* costs
+``k_n`` cross-rack chunk reads plus one cross-rack write, so
+
+``cross_rack_bytes = network_rebuilt_bytes * (k_n + 1)``.
+
+Sanity anchors against the paper (default (10+2)/(17+3) setup, 20 TB disks,
+4 failed disks):
+
+* R_ALL on */c rebuilds the 400 TB pool -> 400 * 11 = 4,400 TB
+* R_ALL on */d rebuilds the 2,400 TB pool -> 26,400 TB
+* R_FCO rebuilds the 80 TB of failed chunks -> 880 TB
+* R_HYB on */d rebuilds only lost-stripe chunks -> ~3.1 TB
+* R_MIN quarters R_HYB on clustered pools (1 of 4 chunks per stripe)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.config import BandwidthConfig
+from ..core.failure_modes import LocalPoolDamage
+from ..core.scheme import MLECScheme
+from ..core.types import RepairMethod
+from .bandwidth import BandwidthModel
+
+__all__ = ["RepairStageTimes", "CatastrophicRepairModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairStageTimes:
+    """Durations of the two repair stages, in seconds (Figure 9's bars)."""
+
+    network_time: float
+    local_time: float
+
+    @property
+    def total(self) -> float:
+        return self.network_time + self.local_time
+
+
+class CatastrophicRepairModel:
+    """Traffic/time model for repairing one catastrophic local pool.
+
+    Parameters
+    ----------
+    scheme:
+        The MLEC scheme under repair.
+    bw:
+        Bandwidth configuration (paper defaults if omitted).
+    failed_disks:
+        Simultaneously failed disks in the pool; defaults to the paper's
+        fault-injection choice of ``p_l + 1``.
+    """
+
+    def __init__(
+        self,
+        scheme: MLECScheme,
+        bw: BandwidthConfig | None = None,
+        failed_disks: int | None = None,
+    ) -> None:
+        self.scheme = scheme
+        self.bandwidth = BandwidthModel(scheme, bw)
+        self.failed_disks = (
+            failed_disks if failed_disks is not None else scheme.params.p_l + 1
+        )
+        if self.failed_disks <= scheme.params.p_l:
+            raise ValueError(
+                f"{self.failed_disks} failed disks is not catastrophic for "
+                f"p_l={scheme.params.p_l}"
+            )
+        self.damage = LocalPoolDamage(
+            pool_disks=scheme.local_pool_disks,
+            failed_disks=self.failed_disks,
+            k_l=scheme.params.k_l,
+            p_l=scheme.params.p_l,
+            chunks_per_disk=scheme.dc.chunks_per_disk,
+        )
+
+    # ------------------------------------------------------------------
+    # Byte accounting
+    # ------------------------------------------------------------------
+    def network_rebuilt_bytes(self, method: RepairMethod) -> float:
+        """Bytes rebuilt via network-level parity."""
+        chunks = self.damage.network_repair_chunks(method)
+        return chunks * self.scheme.dc.chunk_size_bytes
+
+    def local_rebuilt_bytes(self, method: RepairMethod) -> float:
+        """Bytes rebuilt by the in-pool local stage."""
+        chunks = self.damage.local_repair_chunks(method)
+        return chunks * self.scheme.dc.chunk_size_bytes
+
+    def cross_rack_traffic_bytes(self, method: RepairMethod) -> float:
+        """Total cross-rack bytes moved (Figure 8's quantity)."""
+        return self.network_rebuilt_bytes(method) * (self.scheme.params.k_n + 1)
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def stage_times(self, method: RepairMethod) -> RepairStageTimes:
+        """Network and local stage durations (Figure 9).
+
+        The network stage runs at the scheme's network repair rate.  The
+        local stage (R_HYB / R_MIN only) runs at the pool's local rate; for
+        clustered pools the network stage restores ``failures - p_l`` chunk
+        rows of every stripe, so the local stage rebuilds the remaining
+        ``p_l`` rows with the matching read amplification.
+        """
+        net_bytes = self.network_rebuilt_bytes(method)
+        net_time = net_bytes / self.bandwidth.network_repair_rate().rate
+
+        local_bytes = self.local_rebuilt_bytes(method)
+        if local_bytes <= 0:
+            return RepairStageTimes(network_time=net_time, local_time=0.0)
+
+        disk_cap = self.scheme.dc.disk_capacity_bytes
+        rebuilt_disk_equiv = net_bytes / disk_cap
+        if self.damage.is_clustered:
+            failures_per_stripe: float | None = None  # default: remaining disks
+        else:
+            # Declustered pools: almost all affected stripes carry a single
+            # failed chunk once the lost stripes are handled.
+            failures_per_stripe = 1.0
+        rate = self.bandwidth.local_stage_rate(
+            self.failed_disks,
+            rebuilt_disks=rebuilt_disk_equiv,
+            failures_per_stripe=failures_per_stripe,
+        ).rate
+        return RepairStageTimes(network_time=net_time, local_time=local_bytes / rate)
+
+    def total_repair_time(
+        self, method: RepairMethod, detection_time: float = 0.0
+    ) -> float:
+        """End-to-end catastrophic repair time in seconds."""
+        return detection_time + self.stage_times(method).total
+
+    def exit_catastrophic_time(
+        self, method: RepairMethod, detection_time: float = 0.0
+    ) -> float:
+        """Seconds until the pool is no longer catastrophic.
+
+        For R_HYB/R_MIN this is the *network stage* alone: once the lost
+        stripes are (partially) rebuilt the pool is locally recoverable and
+        no longer exposes the network stripe to data loss -- the durability
+        advantage of R_MIN the paper highlights in §4.2.2 Finding 3.
+        """
+        return detection_time + self.stage_times(method).network_time
+
+    # ------------------------------------------------------------------
+    def summary(self, method: RepairMethod) -> dict[str, float]:
+        """One row of the Figures 8+9 tables, in paper-friendly units."""
+        times = self.stage_times(method)
+        return {
+            "cross_rack_traffic_TB": self.cross_rack_traffic_bytes(method) / 1e12,
+            "network_time_h": times.network_time / 3600.0,
+            "local_time_h": times.local_time / 3600.0,
+            "total_time_h": times.total / 3600.0,
+        }

@@ -1,0 +1,117 @@
+"""Long-run repair network traffic of MLEC vs SLEC vs LRC (§5.1.4, §5.2.4).
+
+The paper reports these comparisons in prose only ("a (7+3) network SLEC
+requires hundreds of TB repair network traffic every day ... MLEC only
+requires a few TB every thousand of years").  This module computes the
+underlying expected cross-rack traffic rates so the benchmark harness can
+print the comparison as a table.
+
+Model: the steady-state disk-failure arrival rate is ``AFR x total_disks``
+per year.  Each scheme pays cross-rack traffic per failure according to what
+its repair must move across racks:
+
+* network SLEC: every failed disk rebuilds over the network --
+  ``(k reads + 1 write) x disk_capacity`` cross-rack bytes per failure;
+* LRC-Dp: a failed disk's chunks are (overwhelmingly) single failures in
+  their stripes, repaired from the local group --
+  ``(k/l reads + 1 write) x disk_capacity`` cross-rack bytes per failure;
+* local SLEC: zero cross-rack traffic (and zero rack-failure tolerance);
+* MLEC: local repairs are free of network traffic; cross-rack traffic only
+  arises for *catastrophic* local pools, whose rate comes from the Markov
+  model, multiplied by the chosen repair method's per-event traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.config import DatacenterConfig, FailureConfig, YEAR
+from ..core.scheme import LRCScheme, MLECScheme, SLECScheme
+from ..core.types import Level, RepairMethod
+from .methods import CatastrophicRepairModel
+
+__all__ = [
+    "TrafficRate",
+    "slec_annual_cross_rack_traffic",
+    "lrc_annual_cross_rack_traffic",
+    "mlec_annual_cross_rack_traffic",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficRate:
+    """Expected cross-rack repair traffic of a scheme."""
+
+    bytes_per_year: float
+
+    @property
+    def tb_per_day(self) -> float:
+        return self.bytes_per_year / 1e12 / 365.0
+
+    @property
+    def tb_per_year(self) -> float:
+        return self.bytes_per_year / 1e12
+
+
+def _failures_per_year(dc: DatacenterConfig, failures: FailureConfig) -> float:
+    return failures.annual_failure_rate * dc.total_disks
+
+
+def slec_annual_cross_rack_traffic(
+    scheme: SLECScheme, failures: FailureConfig | None = None
+) -> TrafficRate:
+    """Cross-rack repair traffic of a SLEC deployment.
+
+    Local SLEC repairs never leave the rack; network SLEC pays
+    ``(k+1) x disk_capacity`` per failed disk.
+    """
+    failures = failures if failures is not None else FailureConfig()
+    if scheme.level is Level.LOCAL:
+        return TrafficRate(0.0)
+    per_failure = (scheme.params.k + 1) * scheme.dc.disk_capacity_bytes
+    return TrafficRate(per_failure * _failures_per_year(scheme.dc, failures))
+
+
+def lrc_annual_cross_rack_traffic(
+    scheme: LRCScheme, failures: FailureConfig | None = None
+) -> TrafficRate:
+    """Cross-rack repair traffic of a declustered LRC deployment.
+
+    Concurrent multi-failures within one stripe are rare under independent
+    failures, so the per-failure cost is the local-group repair:
+    ``(k/l + 1) x disk_capacity`` cross-rack bytes.
+    """
+    failures = failures if failures is not None else FailureConfig()
+    per_failure = (scheme.params.group_size + 1) * scheme.dc.disk_capacity_bytes
+    return TrafficRate(per_failure * _failures_per_year(scheme.dc, failures))
+
+
+def mlec_annual_cross_rack_traffic(
+    scheme: MLECScheme,
+    method: RepairMethod,
+    catastrophic_pool_rate_per_year: float,
+    failures: FailureConfig | None = None,
+) -> TrafficRate:
+    """Cross-rack repair traffic of an MLEC deployment.
+
+    Parameters
+    ----------
+    scheme, method:
+        The MLEC scheme and its catastrophic-repair method.
+    catastrophic_pool_rate_per_year:
+        Expected catastrophic local-pool events per year across the whole
+        system -- obtainable from
+        :func:`repro.analysis.markov.local_pool_catastrophic_rate` times the
+        pool count.  Single-disk repairs are local and contribute nothing.
+    """
+    del failures  # independent single-disk failures cost no cross-rack bytes
+    model = CatastrophicRepairModel(scheme)
+    per_event = model.cross_rack_traffic_bytes(method)
+    return TrafficRate(per_event * catastrophic_pool_rate_per_year)
+
+
+def years_per_terabyte(rate: TrafficRate) -> float:
+    """Convenience for the paper's "a few TB every thousand of years"."""
+    if rate.bytes_per_year <= 0:
+        return float("inf")
+    return 1e12 / rate.bytes_per_year

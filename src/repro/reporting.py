@@ -1,0 +1,130 @@
+"""Plain-text reporting: tables and heatmaps for the benchmark harness.
+
+Every benchmark regenerates a paper table or figure; since the paper's
+figures are heatmaps and bar charts, these helpers render them as aligned
+ASCII so the harness output is directly comparable with the paper (and
+diffable between runs).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_heatmap", "format_bar_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned table; floats are shown with 4 significant digits."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if math.isnan(cell):
+                return "-"
+            magnitude = abs(cell)
+            if 1e-3 <= magnitude < 1e6:
+                return f"{cell:.4g}"
+            return f"{cell:.3e}"
+        return str(cell)
+
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+#: Log-PDL glyph ramp: '.' ~ zero through '#' ~ certain loss.
+_RAMP = ".123456#"
+
+
+def format_heatmap(
+    grid: np.ndarray,
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    title: str | None = None,
+    log_floor: float = 1e-7,
+) -> str:
+    """Render a PDL heatmap as ASCII (paper Figures 5/13/16 style).
+
+    Each cell maps ``log10(PDL)`` onto a glyph ramp: ``.`` is PDL below
+    ``log_floor`` (durable), digits climb through the exponent range, and
+    ``#`` is PDL ~ 1 (certain loss).  Impossible cells (NaN) are blank.
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.shape != (len(row_labels), len(col_labels)):
+        raise ValueError("grid shape does not match labels")
+    decades = -math.log10(log_floor)
+
+    def glyph(v: float) -> str:
+        if math.isnan(v):
+            return " "
+        if v <= log_floor:
+            return _RAMP[0]
+        if v >= 0.5:
+            return _RAMP[-1]
+        # Map log10(v) in [log_floor, 0] onto the intermediate glyphs.
+        frac = 1.0 + math.log10(v) / decades  # 0 at floor, 1 at PDL=1
+        idx = 1 + int(frac * (len(_RAMP) - 2))
+        return _RAMP[min(idx, len(_RAMP) - 2)]
+
+    label_w = max(len(str(r)) for r in row_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'':>{label_w}} PDL ramp: '.'<={log_floor:g} ... '#'~1"
+    )
+    for r, row in zip(row_labels, grid):
+        lines.append(f"{str(r):>{label_w}} " + "".join(glyph(v) for v in row))
+    lines.append(f"{'':>{label_w}} cols: " + " ".join(str(c) for c in col_labels))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    unit: str = "",
+    width: int = 50,
+    title: str | None = None,
+    log_scale: bool = False,
+) -> str:
+    """Render a horizontal bar chart (paper Figures 6/8/9/10 style)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    vals = np.asarray(values, dtype=float)
+    if log_scale:
+        positive = vals[vals > 0]
+        lo = math.log10(positive.min()) - 0.5 if positive.size else 0.0
+        hi = math.log10(positive.max()) if positive.size else 1.0
+        span = max(hi - lo, 1e-9)
+        scaled = np.where(
+            vals > 0, (np.log10(np.maximum(vals, 1e-300)) - lo) / span, 0.0
+        )
+    else:
+        top = vals.max() if vals.size and vals.max() > 0 else 1.0
+        scaled = vals / top
+    label_w = max(len(l) for l in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value, frac in zip(labels, vals, scaled):
+        bar = "#" * max(0, int(round(frac * width)))
+        lines.append(f"{label:>{label_w}} |{bar:<{width}} {value:.4g} {unit}")
+    return "\n".join(lines)

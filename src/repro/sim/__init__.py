@@ -1,0 +1,47 @@
+"""Simulation: event queue, failure models, traces, bursts, pool & system."""
+
+from .burst import (
+    BurstGenerator,
+    LRCBurstEvaluator,
+    MLECBurstEvaluator,
+    SLECBurstEvaluator,
+    burst_pdl,
+    burst_pdl_grid,
+)
+from .events import Event, EventQueue, EventType
+from .failures import (
+    BathtubFailures,
+    ExponentialFailures,
+    TraceFailures,
+    WeibullFailures,
+)
+from .local_pool import CatastrophicSample, LocalPoolSimulator, PoolSimResult
+from .simulator import DataLossEvent, MLECSystemSimulator, SystemSimResult
+from .slec_sim import SingleLevelSimResult, SLECSystemSimulator
+from .traces import FailureTrace, SyntheticTraceGenerator
+
+__all__ = [
+    "BurstGenerator",
+    "LRCBurstEvaluator",
+    "MLECBurstEvaluator",
+    "SLECBurstEvaluator",
+    "burst_pdl",
+    "burst_pdl_grid",
+    "Event",
+    "EventQueue",
+    "EventType",
+    "BathtubFailures",
+    "ExponentialFailures",
+    "TraceFailures",
+    "WeibullFailures",
+    "CatastrophicSample",
+    "LocalPoolSimulator",
+    "PoolSimResult",
+    "DataLossEvent",
+    "MLECSystemSimulator",
+    "SystemSimResult",
+    "SingleLevelSimResult",
+    "SLECSystemSimulator",
+    "FailureTrace",
+    "SyntheticTraceGenerator",
+]

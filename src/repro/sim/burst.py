@@ -1,0 +1,334 @@
+"""Correlated failure-burst simulation (paper §4.1.1, §5.1.3, §5.2.3).
+
+A *failure burst* is ``y`` simultaneous disk failures scattered across ``x``
+racks.  The paper's heatmaps (Figures 5, 13, 16) sweep ``(x, y)`` and color
+each cell with the probability of data loss (PDL).
+
+The engine has two halves:
+
+* :class:`BurstGenerator` samples concrete failed-disk sets: ``x`` racks
+  chosen uniformly, one guaranteed failure per affected rack, the remaining
+  ``y - x`` failures uniform over the affected racks' other disks.
+* Evaluators turn one failed-disk set into a PDL.  Wherever placement is
+  clustered the loss condition is deterministic (0/1); wherever placement
+  is declustered the evaluator *integrates analytically over the
+  pseudorandom stripe placement* (hypergeometric stripe damage, rack-
+  selection DP, Poisson-binomial row losses) instead of sampling billions
+  of stripes -- a Rao-Blackwellized estimate with far lower variance than
+  the paper's direct simulation, at identical semantics.
+
+Averaging evaluator outputs over generator samples gives the heatmap cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..analysis.combinatorics import (
+    any_of_many,
+    hypergeom_tail,
+    poisson_binomial_tail,
+    rack_selection_hits_pmf,
+)
+from ..core.config import DatacenterConfig
+from ..core.scheme import LRCScheme, MLECScheme, SLECScheme
+from ..core.types import Level, Placement
+from ..topology.datacenter import DatacenterTopology
+from ..topology.pools import summarize_mlec_damage
+
+__all__ = [
+    "BurstGenerator",
+    "MLECBurstEvaluator",
+    "SLECBurstEvaluator",
+    "LRCBurstEvaluator",
+    "burst_pdl",
+    "burst_pdl_grid",
+]
+
+
+class BurstGenerator:
+    """Samples failure bursts: ``y`` failed disks across ``x`` racks."""
+
+    def __init__(
+        self, dc: DatacenterConfig | None = None, rng: np.random.Generator | None = None
+    ) -> None:
+        self.dc = dc if dc is not None else DatacenterConfig()
+        self.topo = DatacenterTopology(self.dc)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def sample(self, failures: int, racks: int) -> np.ndarray:
+        """One burst: global disk ids of the failed disks.
+
+        Every affected rack receives at least one failure (otherwise it
+        would not be an affected rack); the remainder is uniform without
+        replacement over the affected racks' remaining disks.
+        """
+        if racks < 1 or racks > self.dc.racks:
+            raise ValueError(f"racks must be in [1, {self.dc.racks}]")
+        if failures < racks:
+            raise ValueError("need at least one failure per affected rack")
+        dpr = self.dc.disks_per_rack
+        if failures > racks * dpr:
+            raise ValueError("more failures than disks in the affected racks")
+
+        rng = self.rng
+        chosen_racks = rng.choice(self.dc.racks, size=racks, replace=False)
+        # One guaranteed failure per rack.
+        first = chosen_racks * dpr + rng.integers(dpr, size=racks)
+        extra_n = failures - racks
+        if extra_n == 0:
+            return np.sort(first)
+        # Remaining failures: uniform w/o replacement over the affected
+        # racks' disks, excluding the guaranteed ones.  Sample local indices
+        # in [0, racks*(dpr-1)) and map around the exclusions.
+        local = rng.choice(racks * (dpr - 1), size=extra_n, replace=False)
+        rack_idx = local // (dpr - 1)
+        slot = local % (dpr - 1)
+        first_slot = first % dpr
+        slot = slot + (slot >= first_slot[rack_idx])
+        extra = chosen_racks[rack_idx] * dpr + slot
+        return np.sort(np.concatenate([first, extra]))
+
+
+# ----------------------------------------------------------------------
+# MLEC evaluator
+# ----------------------------------------------------------------------
+class MLECBurstEvaluator:
+    """PDL of one burst under an MLEC scheme (Figure 5's cell values)."""
+
+    def __init__(self, scheme: MLECScheme) -> None:
+        self.scheme = scheme
+        self.topo = DatacenterTopology(scheme.dc)
+        self._stripes_per_pool = scheme.local_stripes_per_pool()
+        self._network_stripes = scheme.network_stripes_total()
+
+    def _lost_stripe_prob(self, failed_in_pool: int) -> float:
+        """P[a local stripe of a catastrophic pool is lost]."""
+        s = self.scheme
+        if s.local_placement is Placement.CLUSTERED:
+            return 1.0  # a Cp pool *is* one stripe wide
+        return hypergeom_tail(
+            s.local_pool_disks, failed_in_pool, s.params.n_l, s.params.p_l
+        )
+
+    def pdl_of_burst(self, failed_disk_ids: np.ndarray) -> float:
+        """Probability this burst loses data, integrating over placement."""
+        s = self.scheme
+        damage = summarize_mlec_damage(s, failed_disk_ids, self.topo)
+        if damage.n_catastrophic <= s.params.p_n:
+            return 0.0  # cannot reach p_n+1 lost local stripes anywhere
+
+        cat_racks = damage.catastrophic_racks
+        cat_positions = damage.catastrophic_positions
+        cat_counts = damage.catastrophic_counts
+        loss_threshold = s.params.p_n + 1
+
+        if s.network_placement is Placement.CLUSTERED:
+            # Network pools are (rack group, pool position); only pools at
+            # the same position within the same group share network stripes.
+            groups = cat_racks // s.network_group_racks
+            no_loss_log = 0.0
+            keys = groups.astype(np.int64) * s.local_pools_per_rack + cat_positions
+            for key in np.unique(keys):
+                sel = keys == key
+                if int(sel.sum()) < loss_threshold:
+                    continue
+                probs = [self._lost_stripe_prob(c) for c in cat_counts[sel]]
+                q_net = poisson_binomial_tail(np.array(probs), loss_threshold)
+                if q_net >= 1.0:
+                    return 1.0
+                no_loss_log += self._stripes_per_pool * np.log1p(-q_net)
+            return float(-np.expm1(no_loss_log))
+
+        # Network declustered: one big pool; a network stripe picks n_n
+        # distinct racks, then a pool position uniformly in each rack.  A
+        # "hit" is "this row landed on a catastrophic pool and its local
+        # stripe is lost".
+        hit = np.zeros(s.dc.racks)
+        per_pool = 1.0 / s.local_pools_per_rack
+        for rack, count in zip(cat_racks, cat_counts):
+            hit[rack] += per_pool * self._lost_stripe_prob(int(count))
+        pmf = rack_selection_hits_pmf(hit, s.params.n_n, loss_threshold)
+        return any_of_many(float(pmf[-1]), self._network_stripes)
+
+
+# ----------------------------------------------------------------------
+# SLEC evaluator
+# ----------------------------------------------------------------------
+class SLECBurstEvaluator:
+    """PDL of one burst under a SLEC placement (Figure 13's cell values)."""
+
+    def __init__(self, scheme: SLECScheme) -> None:
+        self.scheme = scheme
+        self.topo = DatacenterTopology(scheme.dc)
+        dc = scheme.dc
+        self._total_stripes = dc.total_disks * dc.chunks_per_disk // scheme.params.n
+
+    def pdl_of_burst(self, failed_disk_ids: np.ndarray) -> float:
+        s = self.scheme
+        p = s.params.p
+        failed = np.asarray(failed_disk_ids)
+        if failed.size <= p:
+            return 0.0
+
+        if s.level is Level.LOCAL:
+            if s.placement is Placement.CLUSTERED:
+                pools = self.topo.clustered_pool_of(failed, s.params.n)
+                counts = np.bincount(pools)
+                return 1.0 if np.any(counts > p) else 0.0
+            # Local-Dp: pool per enclosure, hypergeometric stripe damage.
+            pools = self.topo.enclosure_of(failed)
+            counts = np.bincount(pools)
+            counts = counts[counts > p]
+            if counts.size == 0:
+                return 0.0
+            pool_disks = s.dc.disks_per_enclosure
+            stripes_per_pool = pool_disks * s.dc.chunks_per_disk // s.params.n
+            log_no = 0.0
+            for c in counts:
+                q = hypergeom_tail(pool_disks, int(c), s.params.n, p)
+                if q >= 1.0:
+                    return 1.0
+                log_no += stripes_per_pool * np.log1p(-q)
+            return float(-np.expm1(log_no))
+
+        if s.placement is Placement.CLUSTERED:
+            # Network-Cp: a pool is the set of disks at the same in-rack
+            # position across a group of k+p racks.
+            racks = self.topo.rack_of(failed)
+            groups = racks // s.params.n
+            positions = self.topo.position_in_rack_of(failed)
+            keys = groups * s.dc.disks_per_rack + positions
+            counts = np.bincount(keys.astype(np.int64))
+            return 1.0 if np.any(counts > p) else 0.0
+
+        # Network-Dp: a stripe picks n distinct racks and one disk in each.
+        racks = self.topo.rack_of(failed)
+        per_rack = np.bincount(racks, minlength=s.dc.racks)
+        hit = per_rack / s.dc.disks_per_rack
+        pmf = rack_selection_hits_pmf(hit, s.params.n, p + 1)
+        return any_of_many(float(pmf[-1]), self._total_stripes)
+
+
+# ----------------------------------------------------------------------
+# LRC evaluator
+# ----------------------------------------------------------------------
+class LRCBurstEvaluator:
+    """PDL of one burst under a declustered LRC (Figure 16's cell values).
+
+    Uses the peeling recoverability criterion: a pattern with ``f_g``
+    erasures in each local group (data + its local parity) and ``f_free``
+    erased global parities is unrecoverable iff
+    ``sum_g max(0, f_g - 1) + f_free > r``.
+    """
+
+    def __init__(self, scheme: LRCScheme) -> None:
+        self.scheme = scheme
+        self.topo = DatacenterTopology(scheme.dc)
+        dc = scheme.dc
+        self._total_stripes = dc.total_disks * dc.chunks_per_disk // scheme.params.n
+        self._unrec_fraction = self._unrecoverable_fraction_by_size()
+
+    def _unrecoverable_fraction_by_size(self) -> np.ndarray:
+        """U[m] = fraction of m-subsets of stripe positions unrecoverable."""
+        from math import comb
+
+        p = self.scheme.params
+        group_cells = p.group_size + 1  # data chunks + local parity
+        n = p.n
+        # ways[m] over all erasure patterns; bad[m] over unrecoverable ones.
+        # Enumerate with a DP over groups then the global-parity cell.
+        # State: (pattern size, peeling residual capped at r+1).
+        cap = p.r + 1
+        dp = np.zeros((n + 1, cap + 1))
+        dp[0, 0] = 1.0
+        for _g in range(p.l):
+            new = np.zeros_like(dp)
+            for f_g in range(group_cells + 1):
+                w = comb(group_cells, f_g)
+                resid = min(max(0, f_g - 1), cap)
+                src = dp[: n + 1 - f_g]
+                shifted = np.zeros_like(src)
+                if resid == 0:
+                    shifted = src * w
+                else:
+                    shifted[:, resid:] = src[:, :-resid] * w
+                    shifted[:, -1:] += src[:, -resid:].sum(axis=1, keepdims=True) * w
+                new[f_g:] += shifted
+            dp = new
+        # Global parities: each erased global parity adds 1 to the residual.
+        new = np.zeros_like(dp)
+        for f_free in range(p.r + 1):
+            w = comb(p.r, f_free)
+            resid = min(f_free, cap)
+            src = dp[: n + 1 - f_free]
+            shifted = np.zeros_like(src)
+            if resid == 0:
+                shifted = src * w
+            else:
+                shifted[:, resid:] = src[:, :-resid] * w
+                shifted[:, -1:] += src[:, -resid:].sum(axis=1, keepdims=True) * w
+            new[f_free:] += shifted
+        dp = new
+        bad = dp[:, cap]  # residual > r
+        totals = np.array([comb(n, m) for m in range(n + 1)], dtype=float)
+        return bad / totals
+
+    def pdl_of_burst(self, failed_disk_ids: np.ndarray) -> float:
+        s = self.scheme
+        failed = np.asarray(failed_disk_ids)
+        racks = self.topo.rack_of(failed)
+        per_rack = np.bincount(racks, minlength=s.dc.racks)
+        hit = per_rack / s.dc.disks_per_rack
+        n = s.params.n
+        pmf = rack_selection_hits_pmf(hit, n, n)  # full pmf, no capping
+        q = float(np.dot(pmf, self._unrec_fraction[: len(pmf)]))
+        return any_of_many(q, self._total_stripes)
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def burst_pdl(
+    evaluator,
+    failures: int,
+    racks: int,
+    trials: int = 100,
+    rng: np.random.Generator | None = None,
+    dc: DatacenterConfig | None = None,
+) -> float:
+    """Monte-Carlo PDL for one burst scenario (one heatmap cell)."""
+    gen = BurstGenerator(
+        dc if dc is not None else evaluator.scheme.dc,
+        rng if rng is not None else np.random.default_rng(),
+    )
+    total = 0.0
+    for _ in range(trials):
+        total += evaluator.pdl_of_burst(gen.sample(failures, racks))
+    return total / trials
+
+
+def burst_pdl_grid(
+    evaluator,
+    failure_counts: np.ndarray,
+    rack_counts: np.ndarray,
+    trials: int = 100,
+    seed: int = 0,
+) -> np.ndarray:
+    """A full heatmap: PDL[i, j] for failures[i] x racks[j].
+
+    Cells with fewer failures than affected racks are impossible and
+    reported as NaN (the paper's figures leave them blank).
+    """
+    failure_counts = np.asarray(failure_counts)
+    rack_counts = np.asarray(rack_counts)
+    grid = np.full((len(failure_counts), len(rack_counts)), np.nan)
+    rng = np.random.default_rng(seed)
+    for j, x in enumerate(rack_counts):
+        for i, y in enumerate(failure_counts):
+            if y < x:
+                continue
+            grid[i, j] = burst_pdl(evaluator, int(y), int(x), trials, rng)
+    return grid

@@ -1,0 +1,85 @@
+"""Discrete-event core: a deterministic priority event queue.
+
+Small, dependency-free, and deterministic: events at equal timestamps pop
+in insertion order (a monotonically increasing sequence number breaks
+ties), so simulations are exactly reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import heapq
+from typing import Any
+
+__all__ = ["EventType", "Event", "EventQueue"]
+
+
+class EventType(enum.Enum):
+    """Event kinds used by the pool and system simulators."""
+
+    DISK_FAILURE = "disk-failure"
+    FAILURE_DETECTED = "failure-detected"
+    REPAIR_COMPLETE = "repair-complete"
+    POOL_CATASTROPHIC = "pool-catastrophic"
+    POOL_RESTORED = "pool-restored"
+    END_OF_MISSION = "end-of-mission"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled event.  Ordering is (time, seq); payload is free-form."""
+
+    time: float
+    seq: int
+    kind: EventType = dataclasses.field(compare=False)
+    payload: Any = dataclasses.field(compare=False, default=None)
+
+
+class EventQueue:
+    """A heap-backed event queue with cancellation.
+
+    Cancellation is lazy: :meth:`cancel` marks the sequence number dead and
+    :meth:`pop` skips corpses -- O(log n) per operation either way.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._dead: set[int] = set()
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._dead)
+
+    def push(self, time: float, kind: EventType, payload: Any = None) -> int:
+        """Schedule an event; returns a handle usable with :meth:`cancel`."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past: {time} < now={self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, Event(time, self._seq, kind, payload))
+        return self._seq
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a previously scheduled event (no-op if already popped)."""
+        self._dead.add(handle)
+
+    def pop(self) -> Event | None:
+        """Pop the earliest live event, advancing the clock; None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.seq in self._dead:
+                self._dead.discard(event.seq)
+                continue
+            self.now = event.time
+            return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event without popping it."""
+        while self._heap and self._heap[0].seq in self._dead:
+            self._dead.discard(self._heap[0].seq)
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,20 @@
+"""Datacenter topology, pools, and stripe-placement engines."""
+
+from .datacenter import DatacenterTopology, DiskAddress
+from .placement import (
+    ClusteredStripePlacement,
+    DeclusteredStripePlacement,
+    NetworkStripePlacement,
+)
+from .pools import PoolDamageSummary, pool_failure_counts, summarize_mlec_damage
+
+__all__ = [
+    "DatacenterTopology",
+    "DiskAddress",
+    "ClusteredStripePlacement",
+    "DeclusteredStripePlacement",
+    "NetworkStripePlacement",
+    "PoolDamageSummary",
+    "pool_failure_counts",
+    "summarize_mlec_damage",
+]

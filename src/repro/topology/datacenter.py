@@ -1,0 +1,142 @@
+"""Datacenter topology: disk addressing and vectorized locator arithmetic.
+
+Disks are identified by a single global integer id, laid out rack-major:
+``id = (rack * enclosures_per_rack + enclosure) * disks_per_enclosure +
+slot``.  All locator functions are NumPy-vectorized because the burst engine
+and simulator routinely translate tens of thousands of failed-disk ids per
+trial.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.config import DatacenterConfig
+
+__all__ = ["DiskAddress", "DatacenterTopology"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class DiskAddress:
+    """Human-readable disk location (rack, enclosure, slot)."""
+
+    rack: int
+    enclosure: int
+    slot: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"R{self.rack}E{self.enclosure}D{self.slot}"
+
+
+class DatacenterTopology:
+    """Vectorized id <-> location arithmetic over a :class:`DatacenterConfig`.
+
+    Examples
+    --------
+    >>> topo = DatacenterTopology(DatacenterConfig())
+    >>> topo.total_disks
+    57600
+    >>> topo.address_of(0)
+    DiskAddress(rack=0, enclosure=0, slot=0)
+    """
+
+    def __init__(self, dc: DatacenterConfig | None = None) -> None:
+        self.dc = dc if dc is not None else DatacenterConfig()
+
+    # ------------------------------------------------------------------
+    @property
+    def total_disks(self) -> int:
+        return self.dc.total_disks
+
+    @property
+    def disks_per_rack(self) -> int:
+        return self.dc.disks_per_rack
+
+    @property
+    def disks_per_enclosure(self) -> int:
+        return self.dc.disks_per_enclosure
+
+    # ------------------------------------------------------------------
+    # Vectorized locators.  All accept scalar or array disk ids.
+    # ------------------------------------------------------------------
+    def rack_of(self, disk_ids: np.ndarray) -> np.ndarray:
+        """Rack index of each disk id."""
+        return np.asarray(disk_ids) // self.disks_per_rack
+
+    def enclosure_of(self, disk_ids: np.ndarray) -> np.ndarray:
+        """Global enclosure index (rack-major) of each disk id."""
+        return np.asarray(disk_ids) // self.disks_per_enclosure
+
+    def enclosure_in_rack_of(self, disk_ids: np.ndarray) -> np.ndarray:
+        """Enclosure position within its rack (0..enclosures_per_rack-1)."""
+        return self.enclosure_of(disk_ids) % self.dc.enclosures_per_rack
+
+    def slot_of(self, disk_ids: np.ndarray) -> np.ndarray:
+        """Slot within the enclosure (0..disks_per_enclosure-1)."""
+        return np.asarray(disk_ids) % self.disks_per_enclosure
+
+    def position_in_rack_of(self, disk_ids: np.ndarray) -> np.ndarray:
+        """Disk position within its rack (0..disks_per_rack-1).
+
+        Network-Cp SLEC pools are formed by disks at the same in-rack
+        position across a rack group, so this is their pool coordinate.
+        """
+        return np.asarray(disk_ids) % self.disks_per_rack
+
+    def clustered_pool_of(self, disk_ids: np.ndarray, pool_size: int) -> np.ndarray:
+        """Global clustered-pool index for pools of ``pool_size`` disks.
+
+        Clustered pools are consecutive disk runs; because enclosures are
+        contiguous and their size is a multiple of every legal pool size,
+        integer division by the pool size never crosses an enclosure.
+        """
+        if pool_size <= 0 or self.disks_per_enclosure % pool_size:
+            raise ValueError(
+                f"pool_size {pool_size} must divide the enclosure size "
+                f"{self.disks_per_enclosure}"
+            )
+        return np.asarray(disk_ids) // pool_size
+
+    # ------------------------------------------------------------------
+    def disk_id(self, rack: int, enclosure: int, slot: int) -> int:
+        """Global disk id for a (rack, enclosure, slot) location."""
+        if not 0 <= rack < self.dc.racks:
+            raise ValueError(f"rack {rack} out of range")
+        if not 0 <= enclosure < self.dc.enclosures_per_rack:
+            raise ValueError(f"enclosure {enclosure} out of range")
+        if not 0 <= slot < self.disks_per_enclosure:
+            raise ValueError(f"slot {slot} out of range")
+        return (
+            rack * self.dc.enclosures_per_rack + enclosure
+        ) * self.disks_per_enclosure + slot
+
+    def address_of(self, disk_id: int) -> DiskAddress:
+        """Human-readable address of a disk id."""
+        if not 0 <= disk_id < self.total_disks:
+            raise ValueError(f"disk id {disk_id} out of range")
+        return DiskAddress(
+            rack=int(self.rack_of(disk_id)),
+            enclosure=int(self.enclosure_in_rack_of(disk_id)),
+            slot=int(self.slot_of(disk_id)),
+        )
+
+    def rack_disk_ids(self, rack: int) -> np.ndarray:
+        """All disk ids in one rack."""
+        if not 0 <= rack < self.dc.racks:
+            raise ValueError(f"rack {rack} out of range")
+        start = rack * self.disks_per_rack
+        return np.arange(start, start + self.disks_per_rack)
+
+    def enclosure_disk_ids(self, rack: int, enclosure: int) -> np.ndarray:
+        """All disk ids in one enclosure."""
+        start = self.disk_id(rack, enclosure, 0)
+        return np.arange(start, start + self.disks_per_enclosure)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DatacenterTopology({self.dc.racks} racks x "
+            f"{self.dc.enclosures_per_rack} enclosures x "
+            f"{self.disks_per_enclosure} disks)"
+        )

@@ -1,0 +1,177 @@
+"""Stripe-placement engines: where a stripe's chunks physically live.
+
+Three placement generators cover the paper's design space:
+
+* :class:`ClusteredStripePlacement` -- a stripe fills its pool exactly (the
+  pool *is* the failure domain).
+* :class:`DeclusteredStripePlacement` -- pseudorandom ``width``-subsets of a
+  pool's devices, the "parity declustering" layout (references [26-31] of
+  the paper); chunks of one stripe never share a device.
+* :class:`NetworkStripePlacement` -- composes a network-level choice of
+  local pools (same-position across a rack group for Cp, random distinct
+  racks for Dp) with a local placement in each chosen pool.
+
+Placements are deterministic given a seed, so a simulation's layout is
+reproducible, and lazy: layouts are generated per stripe id on demand
+because materializing ~1e10 stripes is neither possible nor needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.scheme import MLECScheme
+from ..core.types import Placement
+from .datacenter import DatacenterTopology
+
+__all__ = [
+    "ClusteredStripePlacement",
+    "DeclusteredStripePlacement",
+    "NetworkStripePlacement",
+]
+
+
+class ClusteredStripePlacement:
+    """Stripe -> device map for a clustered pool.
+
+    The pool holds ``pool_devices`` devices and each stripe spans *all* of
+    them (clustered pools are sized exactly one stripe wide), so stripe ``i``
+    occupies chunk row ``i`` on every device.
+    """
+
+    def __init__(self, pool_devices: np.ndarray, width: int) -> None:
+        self.pool_devices = np.asarray(pool_devices)
+        if self.pool_devices.ndim != 1:
+            raise ValueError("pool_devices must be a 1-D id array")
+        if len(self.pool_devices) != width:
+            raise ValueError(
+                f"clustered pool must be exactly one stripe wide: "
+                f"{len(self.pool_devices)} devices vs width {width}"
+            )
+        self.width = width
+
+    def stripe_devices(self, stripe_id: int) -> np.ndarray:
+        """Devices hosting the chunks of ``stripe_id`` (all of them)."""
+        if stripe_id < 0:
+            raise ValueError("stripe_id must be non-negative")
+        return self.pool_devices.copy()
+
+    def stripes_touching(self, device: int, n_stripes: int) -> np.ndarray:
+        """Stripe ids with a chunk on ``device`` -- every stripe."""
+        if device not in self.pool_devices:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(n_stripes)
+
+
+class DeclusteredStripePlacement:
+    """Pseudorandom declustered stripe -> device map for one pool.
+
+    Stripe ``i``'s devices are a seeded random ``width``-subset of the
+    pool, so every device pair co-hosts stripes (the property that gives
+    declustered repair its parallelism).  The map is a pure function of
+    ``(seed, stripe_id)``.
+    """
+
+    def __init__(
+        self, pool_devices: np.ndarray, width: int, seed: int = 0
+    ) -> None:
+        self.pool_devices = np.asarray(pool_devices)
+        if self.pool_devices.ndim != 1:
+            raise ValueError("pool_devices must be a 1-D id array")
+        if len(self.pool_devices) < width:
+            raise ValueError("pool smaller than stripe width")
+        self.width = width
+        self.seed = seed
+
+    def stripe_devices(self, stripe_id: int) -> np.ndarray:
+        """Devices hosting the chunks of ``stripe_id`` (width distinct)."""
+        if stripe_id < 0:
+            raise ValueError("stripe_id must be non-negative")
+        rng = np.random.default_rng((self.seed, stripe_id))
+        idx = rng.choice(len(self.pool_devices), size=self.width, replace=False)
+        return self.pool_devices[idx]
+
+    def stripe_damage(self, stripe_id: int, failed: set[int]) -> int:
+        """Number of the stripe's chunks on failed devices."""
+        return int(sum(int(d) in failed for d in self.stripe_devices(stripe_id)))
+
+
+class NetworkStripePlacement:
+    """Two-level placement of a full MLEC network stripe.
+
+    For each network stripe id this yields the ``(k_n+p_n, k_l+p_l)`` grid
+    of disk ids: which local pool hosts each row (local stripe) and which
+    disks host each chunk.
+
+    Network-Cp rows live at the same pool position across the stripe's rack
+    group; network-Dp rows live in ``k_n+p_n`` distinct random racks (pool
+    position random within each rack).  Rows then place their chunks with
+    the scheme's local placement inside the chosen pool.
+    """
+
+    def __init__(self, scheme: MLECScheme, seed: int = 0) -> None:
+        self.scheme = scheme
+        self.topo = DatacenterTopology(scheme.dc)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _pool_disks(self, rack: int, position: int) -> np.ndarray:
+        """Disk ids of the local pool at ``position`` in ``rack``."""
+        s = self.scheme
+        per_enc = s.local_pools_per_enclosure
+        enclosure = position // per_enc
+        within = position % per_enc
+        enc_disks = self.topo.enclosure_disk_ids(rack, enclosure)
+        if s.local_placement is Placement.CLUSTERED:
+            lo = within * s.params.n_l
+            return enc_disks[lo : lo + s.params.n_l]
+        return enc_disks
+
+    def _rng_children(self, stripe_id: int) -> list[np.random.Generator]:
+        """Independent generators for the pool draw and each row's chunks.
+
+        A single SeedSequence is spawned per stripe: child 0 drives the
+        network-level pool selection, child ``1+row`` each row's local
+        chunk placement.  (Naive tuple seeds like ``(seed, id)`` vs
+        ``(seed, id, 0)`` collide -- trailing zeros do not change a
+        SeedSequence -- which would correlate rack choice with row-0 chunk
+        placement.)
+        """
+        s = self.scheme
+        children = np.random.SeedSequence((self.seed, stripe_id)).spawn(
+            1 + s.params.n_n
+        )
+        return [np.random.default_rng(c) for c in children]
+
+    def stripe_pools(self, stripe_id: int) -> list[tuple[int, int]]:
+        """(rack, pool-position) of each of the stripe's local stripes."""
+        s = self.scheme
+        rng = self._rng_children(stripe_id)[0]
+        n_rows = s.params.n_n
+        if s.network_placement is Placement.CLUSTERED:
+            group = int(rng.integers(s.network_groups))
+            position = int(rng.integers(s.local_pools_per_rack))
+            racks = np.arange(group * n_rows, (group + 1) * n_rows)
+            return [(int(r), position) for r in racks]
+        racks = rng.choice(s.dc.racks, size=n_rows, replace=False)
+        positions = rng.integers(s.local_pools_per_rack, size=n_rows)
+        return [(int(r), int(q)) for r, q in zip(racks, positions)]
+
+    def stripe_grid(self, stripe_id: int) -> np.ndarray:
+        """Disk ids of every chunk: shape ``(k_n+p_n, k_l+p_l)``.
+
+        Invariants (asserted by the test suite): chunks of one row share an
+        enclosure but never a disk; rows of one stripe never share a rack.
+        """
+        s = self.scheme
+        rngs = self._rng_children(stripe_id)
+        grid = np.empty((s.params.n_n, s.params.n_l), dtype=np.int64)
+        for row, (rack, position) in enumerate(self.stripe_pools(stripe_id)):
+            pool = self._pool_disks(rack, position)
+            if s.local_placement is Placement.CLUSTERED:
+                grid[row] = pool
+            else:
+                rng = rngs[1 + row]
+                idx = rng.choice(len(pool), size=s.params.n_l, replace=False)
+                grid[row] = pool[idx]
+        return grid

@@ -1,0 +1,84 @@
+"""Bandwidth model: reproduces the paper's Table 2 exactly."""
+
+import pytest
+
+from repro.core.config import PAPER_MLEC, BandwidthConfig
+from repro.core.scheme import mlec_scheme_from_name
+from repro.repair.bandwidth import BandwidthModel, RateBreakdown
+
+MB = 1e6
+
+
+def model(name):
+    return BandwidthModel(mlec_scheme_from_name(name, PAPER_MLEC))
+
+
+class TestTable2SingleDisk:
+    def test_clustered_40_mbps_write_bound(self):
+        for name in ("C/C", "D/C"):
+            rate = model(name).single_disk_repair_rate()
+            assert rate.rate == pytest.approx(40 * MB)
+            assert rate.bottleneck == "write"
+
+    def test_declustered_264_mbps(self):
+        for name in ("C/D", "D/D"):
+            rate = model(name).single_disk_repair_rate()
+            assert rate.rate == pytest.approx(119 * 40 * MB / 18)
+            assert rate.rate == pytest.approx(264 * MB, rel=0.01)
+
+    def test_repair_times_figure6a(self):
+        """Figure 6a: ~139h for */c, ~21h for */d, +30min detection."""
+        t_c = model("C/C").single_disk_repair_time(detection_time=1800)
+        t_d = model("C/D").single_disk_repair_time(detection_time=1800)
+        assert t_c / 3600 == pytest.approx(139.4, rel=0.01)
+        assert t_d / 3600 == pytest.approx(21.5, rel=0.02)
+        assert t_c / t_d == pytest.approx(6.5, rel=0.05)  # "6x faster"
+
+
+class TestTable2NetworkRepair:
+    def test_network_clustered_250_mbps_ingress_bound(self):
+        for name in ("C/C", "C/D"):
+            rate = model(name).network_repair_rate()
+            assert rate.rate == pytest.approx(250 * MB)
+            assert rate.bottleneck == "write"
+
+    def test_network_declustered_1363_mbps(self):
+        for name in ("D/C", "D/D"):
+            rate = model(name).network_repair_rate()
+            assert rate.rate == pytest.approx(60 * 250 * MB / 11)
+            assert rate.rate == pytest.approx(1363 * MB, rel=0.01)
+
+
+class TestLocalStage:
+    def test_requires_outstanding_work(self):
+        with pytest.raises(ValueError):
+            model("C/C").local_stage_rate(failed_disks=4, rebuilt_disks=4)
+
+    def test_clustered_stage_uses_remaining_disks(self):
+        # R_MIN on C/C: 4 failed, 1 restored by the network -> 3 spares
+        # writing in parallel, 17 survivors reading.
+        rate = model("C/C").local_stage_rate(failed_disks=4, rebuilt_disks=1)
+        read_limit = 17 * 40 * MB * 3 / 17
+        assert rate.rate == pytest.approx(min(read_limit, 3 * 40 * MB))
+
+    def test_declustered_stage_single_failure_amplification(self):
+        rate = model("C/D").local_stage_rate(failed_disks=4, rebuilt_disks=0)
+        assert rate.rate == pytest.approx(116 * 40 * MB / 18)
+
+
+class TestRateBreakdown:
+    def test_bottleneck_selection(self):
+        rb = RateBreakdown.from_constraints(read=10.0, write=5.0, network=float("inf"))
+        assert rb.rate == 5.0
+        assert rb.bottleneck == "write"
+        assert rb.constraints["network"] == float("inf")
+
+    def test_all_infinite_rejected(self):
+        with pytest.raises(ValueError):
+            RateBreakdown.from_constraints(read=float("inf"))
+
+    def test_custom_bandwidth_config_scales(self):
+        bw = BandwidthConfig(disk_bandwidth=400 * MB)  # 2x disks
+        scheme = mlec_scheme_from_name("C/C", PAPER_MLEC)
+        rate = BandwidthModel(scheme, bw).single_disk_repair_rate()
+        assert rate.rate == pytest.approx(80 * MB)

@@ -1,0 +1,92 @@
+"""Configuration objects: validation and the paper's §3 setup."""
+
+import math
+
+import pytest
+
+from repro.core.config import (
+    PAPER_MLEC,
+    YEAR,
+    BandwidthConfig,
+    DatacenterConfig,
+    FailureConfig,
+    LRCParams,
+    MLECParams,
+    SLECParams,
+    paper_setup,
+)
+
+
+class TestDatacenterConfig:
+    def test_paper_defaults(self):
+        dc = DatacenterConfig()
+        assert dc.total_disks == 57_600
+        assert dc.disks_per_rack == 960
+        assert dc.total_capacity_bytes == 57_600 * 20e12
+        assert dc.chunks_per_disk == 20 * 10**12 // (128 * 1024)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatacenterConfig(racks=0)
+        with pytest.raises(ValueError):
+            DatacenterConfig(chunk_size_bytes=0)
+
+
+class TestBandwidthConfig:
+    def test_paper_repair_caps(self):
+        bw = BandwidthConfig()
+        assert bw.disk_repair_bandwidth == pytest.approx(40e6)
+        assert bw.rack_repair_bandwidth == pytest.approx(250e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthConfig(repair_fraction=0.0)
+        with pytest.raises(ValueError):
+            BandwidthConfig(disk_bandwidth=-1)
+
+
+class TestFailureConfig:
+    def test_rate_conversion_matches_afr(self):
+        fc = FailureConfig(annual_failure_rate=0.01)
+        p_year = 1 - math.exp(-fc.failure_rate_per_second * YEAR)
+        assert p_year == pytest.approx(0.01)
+
+    def test_paper_detection_time(self):
+        assert FailureConfig().detection_time == 1800.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureConfig(annual_failure_rate=0.0)
+        with pytest.raises(ValueError):
+            FailureConfig(detection_time=-1)
+
+
+class TestCodeParams:
+    def test_paper_mlec_overheads(self):
+        """(10+2)/(17+3): parity is 29.2% of raw capacity (paper's ~30%)."""
+        assert PAPER_MLEC.parity_fraction == pytest.approx(1 - 170 / 240)
+        assert PAPER_MLEC.n_n == 12 and PAPER_MLEC.n_l == 20
+
+    def test_slec_params(self):
+        p = SLECParams(7, 3)
+        assert p.n == 10
+        assert p.parity_fraction == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            SLECParams(0, 1)
+
+    def test_lrc_params(self):
+        p = LRCParams(14, 2, 4)
+        assert p.n == 20 and p.group_size == 7
+        assert p.parity_fraction == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            LRCParams(15, 2, 4)
+
+    def test_mlec_validation(self):
+        with pytest.raises(ValueError):
+            MLECParams(0, 1, 5, 1)
+
+    def test_paper_setup_bundle(self):
+        dc, bw, fc = paper_setup()
+        assert dc.total_disks == 57_600
+        assert bw.repair_fraction == 0.2
+        assert fc.annual_failure_rate == 0.01

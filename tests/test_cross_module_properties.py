@@ -1,0 +1,99 @@
+"""Cross-module property tests: invariants that must hold for *any* code.
+
+These fuzz the MLEC parameter space (not just the paper's configuration)
+and assert structural laws that tie the independent models together.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.durability import mlec_durability_nines
+from repro.core.config import DatacenterConfig, MLECParams
+from repro.core.scheme import MLECScheme
+from repro.core.tolerance import mlec_tolerance
+from repro.core.types import Placement, RepairMethod
+from repro.repair.methods import CatastrophicRepairModel
+
+# A small flexible datacenter that fits most parameter combinations:
+# declustered at both levels avoids divisibility constraints.
+DC = DatacenterConfig(
+    racks=30, enclosures_per_rack=4, disks_per_enclosure=60,
+    disk_capacity_bytes=4 * 10**12, chunk_size_bytes=128 * 1024,
+)
+
+mlec_params = st.builds(
+    MLECParams,
+    k_n=st.integers(min_value=2, max_value=12),
+    p_n=st.integers(min_value=1, max_value=3),
+    k_l=st.integers(min_value=2, max_value=20),
+    p_l=st.integers(min_value=1, max_value=4),
+)
+
+
+def _dd_scheme(params):
+    return MLECScheme(params, Placement.DECLUSTERED, Placement.DECLUSTERED, DC)
+
+
+class TestTrafficInvariants:
+    @given(params=mlec_params)
+    @settings(max_examples=40, deadline=None)
+    def test_method_ordering_universal(self, params):
+        """R_ALL >= R_FCO >= R_HYB >= R_MIN for every legal code."""
+        if params.n_n > DC.racks or params.n_l > DC.disks_per_enclosure:
+            return
+        model = CatastrophicRepairModel(_dd_scheme(params))
+        traffic = [
+            model.cross_rack_traffic_bytes(m)
+            for m in (RepairMethod.R_ALL, RepairMethod.R_FCO,
+                      RepairMethod.R_HYB, RepairMethod.R_MIN)
+        ]
+        assert traffic == sorted(traffic, reverse=True)
+        assert traffic[-1] > 0
+
+    @given(params=mlec_params)
+    @settings(max_examples=40, deadline=None)
+    def test_chunk_conservation_universal(self, params):
+        """Network + local chunks always equal the failed chunks."""
+        if params.n_n > DC.racks or params.n_l > DC.disks_per_enclosure:
+            return
+        model = CatastrophicRepairModel(_dd_scheme(params))
+        failed = model.damage.failed_chunks_total()
+        for method in (RepairMethod.R_FCO, RepairMethod.R_HYB, RepairMethod.R_MIN):
+            total = (
+                model.damage.network_repair_chunks(method)
+                + model.damage.local_repair_chunks(method)
+            )
+            assert total == pytest.approx(failed, rel=1e-9)
+
+
+class TestToleranceInvariants:
+    @given(params=mlec_params)
+    @settings(max_examples=40, deadline=None)
+    def test_tolerance_scales_with_parities(self, params):
+        if params.n_n > DC.racks or params.n_l > DC.disks_per_enclosure:
+            return
+        report = mlec_tolerance(_dd_scheme(params))
+        assert report.arbitrary_disks == (params.p_n + 1) * (params.p_l + 1) - 1
+        assert report.rack_failures == params.p_n
+        # A guarantee never exceeds the adversarial bound.
+        assert report.disks_per_rack_scatter < report.arbitrary_disks
+
+
+class TestDurabilityInvariants:
+    @pytest.mark.parametrize("p_l", [1, 2, 3])
+    def test_more_local_parity_more_nines(self, p_l):
+        base = MLECParams(6, 2, 10, p_l)
+        better = MLECParams(6, 2, 10, p_l + 1)
+        low = mlec_durability_nines(_dd_scheme(base), RepairMethod.R_MIN)
+        high = mlec_durability_nines(_dd_scheme(better), RepairMethod.R_MIN)
+        assert high > low
+
+    def test_more_network_parity_more_nines(self):
+        low = mlec_durability_nines(
+            _dd_scheme(MLECParams(6, 1, 10, 2)), RepairMethod.R_MIN
+        )
+        high = mlec_durability_nines(
+            _dd_scheme(MLECParams(6, 2, 10, 2)), RepairMethod.R_MIN
+        )
+        assert high > low

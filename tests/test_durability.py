@@ -1,0 +1,119 @@
+"""Durability models: Figure 10 findings, SLEC/LRC comparisons."""
+
+import pytest
+
+from repro.analysis.durability import (
+    lrc_durability_nines,
+    mlec_durability_nines,
+    slec_durability_nines,
+)
+from repro.core.config import (
+    PAPER_MLEC,
+    FailureConfig,
+    LRCParams,
+    SLECParams,
+)
+from repro.core.scheme import LRCScheme, SLECScheme, mlec_scheme_from_name
+from repro.core.types import Level, Placement, RepairMethod
+
+SCHEMES = ("C/C", "C/D", "D/C", "D/D")
+METHODS = (RepairMethod.R_ALL, RepairMethod.R_FCO,
+           RepairMethod.R_HYB, RepairMethod.R_MIN)
+
+
+def nines(name, method):
+    return mlec_durability_nines(mlec_scheme_from_name(name, PAPER_MLEC), method)
+
+
+class TestFigure10:
+    def test_methods_monotonically_improve(self):
+        """R_ALL <= R_FCO <= R_HYB <= R_MIN for every scheme."""
+        for name in SCHEMES:
+            values = [nines(name, m) for m in METHODS]
+            assert values == sorted(values), name
+
+    def test_finding1_rfco_gain_band(self):
+        """R_FCO adds roughly 0.9-6.6 nines over R_ALL (paper band, with
+        slack for the model substitution)."""
+        for name in SCHEMES:
+            gain = nines(name, RepairMethod.R_FCO) - nines(name, RepairMethod.R_ALL)
+            assert 0.5 < gain < 9.0, (name, gain)
+
+    def test_finding1_largest_rfco_gain_on_dd(self):
+        gains = {
+            name: nines(name, RepairMethod.R_FCO) - nines(name, RepairMethod.R_ALL)
+            for name in SCHEMES
+        }
+        assert max(gains, key=gains.get) == "D/D"
+
+    def test_finding3_rmin_helps_cc_most(self):
+        gains = {
+            name: nines(name, RepairMethod.R_MIN) - nines(name, RepairMethod.R_HYB)
+            for name in SCHEMES
+        }
+        assert max(gains, key=gains.get) in ("C/C", "D/C")  # clustered locals
+        assert gains["C/D"] < 0.5 and gains["D/D"] < 0.5  # detection-bound
+
+    def test_finding4_best_and_worst_schemes(self):
+        """After optimization C/D and D/D lead; D/C is the worst."""
+        optimized = {name: nines(name, RepairMethod.R_MIN) for name in SCHEMES}
+        ranked = sorted(optimized, key=optimized.get)
+        assert ranked[0] == "D/C"
+        assert set(ranked[-2:]) == {"C/D", "D/D"}
+
+    def test_absolute_range_plausible(self):
+        """All scheme/method combos land in the paper's 10-40 nine region."""
+        for name in SCHEMES:
+            for m in METHODS:
+                v = nines(name, m)
+                assert 10 < v < 45, (name, m, v)
+
+
+class TestDetectionTimeSensitivity:
+    def test_faster_detection_helps_detection_bound_schemes(self):
+        """§5.2.2: with 1-minute detection the Dp-local schemes gain."""
+        s = mlec_scheme_from_name("C/D", PAPER_MLEC)
+        slow = mlec_durability_nines(s, RepairMethod.R_MIN)
+        fast = mlec_durability_nines(
+            s, RepairMethod.R_MIN,
+            failures=FailureConfig(detection_time=60.0),
+        )
+        assert fast > slow + 1.0
+
+
+class TestSLECDurability:
+    def _nines(self, level, placement, k=7, p=3):
+        return slec_durability_nines(SLECScheme(SLECParams(k, p), level, placement))
+
+    def test_more_parity_more_nines(self):
+        low = self._nines(Level.LOCAL, Placement.CLUSTERED, 8, 2)
+        high = self._nines(Level.LOCAL, Placement.CLUSTERED, 7, 3)
+        assert high > low
+
+    def test_local_dp_beats_local_cp_under_independent_failures(self):
+        """Declustered repair speed (priority reconstruction) wins."""
+        assert self._nines(Level.LOCAL, Placement.DECLUSTERED) > self._nines(
+            Level.LOCAL, Placement.CLUSTERED
+        )
+
+    def test_all_positive_and_finite(self):
+        for level in Level:
+            for placement in Placement:
+                v = self._nines(level, placement)
+                assert 0 < v < 100
+
+
+class TestLRCDurability:
+    def test_more_globals_more_nines(self):
+        low = lrc_durability_nines(LRCScheme(LRCParams(12, 2, 2)))
+        high = lrc_durability_nines(LRCScheme(LRCParams(14, 2, 4)))
+        assert high > low + 3
+
+    def test_mlec_cd_beats_comparable_lrc(self):
+        """§5.2.2 Finding 1: (10+2)/(17+3) C/D with R_MIN out-lasts the
+        throughput-matched (14,2,4) LRC-Dp."""
+        mlec = mlec_durability_nines(
+            mlec_scheme_from_name("C/D", PAPER_MLEC), RepairMethod.R_MIN
+        )
+        lrc = lrc_durability_nines(LRCScheme(LRCParams(14, 2, 4)))
+        assert mlec > lrc + 5

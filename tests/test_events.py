@@ -1,0 +1,64 @@
+"""Event queue: ordering, determinism, cancellation."""
+
+import pytest
+
+from repro.sim.events import EventQueue, EventType
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(5.0, EventType.DISK_FAILURE, "b")
+        q.push(1.0, EventType.DISK_FAILURE, "a")
+        q.push(3.0, EventType.DISK_FAILURE, "c")
+        order = [q.pop().payload for _ in range(3)]
+        assert order == ["a", "c", "b"]
+
+    def test_fifo_at_equal_time(self):
+        q = EventQueue()
+        for name in "abc":
+            q.push(2.0, EventType.DISK_FAILURE, name)
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.push(4.0, EventType.DISK_FAILURE)
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 4.0
+
+    def test_no_scheduling_into_the_past(self):
+        q = EventQueue()
+        q.push(4.0, EventType.DISK_FAILURE)
+        q.pop()
+        with pytest.raises(ValueError):
+            q.push(1.0, EventType.DISK_FAILURE)
+
+    def test_cancellation(self):
+        q = EventQueue()
+        keep = q.push(1.0, EventType.DISK_FAILURE, "keep")
+        kill = q.push(2.0, EventType.DISK_FAILURE, "kill")
+        q.cancel(kill)
+        assert len(q) == 1
+        assert q.pop().payload == "keep"
+        assert q.pop() is None
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        h = q.push(1.0, EventType.DISK_FAILURE)
+        q.cancel(h)
+        q.cancel(h)
+        assert q.pop() is None
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        h = q.push(1.0, EventType.DISK_FAILURE)
+        q.push(2.0, EventType.REPAIR_COMPLETE)
+        q.cancel(h)
+        assert q.peek_time() == 2.0
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert len(q) == 0

@@ -1,0 +1,62 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "decode OK" in out
+        assert "user data intact: True" in out
+        assert "RMIN" in out
+
+    def test_burst_tolerance_study(self):
+        out = run_example("burst_tolerance_study.py", "--trials", "5")
+        assert "--- C/C ---" in out and "--- D/D ---" in out
+        assert "PDL(60,3)" in out
+
+    def test_capacity_planning(self):
+        out = run_example("capacity_planning.py", "--target-nines", "20")
+        assert "Pareto frontier" in out
+        assert "fastest option" in out
+
+    def test_repair_planning(self):
+        out = run_example("repair_planning.py")
+        assert "x-rack TB" in out
+        assert "affected stripes" in out
+
+    def test_trace_driven_simulation(self):
+        out = run_example("trace_driven_simulation.py", "--months", "2")
+        assert "Full-system replay" in out
+        assert "synthetic trace" in out
+
+    def test_failure_tolerance_audit(self):
+        out = run_example("failure_tolerance_audit.py")
+        assert "Guaranteed failure tolerance" in out
+        assert "PDL = 0" in out
+
+
+@pytest.mark.parametrize("name", [p.name for p in sorted(EXAMPLES.glob("*.py"))])
+def test_every_example_has_docstring_and_main(name):
+    """Shipped examples follow the house format: docstring + main()."""
+    text = (EXAMPLES / name).read_text()
+    assert text.startswith("#!/usr/bin/env python\n\"\"\""), name
+    assert "def main()" in text, name
+    assert '__name__ == "__main__"' in text, name

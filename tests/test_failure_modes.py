@@ -1,0 +1,157 @@
+"""Table-1 taxonomy and LocalPoolDamage accounting (Figure 8 anchors)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.failure_modes import (
+    LocalPoolDamage,
+    NetworkStripeState,
+    StripeState,
+    classify_network_stripe,
+    classify_stripe,
+)
+from repro.core.types import RepairMethod
+
+PAPER_CHUNKS_PER_DISK = 20 * 10**12 // (128 * 1024)
+
+
+def cp_damage(failed=4):
+    return LocalPoolDamage(
+        pool_disks=20, failed_disks=failed, k_l=17, p_l=3,
+        chunks_per_disk=PAPER_CHUNKS_PER_DISK,
+    )
+
+
+def dp_damage(failed=4):
+    return LocalPoolDamage(
+        pool_disks=120, failed_disks=failed, k_l=17, p_l=3,
+        chunks_per_disk=PAPER_CHUNKS_PER_DISK,
+    )
+
+
+class TestClassification:
+    def test_stripe_states(self):
+        assert classify_stripe(0, 3) is StripeState.HEALTHY
+        assert classify_stripe(1, 3) is StripeState.LOCALLY_RECOVERABLE
+        assert classify_stripe(3, 3) is StripeState.LOCALLY_RECOVERABLE
+        assert classify_stripe(4, 3) is StripeState.LOST
+
+    def test_network_stripe_states(self):
+        assert classify_network_stripe(0, 2) is NetworkStripeState.HEALTHY
+        assert classify_network_stripe(2, 2) is NetworkStripeState.RECOVERABLE
+        assert classify_network_stripe(3, 2) is NetworkStripeState.LOST
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            classify_stripe(-1, 3)
+        with pytest.raises(ValueError):
+            classify_network_stripe(-1, 2)
+
+
+class TestCatastropheCondition:
+    def test_paper_example(self):
+        """(10+2)/(17+3): 4 failures in a pool are locally unrecoverable."""
+        assert not cp_damage(3).is_catastrophic
+        assert cp_damage(4).is_catastrophic
+        assert not dp_damage(3).is_catastrophic
+        assert dp_damage(4).is_catastrophic
+
+
+class TestDamageDistribution:
+    def test_clustered_point_mass(self):
+        pmf = cp_damage(4).stripe_damage_pmf()
+        assert pmf[4] == 1.0
+        assert pmf[:4].sum() == 0.0
+
+    def test_declustered_hypergeometric_sums_to_one(self):
+        pmf = dp_damage(4).stripe_damage_pmf()
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_declustered_lost_probability_anchor(self):
+        """P[stripe lost | 4 failed of 120] = C(20,4)-style ~5.9e-4."""
+        q = dp_damage(4).lost_stripe_probability()
+        expected = (20 * 19 * 18 * 17) / (120 * 119 * 118 * 117)
+        assert q == pytest.approx(expected, rel=1e-9)
+
+    def test_clustered_all_stripes_lost(self):
+        assert cp_damage(4).lost_stripe_probability() == 1.0
+
+    @given(failed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=11, deadline=None)
+    def test_monotonic_in_failures(self, failed):
+        if failed == 0:
+            return
+        a = dp_damage(failed).lost_stripe_probability() if failed > 3 else 0
+        b = (
+            dp_damage(failed - 1).lost_stripe_probability()
+            if failed - 1 > 3
+            else 0
+        )
+        assert a >= b
+
+
+class TestRepairChunkAccounting:
+    def test_rall_rebuilds_whole_pool(self):
+        d = cp_damage(4)
+        assert d.network_repair_chunks(RepairMethod.R_ALL) == 20 * PAPER_CHUNKS_PER_DISK
+        assert d.local_repair_chunks(RepairMethod.R_ALL) == 0.0
+
+    def test_rfco_rebuilds_failed_chunks(self):
+        d = dp_damage(4)
+        assert d.network_repair_chunks(RepairMethod.R_FCO) == 4 * PAPER_CHUNKS_PER_DISK
+
+    def test_rhyb_figure8_anchor(self):
+        """Paper Figure 8: R_HYB on */d moves ~3.1 TB cross-rack, i.e. the
+        rebuilt bytes are ~0.28 TB = lost-stripe chunks only."""
+        d = dp_damage(4)
+        rebuilt_bytes = d.network_repair_chunks(RepairMethod.R_HYB) * 128 * 1024
+        assert rebuilt_bytes == pytest.approx(0.283e12, rel=0.02)
+
+    def test_rmin_quarter_of_rhyb_for_pure_quadruple_stripes(self):
+        """With simultaneous 4-disk failures every lost stripe has exactly
+        4 failed chunks; R_MIN ships 1 of the 4 -> exactly 4x reduction."""
+        d = dp_damage(4)
+        rhyb = d.network_repair_chunks(RepairMethod.R_HYB)
+        rmin = d.network_repair_chunks(RepairMethod.R_MIN)
+        assert rhyb / rmin == pytest.approx(4.0, rel=1e-9)
+
+    def test_network_plus_local_covers_failed_chunks(self):
+        for d in (cp_damage(4), dp_damage(4), dp_damage(6)):
+            for method in (RepairMethod.R_FCO, RepairMethod.R_HYB, RepairMethod.R_MIN):
+                total = d.network_repair_chunks(method) + d.local_repair_chunks(method)
+                assert total == pytest.approx(d.failed_chunks_total(), rel=1e-9)
+
+    def test_method_ordering(self):
+        """R_ALL >= R_FCO >= R_HYB >= R_MIN in network chunks."""
+        for d in (cp_damage(4), dp_damage(4), dp_damage(7)):
+            chunks = [
+                d.network_repair_chunks(m)
+                for m in (RepairMethod.R_ALL, RepairMethod.R_FCO,
+                          RepairMethod.R_HYB, RepairMethod.R_MIN)
+            ]
+            assert chunks == sorted(chunks, reverse=True)
+
+
+class TestSampling:
+    def test_clustered_sampling_exact(self):
+        d = cp_damage(4)
+        rng = np.random.default_rng(0)
+        sample = d.sample_stripe_damage(rng, n_stripes=100)
+        assert np.all(sample == 4)
+
+    def test_declustered_sampling_matches_pmf(self):
+        d = dp_damage(4)
+        rng = np.random.default_rng(1)
+        sample = d.sample_stripe_damage(rng, n_stripes=200_000)
+        # Mean failed chunks per stripe: 4 * 20/120.
+        assert sample.mean() == pytest.approx(4 * 20 / 120, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalPoolDamage(pool_disks=10, failed_disks=1, k_l=17, p_l=3,
+                            chunks_per_disk=10)
+        with pytest.raises(ValueError):
+            LocalPoolDamage(pool_disks=20, failed_disks=25, k_l=17, p_l=3,
+                            chunks_per_disk=10)

@@ -1,0 +1,108 @@
+"""Failure models: statistical sanity and trace replay."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import YEAR
+from repro.sim.failures import (
+    BathtubFailures,
+    ExponentialFailures,
+    TraceFailures,
+    WeibullFailures,
+)
+
+
+def _sample(model, n, seed=0, since=0.0):
+    rng = np.random.default_rng(seed)
+    return np.array([model.time_to_failure(rng, i, since) for i in range(n)])
+
+
+class TestExponential:
+    def test_mean_matches_rate(self):
+        model = ExponentialFailures(0.1)
+        times = _sample(model, 4000)
+        expected_mean = 1.0 / model.rate
+        assert times.mean() == pytest.approx(expected_mean, rel=0.1)
+
+    def test_one_year_failure_fraction_is_afr(self):
+        model = ExponentialFailures(0.2)
+        times = _sample(model, 20_000)
+        assert (times <= YEAR).mean() == pytest.approx(0.2, abs=0.01)
+
+    def test_in_service_offset(self):
+        model = ExponentialFailures(0.5)
+        times = _sample(model, 100, since=1000.0)
+        assert np.all(times >= 1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialFailures(0.0)
+        with pytest.raises(ValueError):
+            ExponentialFailures(1.0)
+
+
+class TestWeibull:
+    def test_characteristic_life(self):
+        """63.2% of disks fail by the scale parameter."""
+        model = WeibullFailures(shape=1.5, scale_years=3.0)
+        times = _sample(model, 20_000)
+        frac = (times <= 3.0 * YEAR).mean()
+        assert frac == pytest.approx(1 - math.exp(-1), abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeibullFailures(shape=0.0)
+
+
+class TestBathtub:
+    def test_piecewise_hazard_shape(self):
+        """Early failures are over-represented vs the steady-state rate."""
+        model = BathtubFailures(
+            early_afr=0.10, steady_afr=0.01, wearout_afr=0.10,
+            burn_in_years=0.5, wearout_years=5.0,
+        )
+        times = _sample(model, 40_000) / YEAR
+        # Burn-in: expected fraction ~ 1-exp(-rate*0.5) with high rate.
+        early = (times <= 0.5).mean()
+        expected_early = 1 - (1 - 0.10) ** 0.5
+        assert early == pytest.approx(expected_early, abs=0.01)
+        # Mid-life failures are much rarer per year.
+        mid = ((times > 0.5) & (times <= 1.5)).mean()
+        assert mid < early
+
+    def test_wearout_kicks_in(self):
+        model = BathtubFailures(
+            early_afr=0.01, steady_afr=0.01, wearout_afr=0.5,
+            burn_in_years=0.1, wearout_years=2.0,
+        )
+        times = _sample(model, 20_000) / YEAR
+        year6 = ((times > 2.0) & (times <= 3.0)).mean()
+        year1 = ((times > 0.1) & (times <= 1.1)).mean()
+        assert year6 > year1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BathtubFailures(burn_in_years=5.0, wearout_years=1.0)
+        with pytest.raises(ValueError):
+            BathtubFailures(early_afr=0.0)
+
+
+class TestTraceReplay:
+    def test_replays_in_order(self):
+        model = TraceFailures([(100.0, 7), (50.0, 7), (10.0, 3)])
+        rng = np.random.default_rng(0)
+        assert model.time_to_failure(rng, 3, 0.0) == 10.0
+        assert model.time_to_failure(rng, 7, 0.0) == 50.0
+        assert model.time_to_failure(rng, 7, 50.0) == 100.0
+
+    def test_untraced_disk_never_fails(self):
+        model = TraceFailures([(1.0, 0)])
+        rng = np.random.default_rng(0)
+        assert model.time_to_failure(rng, 99, 0.0) == math.inf
+
+    def test_exhausted_disk_never_fails_again(self):
+        model = TraceFailures([(5.0, 1)])
+        rng = np.random.default_rng(0)
+        assert model.time_to_failure(rng, 1, 6.0) == math.inf

@@ -1,0 +1,214 @@
+"""Field axioms and matrix algebra over GF(2^8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import gf256
+from repro.codes.gf256 import (
+    EXP_TABLE,
+    INV_TABLE,
+    LOG_TABLE,
+    MUL_TABLE,
+    cauchy_matrix,
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mat_inv,
+    gf_mat_rank,
+    gf_matmul,
+    gf_mul,
+    gf_poly_eval,
+    gf_pow,
+    gf_solve,
+    rs_generator_matrix,
+    vandermonde_matrix,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestTables:
+    def test_exp_log_inverse_bijection(self):
+        # exp(log(a)) == a for all non-zero a.
+        a = np.arange(1, 256)
+        assert np.array_equal(EXP_TABLE[LOG_TABLE[a]], a.astype(np.uint8))
+
+    def test_exp_table_periodicity(self):
+        assert np.array_equal(EXP_TABLE[:255], EXP_TABLE[255:510])
+
+    def test_inv_table_against_mul(self):
+        a = np.arange(1, 256)
+        assert np.all(MUL_TABLE[a, INV_TABLE[a]] == 1)
+
+    def test_mul_table_symmetric(self):
+        assert np.array_equal(MUL_TABLE, MUL_TABLE.T)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_commutative(self, a, b):
+        assert gf_add(np.uint8(a), np.uint8(b)) == gf_add(np.uint8(b), np.uint8(a))
+
+    @given(elements)
+    def test_addition_self_inverse(self, a):
+        assert gf_add(np.uint8(a), np.uint8(a)) == 0
+
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        left = gf_mul(gf_mul(np.uint8(a), np.uint8(b)), np.uint8(c))
+        right = gf_mul(np.uint8(a), gf_mul(np.uint8(b), np.uint8(c)))
+        assert left == right
+
+    @given(elements, elements, elements)
+    def test_distributivity(self, a, b, c):
+        left = gf_mul(np.uint8(a), gf_add(np.uint8(b), np.uint8(c)))
+        right = gf_add(
+            gf_mul(np.uint8(a), np.uint8(b)), gf_mul(np.uint8(a), np.uint8(c))
+        )
+        assert left == right
+
+    @given(nonzero)
+    def test_multiplicative_inverse(self, a):
+        assert gf_mul(np.uint8(a), gf_inv(np.uint8(a))) == 1
+
+    @given(elements, nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        prod = gf_mul(np.uint8(a), np.uint8(b))
+        assert gf_div(prod, np.uint8(b)) == a
+
+    @given(elements)
+    def test_multiplication_by_zero(self, a):
+        assert gf_mul(np.uint8(a), np.uint8(0)) == 0
+
+    @given(elements)
+    def test_multiplication_identity(self, a):
+        assert gf_mul(np.uint8(a), np.uint8(1)) == a
+
+
+class TestScalarOps:
+    def test_inv_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(np.uint8(0))
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(np.uint8(5), np.uint8(0))
+
+    @given(nonzero, st.integers(min_value=0, max_value=300))
+    def test_pow_matches_repeated_multiplication(self, a, n):
+        expected = np.uint8(1)
+        for _ in range(n % 16):  # bound the loop; use reduced exponent
+            expected = gf_mul(expected, np.uint8(a))
+        assert gf_pow(np.uint8(a), n % 16) == expected
+
+    def test_pow_zero_base(self):
+        assert gf_pow(np.uint8(0), 0) == 1
+        assert gf_pow(np.uint8(0), 5) == 0
+
+    def test_pow_negative_raises(self):
+        with pytest.raises(ValueError):
+            gf_pow(np.uint8(2), -1)
+
+    def test_poly_eval_horner(self):
+        # p(x) = 3x^2 + x + 7 at x = 2 computed by explicit field ops.
+        x = np.uint8(2)
+        expected = gf_add(
+            gf_add(gf_mul(np.uint8(3), gf_mul(x, x)), x), np.uint8(7)
+        )
+        assert gf_poly_eval(np.array([3, 1, 7], dtype=np.uint8), x) == expected
+
+
+class TestMatrixOps:
+    def test_matmul_identity(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, size=(4, 4), dtype=np.uint8)
+        eye = np.eye(4, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(a, eye), a)
+        assert np.array_equal(gf_matmul(eye, a), a)
+
+    def test_matmul_shape_validation(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_mat_inv_roundtrip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        # Random matrices over GF(256) are invertible w.h.p.; retry a few.
+        for _ in range(10):
+            m = rng.integers(0, 256, size=(n, n), dtype=np.uint8)
+            if gf_mat_rank(m) == n:
+                inv = gf_mat_inv(m)
+                assert np.array_equal(
+                    gf_matmul(m, inv), np.eye(n, dtype=np.uint8)
+                )
+                return
+
+    def test_mat_inv_singular_raises(self):
+        m = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_mat_inv(m)
+
+    def test_rank_of_rectangular(self):
+        m = np.array([[1, 0, 0], [0, 1, 0]], dtype=np.uint8)
+        assert gf_mat_rank(m) == 2
+        m2 = np.vstack([m, gf_add(m[0], m[1])[None, :]])
+        assert gf_mat_rank(m2) == 2
+
+    def test_solve_matches_matmul(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, size=(5, 5), dtype=np.uint8)
+        while gf_mat_rank(a) < 5:
+            a = rng.integers(0, 256, size=(5, 5), dtype=np.uint8)
+        x = rng.integers(0, 256, size=5, dtype=np.uint8)
+        b = gf_matmul(a, x[:, None])[:, 0]
+        assert np.array_equal(gf_solve(a, b), x)
+
+
+class TestCodeMatrices:
+    def test_vandermonde_first_column_ones(self):
+        v = vandermonde_matrix(5, 3)
+        assert np.all(v[:, 0] == 1)
+
+    def test_vandermonde_validation(self):
+        with pytest.raises(ValueError):
+            vandermonde_matrix(0, 3)
+        with pytest.raises(ValueError):
+            vandermonde_matrix(256, 3)
+
+    def test_cauchy_every_square_submatrix_invertible(self):
+        c = cauchy_matrix(3, 5)
+        # All 2x2 minors must be non-singular -- the MDS-enabling property.
+        from itertools import combinations
+
+        for rows in combinations(range(3), 2):
+            for cols in combinations(range(5), 2):
+                sub = c[np.ix_(rows, cols)]
+                assert gf_mat_rank(sub) == 2
+
+    def test_cauchy_size_limit(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix(200, 200)
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_generator_is_mds(self, k, p):
+        """Any k rows of the systematic generator span the data space."""
+        gen = rs_generator_matrix(k, p)
+        rng = np.random.default_rng(k * 31 + p)
+        for _ in range(5):
+            rows = rng.choice(k + p, size=k, replace=False)
+            assert gf_mat_rank(gen[rows]) == k
+
+    def test_generator_systematic_prefix(self):
+        gen = rs_generator_matrix(4, 2)
+        assert np.array_equal(gen[:4], np.eye(4, dtype=np.uint8))
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            rs_generator_matrix(0, 1)
+        with pytest.raises(ValueError):
+            rs_generator_matrix(250, 10)

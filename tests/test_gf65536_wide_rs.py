@@ -1,0 +1,145 @@
+"""GF(2^16) field and wide-stripe Reed-Solomon."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.gf65536 import (
+    cauchy_matrix_16,
+    gf16_inv,
+    gf16_mat_inv,
+    gf16_mat_rank,
+    gf16_matmul,
+    gf16_mul,
+    gf16_pow,
+    rs16_generator_matrix,
+)
+from repro.codes.wide_rs import WideReedSolomon
+
+elements16 = st.integers(min_value=0, max_value=65535)
+nonzero16 = st.integers(min_value=1, max_value=65535)
+
+
+class TestField16:
+    @given(nonzero16)
+    def test_inverse(self, a):
+        assert gf16_mul(np.uint16(a), gf16_inv(np.uint16(a))) == 1
+
+    @given(elements16, elements16, elements16)
+    def test_distributivity(self, a, b, c):
+        a, b, c = np.uint16(a), np.uint16(b), np.uint16(c)
+        left = gf16_mul(a, np.uint16(b ^ c))
+        right = gf16_mul(a, b) ^ gf16_mul(a, c)
+        assert left == right
+
+    @given(elements16)
+    def test_zero_annihilates(self, a):
+        assert gf16_mul(np.uint16(a), np.uint16(0)) == 0
+        assert gf16_mul(np.uint16(0), np.uint16(a)) == 0
+
+    @given(elements16)
+    def test_identity(self, a):
+        assert gf16_mul(np.uint16(a), np.uint16(1)) == a
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf16_inv(np.uint16(0))
+
+    @given(nonzero16, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=40)
+    def test_pow(self, a, n):
+        expected = np.uint16(1)
+        for _ in range(n):
+            expected = gf16_mul(expected, np.uint16(a))
+        assert gf16_pow(np.uint16(a), n) == expected
+
+    def test_matmul_identity(self):
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, 65536, size=(5, 5), dtype=np.uint16)
+        eye = np.eye(5, dtype=np.uint16)
+        assert np.array_equal(gf16_matmul(m, eye), m)
+
+    def test_mat_inv_roundtrip(self):
+        rng = np.random.default_rng(1)
+        m = rng.integers(0, 65536, size=(6, 6), dtype=np.uint16)
+        while gf16_mat_rank(m) < 6:
+            m = rng.integers(0, 65536, size=(6, 6), dtype=np.uint16)
+        assert np.array_equal(
+            gf16_matmul(m, gf16_mat_inv(m)), np.eye(6, dtype=np.uint16)
+        )
+
+    def test_cauchy_minors_invertible(self):
+        from itertools import combinations
+
+        c = cauchy_matrix_16(3, 4)
+        for rows in combinations(range(3), 2):
+            for cols in combinations(range(4), 2):
+                assert gf16_mat_rank(c[np.ix_(rows, cols)]) == 2
+
+    def test_generator_mds_spot_check(self):
+        gen = rs16_generator_matrix(8, 4)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            rows = rng.choice(12, size=8, replace=False)
+            assert gf16_mat_rank(gen[rows]) == 8
+
+
+class TestWideReedSolomon:
+    def test_wider_than_gf256(self):
+        """The point of the 16-bit field: a 320-chunk stripe."""
+        rs = WideReedSolomon(300, 20)
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 65536, size=(300, 32), dtype=np.uint16)
+        stripe = rs.encode(data)
+        assert stripe.shape == (320, 32)
+        erasures = rng.choice(320, size=20, replace=False)
+        corrupted = stripe.copy()
+        corrupted[erasures] = 0
+        assert np.array_equal(rs.decode(corrupted, erasures), stripe)
+
+    @given(
+        k=st.integers(min_value=1, max_value=12),
+        p=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_p_erasures(self, k, p, seed):
+        rs = WideReedSolomon(k, p)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 65536, size=(k, 8), dtype=np.uint16)
+        stripe = rs.encode(data)
+        n_erase = int(rng.integers(0, p + 1))
+        erasures = rng.choice(k + p, size=n_erase, replace=False)
+        corrupted = stripe.copy()
+        corrupted[erasures] = 0
+        assert np.array_equal(rs.decode(corrupted, erasures), stripe)
+
+    def test_byte_payloads_view_as_symbols(self):
+        rs = WideReedSolomon(4, 2)
+        rng = np.random.default_rng(4)
+        data_bytes = rng.integers(0, 256, size=(4, 10), dtype=np.uint8)
+        stripe = rs.encode(data_bytes)
+        assert stripe.shape == (6, 5)  # 10 bytes -> 5 uint16 symbols
+        assert np.array_equal(
+            stripe[:4].view(np.uint8).reshape(4, 10), data_bytes
+        )
+
+    def test_odd_byte_length_rejected(self):
+        rs = WideReedSolomon(4, 2)
+        with pytest.raises(ValueError):
+            rs.encode(np.zeros((4, 9), dtype=np.uint8))
+
+    def test_agreement_with_gf256_tolerance_semantics(self):
+        """Same API contract as the 8-bit codec."""
+        rs = WideReedSolomon(5, 2)
+        assert rs.is_recoverable([0, 6])
+        assert not rs.is_recoverable([0, 1, 2])
+        with pytest.raises(ValueError):
+            rs.is_recoverable([7])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WideReedSolomon(0, 2)
+        with pytest.raises(ValueError):
+            WideReedSolomon(65530, 10)

@@ -1,0 +1,143 @@
+"""Cross-module integration: the fast analyses vs byte-level ground truth.
+
+These tests wire together topology placement, the burst engine's loss
+predicates, and the actual GF(2^8) MLEC codec on a deliberately tiny
+datacenter, so that every layer's claim about "data loss" is checked
+against real bytes at least once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import MLECCodec
+from repro.core.config import DatacenterConfig, MLECParams
+from repro.core.scheme import mlec_scheme_from_name
+from repro.core.types import RepairMethod
+from repro.repair.planner import plan_repair
+from repro.sim.burst import MLECBurstEvaluator
+from repro.topology.datacenter import DatacenterTopology
+from repro.topology.placement import NetworkStripePlacement
+from repro.topology.pools import summarize_mlec_damage
+
+#: A toy datacenter: 6 racks x 2 enclosures x 6 disks = 72 disks, with a
+#: (2+1)/(2+1) MLEC -- the paper's running example (Figure 2/3).
+TINY_DC = DatacenterConfig(
+    racks=6,
+    enclosures_per_rack=2,
+    disks_per_enclosure=6,
+    disk_capacity_bytes=4 * 128 * 1024,  # 4 chunks per disk
+    chunk_size_bytes=128 * 1024,
+)
+TINY_PARAMS = MLECParams(2, 1, 2, 1)
+
+
+@pytest.mark.parametrize("name", ["C/C", "C/D", "D/C", "D/D"])
+class TestBurstPredicateVsCodec:
+    """If the damage summary says 'no catastrophic pool', the byte-level
+    codec must decode every stripe of a sampled placement, and vice versa
+    for guaranteed-loss C/C patterns."""
+
+    def _stripe_survives(self, scheme, grid_disks, failed_set) -> bool:
+        codec = MLECCodec(2, 1, 2, 1)
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, size=(codec.data_chunks, 16), dtype=np.uint8)
+        grid = codec.encode(data)
+        erasures = [
+            (r, c)
+            for r in range(grid_disks.shape[0])
+            for c in range(grid_disks.shape[1])
+            if int(grid_disks[r, c]) in failed_set
+        ]
+        corrupted = grid.copy()
+        for cell in erasures:
+            corrupted[cell] = 0
+        try:
+            out = codec.decode(corrupted, erasures)
+        except ValueError:
+            return False
+        return bool(np.array_equal(out, grid))
+
+    def test_sub_threshold_damage_always_decodable(self, name):
+        scheme = mlec_scheme_from_name(name, TINY_PARAMS, TINY_DC)
+        placement = NetworkStripePlacement(scheme, seed=5)
+        rng = np.random.default_rng(7)
+        for trial in range(10):
+            # One failed disk per rack in 2 racks: at most 1 chunk lost per
+            # row... actually at most p_l per pool; never catastrophic.
+            failed = np.array([
+                int(rng.integers(12)),  # rack 0
+                12 + int(rng.integers(12)),  # rack 1
+            ])
+            damage = summarize_mlec_damage(scheme, failed)
+            assert damage.n_catastrophic == 0
+            for stripe_id in range(5):
+                grid_disks = placement.stripe_grid(stripe_id)
+                assert self._stripe_survives(
+                    scheme, grid_disks, set(failed.tolist())
+                )
+
+    def test_taxonomy_loss_confirmed_by_codec(self, name):
+        """Kill p_n+1 = 2 whole local pools that co-host a stripe: the
+        codec must fail on exactly that stripe."""
+        scheme = mlec_scheme_from_name(name, TINY_PARAMS, TINY_DC)
+        placement = NetworkStripePlacement(scheme, seed=5)
+        grid_disks = placement.stripe_grid(0)
+        # Fail every disk of the first two rows' pools (here: the rows'
+        # own disks are enough to lose both rows).
+        failed = set(int(d) for d in grid_disks[:2].ravel())
+        assert not self._stripe_survives(scheme, grid_disks, failed)
+
+
+class TestRepairModelVsCodecCounts:
+    """The analytic chunk counts match a replayed plan on actual damage."""
+
+    def test_expected_counts_match_plan_on_clustered_pool(self):
+        from repro.core.failure_modes import LocalPoolDamage
+
+        # Scaled-down chunk count: the identity is exact at any scale and
+        # a full 1.5e8-chunk disk would need GBs of per-stripe arrays.
+        damage = LocalPoolDamage(
+            pool_disks=20, failed_disks=4, k_l=17, p_l=3,
+            chunks_per_disk=5000,
+        )
+        # Clustered pools: every stripe has exactly 4 failed chunks.
+        stripes = damage.total_stripes
+        per_stripe = np.full(stripes, 4, dtype=np.int64)
+        for method in RepairMethod:
+            plan = plan_repair(method, per_stripe, p_l=3, stripe_width=20)
+            assert plan.total_network_chunks == pytest.approx(
+                damage.network_repair_chunks(method)
+            )
+            assert plan.total_local_chunks == pytest.approx(
+                damage.local_repair_chunks(method)
+            )
+
+    def test_sampled_declustered_damage_tracks_expectation(self):
+        from repro.core.failure_modes import LocalPoolDamage
+
+        damage = LocalPoolDamage(
+            pool_disks=120, failed_disks=4, k_l=17, p_l=3,
+            chunks_per_disk=1000,  # scaled-down pool for sampling speed
+        )
+        rng = np.random.default_rng(3)
+        sample = damage.sample_stripe_damage(rng)
+        plan = plan_repair(RepairMethod.R_HYB, sample, p_l=3, stripe_width=20)
+        expected = damage.network_repair_chunks(RepairMethod.R_HYB)
+        assert plan.total_network_chunks == pytest.approx(expected, rel=0.25)
+
+
+class TestTopologyBurstConsistency:
+    def test_damage_summary_matches_manual_classification(self):
+        scheme = mlec_scheme_from_name("C/D", MLECParams(10, 2, 17, 3))
+        topo = DatacenterTopology(scheme.dc)
+        # 4 failures in enclosure (0,0), 2 in enclosure (1,0).
+        failed = np.concatenate([
+            topo.enclosure_disk_ids(0, 0)[:4],
+            topo.enclosure_disk_ids(1, 0)[:2],
+        ])
+        damage = summarize_mlec_damage(scheme, failed)
+        assert damage.n_catastrophic == 1
+        assert damage.catastrophic_racks.tolist() == [0]
+        evaluator = MLECBurstEvaluator(scheme)
+        # One catastrophic pool < p_n+1: zero loss probability.
+        assert evaluator.pdl_of_burst(failed) == 0.0

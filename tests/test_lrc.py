@@ -1,0 +1,139 @@
+"""Azure-style LRC: layout, peeling decode, recoverability predicates."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import AzureLRC
+
+
+def _data(k, chunk_len, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(k, chunk_len), dtype=np.uint8)
+
+
+class TestLayout:
+    def test_figure14_layout(self):
+        """The paper's (4, 2, 2) example: 4 data, 2 locals, 2 globals."""
+        lrc = AzureLRC(4, 2, 2)
+        assert lrc.n == 8
+        assert lrc.group_size == 2
+        assert lrc.group_of(0) == 0 and lrc.group_of(1) == 0
+        assert lrc.group_of(2) == 1 and lrc.group_of(3) == 1
+        assert lrc.group_of(4) == 0 and lrc.group_of(5) == 1  # local parities
+        assert lrc.group_of(6) is None and lrc.group_of(7) is None
+        assert lrc.group_members(0) == [0, 1, 4]
+        assert lrc.storage_overhead == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AzureLRC(5, 2, 2)  # k not divisible by l
+        with pytest.raises(ValueError):
+            AzureLRC(0, 1, 1)
+        with pytest.raises(ValueError):
+            AzureLRC(250, 2, 10)
+
+    def test_local_parity_is_group_xor(self):
+        lrc = AzureLRC(6, 2, 2)
+        data = _data(6, 16, 0)
+        stripe = lrc.encode(data)
+        assert np.array_equal(
+            stripe[6], data[0] ^ data[1] ^ data[2]
+        )
+        assert np.array_equal(
+            stripe[7], data[3] ^ data[4] ^ data[5]
+        )
+
+
+class TestDecode:
+    def test_single_failure_local_repair(self):
+        lrc = AzureLRC(4, 2, 2)
+        stripe = lrc.encode(_data(4, 8, 1))
+        corrupted = stripe.copy()
+        corrupted[1] = 0
+        assert np.array_equal(lrc.decode(corrupted, [1]), stripe)
+
+    def test_one_failure_per_group(self):
+        lrc = AzureLRC(4, 2, 2)
+        stripe = lrc.encode(_data(4, 8, 2))
+        corrupted = stripe.copy()
+        corrupted[[0, 3]] = 0
+        assert np.array_equal(lrc.decode(corrupted, [0, 3]), stripe)
+
+    def test_global_decode_needed(self):
+        """Two failures in one group exceed local repair."""
+        lrc = AzureLRC(4, 2, 2)
+        stripe = lrc.encode(_data(4, 8, 3))
+        corrupted = stripe.copy()
+        corrupted[[0, 1]] = 0
+        assert np.array_equal(lrc.decode(corrupted, [0, 1]), stripe)
+
+    def test_unrecoverable_raises(self):
+        lrc = AzureLRC(4, 2, 2)
+        stripe = lrc.encode(_data(4, 8, 4))
+        # Whole group 0 plus both globals: 5 erasures, only 4 redundancy
+        # chunks could ever cover... pattern must fail.
+        bad = [0, 1, 4, 6, 7]
+        assert not lrc.is_recoverable(bad)
+        with pytest.raises(ValueError):
+            lrc.decode(stripe, bad)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_decode_roundtrip_random_recoverable_patterns(self, seed):
+        lrc = AzureLRC(6, 2, 3)
+        stripe = lrc.encode(_data(6, 8, seed))
+        rng = np.random.default_rng(seed)
+        erasures = rng.choice(lrc.n, size=int(rng.integers(0, 5)), replace=False)
+        if lrc.is_recoverable(erasures):
+            corrupted = stripe.copy()
+            corrupted[erasures] = 0
+            assert np.array_equal(lrc.decode(corrupted, erasures), stripe)
+
+
+class TestRecoverabilityPredicates:
+    def test_rank_implies_peeling(self):
+        """The concrete code can never beat the information-theoretic bound."""
+        lrc = AzureLRC(4, 2, 2)
+        for size in range(0, 6):
+            for pattern in itertools.combinations(range(lrc.n), size):
+                if lrc.is_recoverable(pattern):
+                    assert lrc.is_information_theoretically_recoverable(pattern)
+
+    def test_all_r_plus_one_patterns_handled_by_peeling_bound(self):
+        """Peeling bound: every pattern of size <= r+1 passes (MR target)."""
+        lrc = AzureLRC(14, 2, 4)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            size = int(rng.integers(0, lrc.r + 2))  # sizes 0..r+1
+            pattern = rng.choice(lrc.n, size=size, replace=False)
+            assert lrc.is_information_theoretically_recoverable(pattern)
+
+    def test_concentrated_group_pattern_unrecoverable(self):
+        """r+2 failures inside one group defeat any (k,l,r) LRC."""
+        lrc = AzureLRC(14, 2, 4)
+        group0 = lrc.group_members(0)[: lrc.r + 2]
+        assert not lrc.is_information_theoretically_recoverable(group0)
+        assert not lrc.is_recoverable(group0)
+
+
+class TestRepairReads:
+    def test_single_failure_reads_group(self):
+        lrc = AzureLRC(14, 2, 4)
+        assert lrc.repair_reads([0]) == 7  # k/l survivors
+
+    def test_multi_group_failures_sum(self):
+        lrc = AzureLRC(14, 2, 4)
+        assert lrc.repair_reads([0, 7]) == 14  # one local repair per group
+
+    def test_deep_failure_uses_global(self):
+        lrc = AzureLRC(14, 2, 4)
+        # 3 failures in one group: no group has exactly one erasure, so no
+        # peeling happens and the repair falls straight to a global decode.
+        assert lrc.repair_reads([0, 1, 2]) == 14
+
+    def test_no_failures_no_reads(self):
+        assert AzureLRC(4, 2, 2).repair_reads([]) == 0

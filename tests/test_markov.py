@@ -1,0 +1,133 @@
+"""Markov reliability models: closed forms, Figure 7 anchors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import (
+    PoolReliabilityChain,
+    birth_death_mttdl,
+    local_pool_catastrophic_rate,
+    local_pool_reliability_chain,
+    system_catastrophic_probability,
+)
+from repro.core.config import PAPER_MLEC, YEAR
+from repro.core.scheme import mlec_scheme_from_name
+
+
+class TestBirthDeathMTTDL:
+    def test_single_state_exponential(self):
+        """One transient state: MTTDL = 1/lambda exactly."""
+        assert birth_death_mttdl(np.array([2.0]), np.array([0.0])) == pytest.approx(0.5)
+
+    def test_two_state_closed_form(self):
+        """Textbook RAID-1 result: MTTDL = (l1+l2+mu)/(l1*l2)."""
+        l1, l2, mu = 3.0, 2.0, 50.0
+        expected = (l1 + l2 + mu) / (l1 * l2)
+        got = birth_death_mttdl(np.array([l1, l2]), np.array([0.0, mu]))
+        assert got == pytest.approx(expected)
+
+    def test_absorb_fraction_scales_final_rate(self):
+        up = np.array([1.0, 1.0])
+        down = np.array([0.0, 10.0])
+        full = birth_death_mttdl(up, down, absorb_fraction=1.0)
+        half = birth_death_mttdl(up, down, absorb_fraction=0.5)
+        # Halving the absorbing rate roughly doubles the dominant term.
+        assert half > 1.5 * full
+
+    def test_numerical_stability_extreme_ratios(self):
+        """Rates spanning 1e20 must not produce negative times."""
+        up = np.full(4, 1e-16)
+        down = np.array([0.0, 1e-6, 1e-6, 1e-6])
+        mttdl = birth_death_mttdl(up, down)
+        assert mttdl > 0
+        assert math.isfinite(mttdl)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            birth_death_mttdl(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            birth_death_mttdl(np.array([0.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            birth_death_mttdl(np.array([1.0]), np.array([0.0]), absorb_fraction=0.0)
+
+
+class TestPoolChain:
+    def chain(self, name):
+        return local_pool_reliability_chain(
+            mlec_scheme_from_name(name, PAPER_MLEC)
+        )
+
+    def test_class_sizes_clustered(self):
+        ch = self.chain("C/C")
+        s = ch.stripes_in_pool
+        assert ch.class_size(1) == s
+        assert ch.class_size(3) == s
+
+    def test_class_sizes_declustered_hypergeometric(self):
+        ch = self.chain("C/D")
+        ratio = ch.class_size(1) / ch.stripes_in_pool
+        assert ratio == pytest.approx(20 / 120)
+        ratio3 = ch.class_size(3) / ch.stripes_in_pool
+        assert ratio3 == pytest.approx((20 * 19 * 18) / (120 * 119 * 118))
+
+    def test_demote_time_clustered_is_disk_rebuild(self):
+        """Demoting a clustered class = rebuilding one disk (139h + detect)."""
+        ch = self.chain("C/C")
+        assert ch.demote_time(1) == pytest.approx(1800 + 20e12 / 40e6)
+
+    def test_declustered_demotes_accelerate_with_depth(self):
+        ch = self.chain("C/D")
+        assert ch.demote_time(3) < ch.demote_time(2) < ch.demote_time(1)
+
+    def test_absorb_probability_enclosure_pool_saturates(self):
+        """An enclosure-size declustered pool has millions of critical
+        stripes -- the p_l+1-th failure always hits one."""
+        assert self.chain("C/D").absorb_probability() == 1.0
+        assert self.chain("C/C").absorb_probability() == 1.0
+
+
+class TestFigure7:
+    """Probability of catastrophic local failure per year (Figure 7)."""
+
+    def test_clustered_around_1e_minus_5(self):
+        """Paper: 'lower than 0.001%' (1e-5) for C/C and D/C."""
+        for name in ("C/C", "D/C"):
+            p = system_catastrophic_probability(
+                mlec_scheme_from_name(name, PAPER_MLEC)
+            )
+            assert 1e-6 < p < 1e-4
+
+    def test_declustered_around_1e_minus_7(self):
+        """Paper: 'almost 0.00001%' (1e-7) for C/D and D/D."""
+        for name in ("C/D", "D/D"):
+            p = system_catastrophic_probability(
+                mlec_scheme_from_name(name, PAPER_MLEC)
+            )
+            assert 1e-8 < p < 1e-6
+
+    def test_declustered_beats_clustered_by_orders_of_magnitude(self):
+        cp = system_catastrophic_probability(
+            mlec_scheme_from_name("C/C", PAPER_MLEC)
+        )
+        dp = system_catastrophic_probability(
+            mlec_scheme_from_name("C/D", PAPER_MLEC)
+        )
+        assert cp / dp > 50
+
+    def test_rate_scales_with_afr_power_law(self):
+        """Catastrophic rate ~ lambda^(p_l+1) at the low-rate limit."""
+        from repro.core.config import FailureConfig
+
+        s = mlec_scheme_from_name("C/C", PAPER_MLEC)
+        r1 = local_pool_catastrophic_rate(s, failures=FailureConfig(annual_failure_rate=0.01))
+        r2 = local_pool_catastrophic_rate(s, failures=FailureConfig(annual_failure_rate=0.02))
+        # Doubling lambda should multiply the rate by ~2^4 = 16.
+        assert r2 / r1 == pytest.approx(16, rel=0.1)
+
+    def test_lost_fraction_clustered_vs_declustered(self):
+        ch_c = local_pool_reliability_chain(mlec_scheme_from_name("C/C", PAPER_MLEC))
+        ch_d = local_pool_reliability_chain(mlec_scheme_from_name("C/D", PAPER_MLEC))
+        assert ch_c.lost_stripe_fraction() == pytest.approx(0.5)
+        assert ch_d.lost_stripe_fraction() < 1e-3

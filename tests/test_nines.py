@@ -1,0 +1,68 @@
+"""Durability unit conversions."""
+
+import math
+
+import pytest
+
+from repro.analysis.nines import (
+    MAX_NINES,
+    mttdl_to_pdl,
+    nines_to_pdl,
+    pdl_to_mttdl,
+    pdl_to_nines,
+    per_pool_to_system_pdl,
+)
+from repro.core.config import YEAR
+
+
+class TestNines:
+    def test_paper_example(self):
+        """99.999% durability means 5 nines."""
+        assert pdl_to_nines(1e-5) == pytest.approx(5.0)
+
+    def test_roundtrip(self):
+        for nines in (0.5, 3.0, 12.0, 30.0):
+            assert pdl_to_nines(nines_to_pdl(nines)) == pytest.approx(nines)
+
+    def test_zero_pdl_saturates(self):
+        assert pdl_to_nines(0.0) == MAX_NINES
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pdl_to_nines(1.5)
+        with pytest.raises(ValueError):
+            nines_to_pdl(-1)
+
+
+class TestMTTDL:
+    def test_long_mttdl_small_pdl(self):
+        mttdl = 1e6 * YEAR
+        assert mttdl_to_pdl(mttdl) == pytest.approx(1e-6, rel=1e-3)
+
+    def test_roundtrip(self):
+        pdl = 1e-4
+        assert mttdl_to_pdl(pdl_to_mttdl(pdl)) == pytest.approx(pdl)
+
+    def test_degenerate_mttdl(self):
+        assert mttdl_to_pdl(0.0) == 1.0
+        assert mttdl_to_pdl(-5.0) == 1.0
+
+    def test_pdl_to_mttdl_validation(self):
+        with pytest.raises(ValueError):
+            pdl_to_mttdl(0.0)
+
+
+class TestSystemAggregation:
+    def test_small_pdl_scales_linearly(self):
+        assert per_pool_to_system_pdl(1e-10, 1000) == pytest.approx(1e-7, rel=1e-3)
+
+    def test_edges(self):
+        assert per_pool_to_system_pdl(0.0, 10) == 0.0
+        assert per_pool_to_system_pdl(1.0, 10) == 1.0
+
+    def test_exact_complement(self):
+        assert per_pool_to_system_pdl(0.5, 2) == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            per_pool_to_system_pdl(2.0, 10)

@@ -1,0 +1,119 @@
+"""Repair planner: stage invariants and byte-level replay vs the codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import MLECCodec
+from repro.core.types import RepairMethod
+from repro.repair.planner import plan_repair
+
+METHODS = list(RepairMethod)
+
+
+class TestPlanInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        method=st.sampled_from(METHODS),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_damage_plans_validate(self, seed, method):
+        rng = np.random.default_rng(seed)
+        p_l, width = 3, 20
+        damage = rng.integers(0, width + 1, size=50)
+        plan = plan_repair(method, damage, p_l, width)
+        plan.validate(p_l)  # raises on violation
+        # Chunk conservation: network + local covers exactly the damage.
+        assert np.array_equal(plan.network_chunks + plan.local_chunks, damage)
+
+    def test_rall_rebuilds_everything(self):
+        damage = np.array([0, 2, 4, 20])
+        plan = plan_repair(RepairMethod.R_ALL, damage, 3, 20)
+        assert plan.total_network_chunks == 4 * 20  # whole pool
+        assert plan.total_local_chunks == 0
+
+    def test_rfco_network_equals_damage(self):
+        damage = np.array([0, 2, 4, 7])
+        plan = plan_repair(RepairMethod.R_FCO, damage, 3, 20)
+        assert plan.total_network_chunks == damage.sum()
+        assert plan.total_local_chunks == 0
+
+    def test_rhyb_splits_lost_vs_recoverable(self):
+        damage = np.array([1, 3, 4, 6])
+        plan = plan_repair(RepairMethod.R_HYB, damage, 3, 20)
+        assert plan.network_chunks.tolist() == [0, 0, 4, 6]
+        assert plan.local_chunks.tolist() == [1, 3, 0, 0]
+
+    def test_rmin_ships_minimum(self):
+        damage = np.array([1, 3, 4, 6])
+        plan = plan_repair(RepairMethod.R_MIN, damage, 3, 20)
+        assert plan.network_chunks.tolist() == [0, 0, 1, 3]
+        assert plan.local_chunks.tolist() == [1, 3, 3, 3]
+
+    def test_method_traffic_ordering(self):
+        damage = np.array([1, 2, 4, 5, 20])
+        traffic = [
+            plan_repair(m, damage, 3, 20).cross_rack_chunk_transfers(k_n=10)
+            for m in (RepairMethod.R_ALL, RepairMethod.R_FCO,
+                      RepairMethod.R_HYB, RepairMethod.R_MIN)
+        ]
+        assert traffic == sorted(traffic, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_repair(RepairMethod.R_FCO, np.array([[1, 2]]), 3, 20)
+        with pytest.raises(ValueError):
+            plan_repair(RepairMethod.R_FCO, np.array([21]), 3, 20)
+
+
+class TestPlanReplayAgainstCodec:
+    """Execute a plan's two stages with the real byte-level codec.
+
+    Stage 1 repairs each lost stripe's plan.network_chunks cells via the
+    network (column) code; stage 2 must then succeed with *local-only*
+    (row) repairs -- exactly the R_MIN/R_HYB staging promise.
+    """
+
+    @pytest.mark.parametrize(
+        "method", [RepairMethod.R_HYB, RepairMethod.R_MIN, RepairMethod.R_FCO]
+    )
+    def test_staged_recovery(self, method):
+        codec = MLECCodec(4, 2, 5, 2)
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 256, size=(codec.data_chunks, 8), dtype=np.uint8)
+        grid = codec.encode(data)
+
+        # Damage one local stripe (row 1) with 4 failed chunks (> p_l=2)
+        # and another (row 3) with 1 failed chunk.
+        erased = [(1, 0), (1, 2), (1, 4), (1, 6), (3, 5)]
+        damage_by_row = np.zeros(codec.n_rows, dtype=np.int64)
+        for r, _ in erased:
+            damage_by_row[r] += 1
+        plan = plan_repair(method, damage_by_row, p_l=2, stripe_width=7)
+
+        corrupted = grid.copy()
+        for cell in erased:
+            corrupted[cell] = 0
+
+        # Stage 1: network-repair the planned number of chunks per row.
+        remaining = set(erased)
+        for row in range(codec.n_rows):
+            need = int(plan.network_chunks[row])
+            row_cells = sorted(c for (r, c) in remaining if r == row)[:need]
+            for col in row_cells:
+                lost_rows = [r for (r, c) in remaining if c == col]
+                fixed = codec.network_code.decode(
+                    corrupted[:, col, :], lost_rows
+                )
+                corrupted[row, col, :] = fixed[row]
+                remaining.discard((row, col))
+
+        # Stage 2: every remaining erasure must repair locally.
+        for row in range(codec.n_rows):
+            lost = sorted(c for (r, c) in remaining if r == row)
+            assert len(lost) <= 2  # p_l: the plan's promise
+            if lost:
+                corrupted[row] = codec.local_code.decode(corrupted[row], lost)
+
+        assert np.array_equal(corrupted, grid)

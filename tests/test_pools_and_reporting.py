@@ -1,0 +1,99 @@
+"""Pool damage summaries, reporting helpers, and the Figure-1 dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PAPER_MLEC
+from repro.core.scheme import mlec_scheme_from_name
+from repro.datasets.scaling import storage_scaling_table
+from repro.reporting import format_bar_chart, format_heatmap, format_table
+from repro.topology.pools import pool_failure_counts, summarize_mlec_damage
+
+
+class TestPoolDamage:
+    def test_counts_aggregation(self):
+        pools, counts = pool_failure_counts(np.array([3, 3, 5, 3, 9]))
+        assert pools.tolist() == [3, 5, 9]
+        assert counts.tolist() == [3, 1, 1]
+
+    def test_empty(self):
+        pools, counts = pool_failure_counts(np.array([], dtype=np.int64))
+        assert len(pools) == 0 and len(counts) == 0
+
+    def test_mlec_damage_clustered(self):
+        scheme = mlec_scheme_from_name("C/C", PAPER_MLEC)
+        # 4 failures in pool 0 (disks 0-19) and 1 failure in pool 48 (rack 1).
+        failed = np.array([0, 5, 10, 15, 960])
+        damage = summarize_mlec_damage(scheme, failed)
+        assert damage.n_catastrophic == 1
+        assert damage.catastrophic_pools.tolist() == [0]
+        assert damage.catastrophic_racks.tolist() == [0]
+        assert damage.catastrophic_positions.tolist() == [0]
+        assert set(damage.racks.tolist()) == {0, 1}
+
+    def test_mlec_damage_declustered(self):
+        scheme = mlec_scheme_from_name("C/D", PAPER_MLEC)
+        # 4 failures spread over enclosure 0 (disks 0-119): catastrophic
+        # for the enclosure-wide Dp pool, and position is the enclosure.
+        failed = np.array([0, 40, 80, 110])
+        damage = summarize_mlec_damage(scheme, failed)
+        assert damage.n_catastrophic == 1
+        assert damage.catastrophic_positions.tolist() == [0]
+
+
+class TestReporting:
+    def test_table_alignment_and_floats(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.2345678], ["b", 1e-9]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in out and "1.000e-09" in out
+
+    def test_heatmap_glyphs(self):
+        grid = np.array([[0.0, 1.0], [1e-4, np.nan]])
+        out = format_heatmap(grid, ["r0", "r1"], ["c0", "c1"])
+        body = out.splitlines()[1:3]
+        assert body[0].endswith(".#")
+        assert body[1].endswith(" ") and "." not in body[1].split()[-1]
+
+    def test_heatmap_shape_validation(self):
+        with pytest.raises(ValueError):
+            format_heatmap(np.zeros((2, 2)), ["a"], ["b", "c"])
+
+    def test_bar_chart_scales(self):
+        out = format_bar_chart(["x", "y"], [1.0, 2.0], unit="TB")
+        x_line, y_line = out.splitlines()
+        assert y_line.count("#") > x_line.count("#")
+
+    def test_bar_chart_log_scale(self):
+        out = format_bar_chart(["a", "b"], [1e-6, 1.0], log_scale=True)
+        assert out.splitlines()[1].count("#") > out.splitlines()[0].count("#")
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+
+class TestScalingDataset:
+    def test_all_series_present(self):
+        table = storage_scaling_table()
+        assert set(table) == {
+            "Backblaze", "US DOE", "Max Available", "Average Sold",
+        }
+
+    def test_figure1_growth_story(self):
+        """Every series grows substantially 2010 -> 2022."""
+        for series in storage_scaling_table().values():
+            assert series.growth_factor() > 5
+
+    def test_backblaze_anchors(self):
+        bb = storage_scaling_table()["Backblaze"]
+        assert bb.at(2022) == pytest.approx(202.0)
+        assert bb.at(2010) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            bb.at(2009)
+
+    def test_monotone_nondecreasing(self):
+        for series in storage_scaling_table().values():
+            assert np.all(np.diff(series.values) >= -1e-9)

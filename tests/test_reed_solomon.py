@@ -1,0 +1,121 @@
+"""Reed-Solomon codec: MDS recovery, validation, chunk reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import ReedSolomon
+
+
+def _random_data(k: int, chunk_len: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(k, chunk_len), dtype=np.uint8)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(0, 2)
+        with pytest.raises(ValueError):
+            ReedSolomon(4, -1)
+        with pytest.raises(ValueError):
+            ReedSolomon(200, 60)
+
+    def test_zero_parity_code(self):
+        rs = ReedSolomon(3, 0)
+        data = _random_data(3, 8, 0)
+        stripe = rs.encode(data)
+        assert np.array_equal(stripe, data)
+        assert rs.is_recoverable([])
+        assert not rs.is_recoverable([1])
+
+
+class TestEncode:
+    def test_systematic_layout(self):
+        rs = ReedSolomon(4, 2)
+        data = _random_data(4, 16, 1)
+        stripe = rs.encode(data)
+        assert stripe.shape == (6, 16)
+        assert np.array_equal(stripe[:4], data)
+
+    def test_parity_is_linear(self):
+        """parity(a ^ b) == parity(a) ^ parity(b) -- GF-linearity."""
+        rs = ReedSolomon(5, 3)
+        a = _random_data(5, 32, 2)
+        b = _random_data(5, 32, 3)
+        lhs = rs.parity(np.bitwise_xor(a, b))
+        rhs = np.bitwise_xor(rs.parity(a), rs.parity(b))
+        assert np.array_equal(lhs, rhs)
+
+    def test_encode_rejects_bad_shape(self):
+        rs = ReedSolomon(4, 2)
+        with pytest.raises(ValueError):
+            rs.encode(np.zeros((3, 8), dtype=np.uint8))
+
+
+class TestDecode:
+    @given(
+        k=st.integers(min_value=1, max_value=10),
+        p=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_p_erasures_recoverable(self, k, p, seed):
+        """The MDS promise: every erasure pattern of size <= p decodes."""
+        rs = ReedSolomon(k, p)
+        data = _random_data(k, 8, seed)
+        stripe = rs.encode(data)
+        rng = np.random.default_rng(seed + 1)
+        n_erase = int(rng.integers(0, p + 1))
+        erasures = rng.choice(k + p, size=n_erase, replace=False)
+        corrupted = stripe.copy()
+        corrupted[erasures] = 0
+        recovered = rs.decode(corrupted, erasures)
+        assert np.array_equal(recovered, stripe)
+
+    def test_too_many_erasures_rejected(self):
+        rs = ReedSolomon(4, 2)
+        stripe = rs.encode(_random_data(4, 8, 5))
+        with pytest.raises(ValueError):
+            rs.decode(stripe, [0, 1, 2])
+
+    def test_erasure_index_validation(self):
+        rs = ReedSolomon(4, 2)
+        stripe = rs.encode(_random_data(4, 8, 6))
+        with pytest.raises(ValueError):
+            rs.decode(stripe, [6])
+
+    def test_decode_with_no_erasures_is_copy(self):
+        rs = ReedSolomon(4, 2)
+        stripe = rs.encode(_random_data(4, 8, 7))
+        out = rs.decode(stripe, [])
+        assert np.array_equal(out, stripe)
+        assert out is not stripe
+
+    def test_parity_only_erasures(self):
+        rs = ReedSolomon(4, 2)
+        stripe = rs.encode(_random_data(4, 8, 8))
+        corrupted = stripe.copy()
+        corrupted[4:] = 0
+        recovered = rs.decode(corrupted, [4, 5])
+        assert np.array_equal(recovered, stripe)
+
+
+class TestReconstructChunks:
+    def test_returns_only_erased(self):
+        rs = ReedSolomon(5, 2)
+        stripe = rs.encode(_random_data(5, 8, 9))
+        corrupted = stripe.copy()
+        corrupted[[1, 6]] = 0
+        out = rs.reconstruct_chunks(corrupted, [1, 6])
+        assert set(out) == {1, 6}
+        assert np.array_equal(out[1], stripe[1])
+        assert np.array_equal(out[6], stripe[6])
+
+    def test_is_recoverable_counts(self):
+        rs = ReedSolomon(5, 2)
+        assert rs.is_recoverable([0, 1])
+        assert not rs.is_recoverable([0, 1, 2])
+        with pytest.raises(ValueError):
+            rs.is_recoverable([9])

@@ -1,0 +1,132 @@
+"""Catastrophic repair model: Figures 6b, 8 and 9 anchors."""
+
+import pytest
+
+from repro.core.config import PAPER_MLEC
+from repro.core.scheme import mlec_scheme_from_name
+from repro.core.types import RepairMethod
+from repro.repair.methods import CatastrophicRepairModel
+
+TB = 1e12
+HOUR = 3600.0
+
+
+def model(name, **kw):
+    return CatastrophicRepairModel(mlec_scheme_from_name(name, PAPER_MLEC), **kw)
+
+
+class TestFigure8Traffic:
+    """Cross-rack TB for each (method, scheme) against the paper."""
+
+    def test_rall_clustered_4400_tb(self):
+        for name in ("C/C", "D/C"):
+            assert model(name).cross_rack_traffic_bytes(RepairMethod.R_ALL) == pytest.approx(4400 * TB)
+
+    def test_rall_declustered_26400_tb(self):
+        for name in ("C/D", "D/D"):
+            assert model(name).cross_rack_traffic_bytes(RepairMethod.R_ALL) == pytest.approx(26_400 * TB)
+
+    def test_rfco_880_tb_everywhere(self):
+        for name in ("C/C", "C/D", "D/C", "D/D"):
+            assert model(name).cross_rack_traffic_bytes(RepairMethod.R_FCO) == pytest.approx(880 * TB)
+
+    def test_rhyb_31_tb_on_declustered(self):
+        """Paper: 'R_HYB only transfers 3.1 TB' for */d."""
+        for name in ("C/D", "D/D"):
+            traffic = model(name).cross_rack_traffic_bytes(RepairMethod.R_HYB)
+            assert traffic == pytest.approx(3.1 * TB, rel=0.02)
+
+    def test_rhyb_equals_rfco_on_clustered(self):
+        """Simultaneous p_l+1 failures: every */c stripe is lost, so R_HYB
+        cannot beat R_FCO (paper Finding 3 of §4.2.1)."""
+        m = model("C/C")
+        assert m.cross_rack_traffic_bytes(RepairMethod.R_HYB) == pytest.approx(
+            m.cross_rack_traffic_bytes(RepairMethod.R_FCO)
+        )
+
+    def test_rmin_4x_below_rhyb(self):
+        """Paper Finding 4: R_MIN reduces traffic by 4x or more vs R_HYB."""
+        for name in ("C/C", "C/D", "D/C", "D/D"):
+            m = model(name)
+            ratio = m.cross_rack_traffic_bytes(
+                RepairMethod.R_HYB
+            ) / m.cross_rack_traffic_bytes(RepairMethod.R_MIN)
+            assert ratio >= 4.0 - 1e-9
+
+
+class TestFigure6bRepairTime:
+    def test_rall_times(self):
+        """Figure 6b (R_ALL): C/C 444h, C/D 2667h, D/C 81h, D/D 489h."""
+        expected = {"C/C": 444.4, "C/D": 2666.7, "D/C": 81.5, "D/D": 488.9}
+        for name, hours in expected.items():
+            t = model(name).total_repair_time(RepairMethod.R_ALL) / HOUR
+            assert t == pytest.approx(hours, rel=0.01), name
+
+    def test_dc_fastest_catastrophic(self):
+        """Finding 3 §4.1.2: D/C is the fastest under catastrophic failure."""
+        times = {
+            name: model(name).total_repair_time(RepairMethod.R_ALL)
+            for name in ("C/C", "C/D", "D/C", "D/D")
+        }
+        assert min(times, key=times.get) == "D/C"
+
+    def test_cd_slowest_catastrophic(self):
+        """Finding 2 §4.1.2: C/D takes the longest."""
+        times = {
+            name: model(name).total_repair_time(RepairMethod.R_ALL)
+            for name in ("C/C", "C/D", "D/C", "D/D")
+        }
+        assert max(times, key=times.get) == "C/D"
+
+
+class TestFigure9StageTimes:
+    def test_rfco_is_network_only(self):
+        st = model("C/D").stage_times(RepairMethod.R_FCO)
+        assert st.local_time == 0.0
+        assert st.network_time == pytest.approx(80 * TB / 250e6)
+
+    def test_rhyb_on_cd_matches_rfco_total(self):
+        """Finding 2 §4.2.2: on C/D, R_HYB takes a similar total time as
+        R_FCO -- tiny network stage plus a local stage of similar length."""
+        m = model("C/D")
+        rfco = m.stage_times(RepairMethod.R_FCO).total
+        rhyb = m.stage_times(RepairMethod.R_HYB)
+        assert rhyb.network_time < 0.05 * rfco
+        assert rhyb.total == pytest.approx(rfco, rel=0.1)
+
+    def test_rmin_min_network_time(self):
+        for name in ("C/C", "C/D", "D/C", "D/D"):
+            m = model(name)
+            times = {
+                meth: m.stage_times(meth).network_time for meth in RepairMethod
+            }
+            assert times[RepairMethod.R_MIN] == min(times.values())
+
+    def test_exit_catastrophic_ordering(self):
+        """R_MIN exits the catastrophic state fastest (durability driver)."""
+        m = model("C/C")
+        exits = [
+            m.exit_catastrophic_time(meth)
+            for meth in (RepairMethod.R_ALL, RepairMethod.R_FCO,
+                         RepairMethod.R_HYB, RepairMethod.R_MIN)
+        ]
+        assert exits == sorted(exits, reverse=True)
+
+
+class TestValidation:
+    def test_non_catastrophic_injection_rejected(self):
+        with pytest.raises(ValueError):
+            model("C/C", failed_disks=3)
+
+    def test_more_failures_allowed(self):
+        m = model("C/D", failed_disks=6)
+        assert m.cross_rack_traffic_bytes(RepairMethod.R_FCO) == pytest.approx(
+            6 * 20 * TB * 11
+        )
+
+    def test_summary_keys(self):
+        su = model("C/C").summary(RepairMethod.R_MIN)
+        assert set(su) == {
+            "cross_rack_traffic_TB", "network_time_h", "local_time_h",
+            "total_time_h",
+        }

@@ -1,0 +1,114 @@
+"""Scheme descriptors: pool geometry, validation, naming."""
+
+import pytest
+
+from repro.core.config import DatacenterConfig, LRCParams, MLECParams, SLECParams
+from repro.core.scheme import (
+    MLEC_SCHEME_NAMES,
+    LRCScheme,
+    MLECScheme,
+    SLECScheme,
+    mlec_scheme_from_name,
+)
+from repro.core.types import Level, Placement
+
+
+class TestMLECScheme:
+    @pytest.mark.parametrize("name", MLEC_SCHEME_NAMES)
+    def test_names_roundtrip(self, name):
+        scheme = mlec_scheme_from_name(name, MLECParams(10, 2, 17, 3))
+        assert scheme.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            mlec_scheme_from_name("X/Y", MLECParams(10, 2, 17, 3))
+
+    def test_paper_pool_geometry_clustered(self):
+        s = mlec_scheme_from_name("C/C", MLECParams(10, 2, 17, 3))
+        assert s.local_pool_disks == 20
+        assert s.local_pools_per_enclosure == 6
+        assert s.local_pools_per_rack == 48
+        assert s.total_local_pools == 2880
+        assert s.local_pool_capacity_bytes == 400e12  # Table 2: 400 TB
+        assert s.network_group_racks == 12
+        assert s.network_groups == 5
+
+    def test_paper_pool_geometry_declustered(self):
+        s = mlec_scheme_from_name("D/D", MLECParams(10, 2, 17, 3))
+        assert s.local_pool_disks == 120
+        assert s.local_pools_per_rack == 8
+        assert s.total_local_pools == 480
+        assert s.local_pool_capacity_bytes == 2400e12  # Table 2: 2400 TB
+        assert s.network_group_racks == 60
+        assert s.network_groups == 1
+
+    def test_thresholds(self):
+        s = mlec_scheme_from_name("C/D", MLECParams(10, 2, 17, 3))
+        assert s.catastrophic_disk_threshold == 4
+        assert s.data_loss_pool_threshold == 3
+
+    def test_stripe_counts(self):
+        s = mlec_scheme_from_name("C/C", MLECParams(10, 2, 17, 3))
+        chunks_per_disk = s.dc.chunks_per_disk
+        assert s.local_stripes_per_pool() == 20 * chunks_per_disk // 20
+        assert (
+            s.network_stripes_total()
+            == 57_600 * chunks_per_disk // 240
+        )
+
+    def test_misfit_local_pool_rejected(self):
+        # 7+2 = 9 does not divide the 120-disk enclosure.
+        with pytest.raises(ValueError):
+            mlec_scheme_from_name("C/C", MLECParams(10, 2, 7, 2))
+
+    def test_misfit_network_group_rejected(self):
+        # k_n+p_n = 11 does not divide 60 racks.
+        with pytest.raises(ValueError):
+            mlec_scheme_from_name("C/C", MLECParams(9, 2, 17, 3))
+
+    def test_declustered_fits_without_divisibility(self):
+        # The same 11-wide network stripe is fine with network-Dp.
+        s = mlec_scheme_from_name("D/C", MLECParams(9, 2, 17, 3))
+        assert s.network_group_racks == 60
+
+
+class TestSLECScheme:
+    def test_names(self):
+        s = SLECScheme(SLECParams(7, 3), Level.LOCAL, Placement.CLUSTERED)
+        assert s.name == "Loc-Cp-S"
+        s = SLECScheme(SLECParams(7, 3), Level.NETWORK, Placement.DECLUSTERED)
+        assert s.name == "Net-Dp-S"
+
+    def test_pool_sizes(self):
+        dc = DatacenterConfig()
+        assert SLECScheme(SLECParams(7, 3), Level.LOCAL, Placement.CLUSTERED).pool_disks == 10
+        assert SLECScheme(SLECParams(7, 3), Level.LOCAL, Placement.DECLUSTERED).pool_disks == 120
+        assert SLECScheme(SLECParams(7, 3), Level.NETWORK, Placement.CLUSTERED).pool_disks == 10
+        assert (
+            SLECScheme(SLECParams(7, 3), Level.NETWORK, Placement.DECLUSTERED).pool_disks
+            == dc.total_disks
+        )
+
+    def test_rack_tolerance_flag(self):
+        assert not SLECScheme(
+            SLECParams(7, 3), Level.LOCAL, Placement.CLUSTERED
+        ).tolerates_rack_failure
+        assert SLECScheme(
+            SLECParams(7, 3), Level.NETWORK, Placement.CLUSTERED
+        ).tolerates_rack_failure
+
+    def test_misfit_rejected(self):
+        with pytest.raises(ValueError):
+            SLECScheme(SLECParams(7, 4), Level.LOCAL, Placement.CLUSTERED)
+        with pytest.raises(ValueError):
+            SLECScheme(SLECParams(7, 4), Level.NETWORK, Placement.CLUSTERED)
+
+
+class TestLRCScheme:
+    def test_fits_racks(self):
+        s = LRCScheme(LRCParams(14, 2, 4))
+        assert s.name == "LRC-Dp"
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            LRCScheme(LRCParams(60, 2, 4))  # 66 chunks > 60 racks

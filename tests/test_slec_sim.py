@@ -1,0 +1,106 @@
+"""SLEC/LRC system simulator: statistics, losses, traffic reconciliation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LRCParams, SLECParams, YEAR, FailureConfig
+from repro.core.scheme import LRCScheme, SLECScheme
+from repro.core.types import Level, Placement
+from repro.repair.traffic_comparison import (
+    lrc_annual_cross_rack_traffic,
+    slec_annual_cross_rack_traffic,
+)
+from repro.sim.failures import ExponentialFailures, TraceFailures
+from repro.sim.slec_sim import SLECSystemSimulator
+
+
+def slec(level, placement, k=7, p=3):
+    return SLECScheme(SLECParams(k, p), level, placement)
+
+
+class TestStatistics:
+    def test_failure_count_matches_afr(self):
+        sim = SLECSystemSimulator(slec(Level.NETWORK, Placement.DECLUSTERED))
+        r = sim.run(mission_time=YEAR / 2, seed=0)
+        expected = 57_600 * -np.log1p(-0.01) / 2
+        assert abs(r.n_disk_failures - expected) < 5 * np.sqrt(expected)
+
+    def test_local_slec_traffic_stays_in_rack(self):
+        sim = SLECSystemSimulator(slec(Level.LOCAL, Placement.CLUSTERED))
+        r = sim.run(mission_time=YEAR / 4, seed=1)
+        assert r.cross_rack_repair_bytes == 0.0
+        assert r.intra_rack_repair_bytes > 0
+
+    def test_network_traffic_reconciles_with_closed_form(self):
+        """Simulated cross-rack TB/day must match the §5.1.4 model."""
+        scheme = slec(Level.NETWORK, Placement.DECLUSTERED)
+        sim = SLECSystemSimulator(scheme)
+        r = sim.run(mission_time=YEAR, seed=2)
+        analytic = slec_annual_cross_rack_traffic(scheme).tb_per_day
+        assert r.cross_rack_tb_per_day == pytest.approx(analytic, rel=0.15)
+
+    def test_lrc_traffic_reconciles_with_closed_form(self):
+        scheme = LRCScheme(LRCParams(14, 2, 4))
+        sim = SLECSystemSimulator(scheme)
+        r = sim.run(mission_time=YEAR, seed=3)
+        analytic = lrc_annual_cross_rack_traffic(scheme).tb_per_day
+        assert r.cross_rack_tb_per_day == pytest.approx(analytic, rel=0.15)
+
+    def test_lrc_cheaper_than_width_matched_slec(self):
+        """§5.2.4 at the simulation level."""
+        lrc = SLECSystemSimulator(LRCScheme(LRCParams(14, 2, 4)))
+        wide = SLECSystemSimulator(slec(Level.NETWORK, Placement.DECLUSTERED, 14, 6))
+        r_lrc = lrc.run(mission_time=YEAR / 2, seed=4)
+        r_slec = wide.run(mission_time=YEAR / 2, seed=4)
+        assert r_lrc.cross_rack_repair_bytes < r_slec.cross_rack_repair_bytes
+
+
+class TestDataLoss:
+    def test_quiet_at_nominal_rates_for_tolerant_schemes(self):
+        for scheme in (
+            slec(Level.LOCAL, Placement.CLUSTERED),
+            LRCScheme(LRCParams(14, 2, 4)),
+        ):
+            r = SLECSystemSimulator(scheme).run(mission_time=YEAR / 4, seed=5)
+            assert not r.lost_data
+
+    def test_forced_loss_local_cp_via_trace(self):
+        """p+1 = 4 simultaneous failures in one (7+3) pool lose data."""
+        events = [(100.0 + i, d) for i, d in enumerate(range(4))]
+        sim = SLECSystemSimulator(
+            slec(Level.LOCAL, Placement.CLUSTERED),
+            failure_model=TraceFailures(events),
+        )
+        r = sim.run(mission_time=10_000.0, seed=6)
+        assert r.data_loss_events == 1
+        assert r.first_loss_time == pytest.approx(103.0)
+
+    def test_three_failures_survive_local_cp(self):
+        events = [(100.0 + i, d) for i, d in enumerate(range(3))]
+        sim = SLECSystemSimulator(
+            slec(Level.LOCAL, Placement.CLUSTERED),
+            failure_model=TraceFailures(events),
+        )
+        assert not sim.run(mission_time=10_000.0, seed=7).lost_data
+
+    def test_loc_dp_loses_under_accelerated_failures(self):
+        """Local-Dp's large pools see losses once the AFR is pushed."""
+        sim = SLECSystemSimulator(
+            slec(Level.LOCAL, Placement.DECLUSTERED),
+            failure_model=ExponentialFailures(0.3),
+        )
+        r = sim.run(mission_time=YEAR, seed=8)
+        assert r.n_disk_failures > 10_000
+        assert r.data_loss_events > 0
+
+    def test_net_dp_alignment_protects_at_moderate_rates(self):
+        """A system-wide declustered pool has few critical stripes, so the
+        4th concurrent failure rarely aligns -- no loss in a short run even
+        at 10x the nominal AFR."""
+        sim = SLECSystemSimulator(
+            slec(Level.NETWORK, Placement.DECLUSTERED),
+            failure_model=ExponentialFailures(0.1),
+        )
+        r = sim.run(mission_time=YEAR / 2, seed=9)
+        assert r.n_disk_failures > 2000
+        assert r.data_loss_events < 3

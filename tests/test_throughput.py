@@ -1,0 +1,73 @@
+"""Encoding-throughput models: shape, calibration anchors, measurement."""
+
+import numpy as np
+import pytest
+
+from repro.codes.throughput import IsalThroughputModel, measure_encoding_throughput
+from repro.core.config import GB, LRCParams, MLECParams, SLECParams
+
+MODEL = IsalThroughputModel()
+
+
+class TestShape:
+    def test_more_parity_lower_throughput(self):
+        t = [MODEL.slec_throughput(SLECParams(17, p)) for p in range(1, 8)]
+        assert t == sorted(t, reverse=True)
+
+    def test_wider_stripe_lower_throughput(self):
+        t = [MODEL.slec_throughput(SLECParams(k, 3)) for k in (10, 20, 30, 40, 50)]
+        assert t == sorted(t, reverse=True)
+
+    def test_heatmap_grid(self):
+        grid = MODEL.heatmap(np.arange(1, 51), np.arange(1, 11))
+        assert grid.shape == (10, 50)
+        # Figure 11's scale: ~12 GB/s corner, well under 1 GB/s far corner.
+        assert grid[0, 0] == pytest.approx(12 * GB)
+        assert grid[-1, -1] < 1 * GB
+
+    def test_cache_penalty_monotone(self):
+        assert MODEL.cache_penalty(40) > MODEL.cache_penalty(10) > 1.0
+        with pytest.raises(ValueError):
+            MODEL.cache_penalty(0)
+
+
+class TestCalibrationAnchors:
+    def test_wide_slec_near_1_gbps(self):
+        """Paper §5.1.2 F#2: a (28+12) local SLEC reaches ~1 GB/s."""
+        t = MODEL.slec_throughput(SLECParams(28, 12))
+        assert t == pytest.approx(1.0 * GB, rel=0.1)
+
+    def test_mlec_17_3_17_3_near_3_gbps(self):
+        """Paper §5.1.2 F#2: (17+3)/(17+3) reaches ~3 GB/s."""
+        t = MODEL.mlec_throughput(MLECParams(17, 3, 17, 3))
+        assert t == pytest.approx(3.0 * GB, rel=0.15)
+
+    def test_lrc_14_2_4_comparable_to_paper_mlec(self):
+        """§5.2.3 picked (14,2,4) LRC for its similar throughput to the
+        (10+2)/(17+3) MLEC."""
+        lrc = MODEL.lrc_throughput(LRCParams(14, 2, 4))
+        mlec = MODEL.mlec_throughput(MLECParams(10, 2, 17, 3))
+        assert 0.6 < lrc / mlec < 1.6
+
+
+class TestCostDecomposition:
+    def test_mlec_cost_includes_parity_inflation(self):
+        """MLEC local encoding also covers the network-parity stripes."""
+        p = MLECParams(10, 2, 17, 3)
+        cost = MODEL.mlec_cost(p)
+        network_only = 2 * MODEL.cache_penalty(10)
+        local_only = (12 / 10) * 3 * MODEL.cache_penalty(17)
+        assert cost == pytest.approx(network_only + local_only)
+
+    def test_lrc_cost(self):
+        p = LRCParams(14, 2, 4)
+        expected = 4 * MODEL.cache_penalty(14) + MODEL.cache_penalty(7)
+        assert MODEL.lrc_cost(p) == pytest.approx(expected)
+
+
+class TestLiveMeasurement:
+    def test_measured_throughput_positive_and_p_monotone(self):
+        fast = measure_encoding_throughput(4, 1, chunk_bytes=1 << 18, repeats=2)
+        slow = measure_encoding_throughput(4, 4, chunk_bytes=1 << 18, repeats=2)
+        assert fast > 0 and slow > 0
+        assert fast > slow  # more parities = more work

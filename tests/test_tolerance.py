@@ -1,0 +1,94 @@
+"""Failure-tolerance guarantees, verified against the exact burst DP."""
+
+import pytest
+
+from repro.analysis.burst_dp import mlec_burst_pdl, slec_burst_pdl
+from repro.core.config import PAPER_MLEC, LRCParams, MLECParams, SLECParams
+from repro.core.scheme import LRCScheme, SLECScheme, mlec_scheme_from_name
+from repro.core.tolerance import lrc_tolerance, mlec_tolerance, slec_tolerance
+from repro.core.types import Level, Placement
+
+FLOAT_FLOOR = 1e-12
+
+
+class TestMLECTolerance:
+    def test_paper_numbers(self):
+        scheme = mlec_scheme_from_name("C/C", PAPER_MLEC)
+        report = mlec_tolerance(scheme)
+        assert report.arbitrary_disks == 11  # 3 * 4 - 1
+        assert report.rack_failures == 2  # p_n
+        assert report.disks_per_rack_scatter == 8  # paper's y <= x+8
+
+    @pytest.mark.parametrize("name", ["C/C", "C/D", "D/C", "D/D"])
+    def test_guarantees_verified_by_dp(self, name):
+        """Every guaranteed-survivable burst has exactly zero PDL."""
+        scheme = mlec_scheme_from_name(name, PAPER_MLEC)
+        report = mlec_tolerance(scheme)
+        cases = [
+            (report.arbitrary_disks, 3),
+            (report.arbitrary_disks, report.arbitrary_disks),
+            (3 + report.disks_per_rack_scatter, 3),
+            (10 + report.disks_per_rack_scatter, 10),
+            (60, report.rack_failures),
+        ]
+        for failures, racks in cases:
+            assert report.survives_burst(failures, racks)
+            assert mlec_burst_pdl(scheme, failures, racks) <= FLOAT_FLOOR, (
+                failures, racks,
+            )
+
+    def test_boundary_is_tight(self):
+        """One more failure than the guarantee can lose data (worst case)."""
+        scheme = mlec_scheme_from_name("D/D", PAPER_MLEC)
+        report = mlec_tolerance(scheme)
+        failures = 3 + report.disks_per_rack_scatter + 1  # x=3, y=x+9
+        assert not report.survives_burst(failures, 3)
+        assert mlec_burst_pdl(scheme, failures, 3) > FLOAT_FLOOR
+
+    def test_small_parity_codes(self):
+        scheme = mlec_scheme_from_name("C/C", MLECParams(5, 1, 5, 1))
+        report = mlec_tolerance(scheme)
+        assert report.arbitrary_disks == 3  # 2*2 - 1
+        assert report.rack_failures == 1
+
+
+class TestSLECTolerance:
+    def test_local_slec(self):
+        scheme = SLECScheme(SLECParams(7, 3), Level.LOCAL, Placement.CLUSTERED)
+        report = slec_tolerance(scheme)
+        assert report.arbitrary_disks == 3
+        assert report.rack_failures == 0
+        # DP check: p failures anywhere are safe; scattered y <= x+p-1 safe.
+        assert slec_burst_pdl(scheme, 3, 1) == 0.0
+        assert slec_burst_pdl(scheme, 12, 10) <= FLOAT_FLOOR
+        assert report.survives_burst(12, 10)
+
+    def test_network_slec(self):
+        scheme = SLECScheme(SLECParams(7, 3), Level.NETWORK, Placement.DECLUSTERED)
+        report = slec_tolerance(scheme)
+        assert report.rack_failures == 3
+        assert report.survives_burst(960 * 3, 3)  # three whole racks
+        assert not report.survives_burst(4, 4)
+        assert slec_burst_pdl(scheme, 4, 4) == 1.0  # worst-case DP agrees
+
+
+class TestLRCTolerance:
+    def test_azure_lrc_numbers(self):
+        report = lrc_tolerance(LRCScheme(LRCParams(14, 2, 4)))
+        assert report.arbitrary_disks == 5  # any r+1
+        assert report.rack_failures == 5
+
+    def test_matches_codec_ground_truth(self):
+        """The guarantee must agree with the peeling recoverability of the
+        actual codec: all (r+1)-subsets recoverable, some (r+2)-subset not."""
+        from repro.codes import AzureLRC
+
+        lrc = AzureLRC(14, 2, 4)
+        report = lrc_tolerance(LRCScheme(LRCParams(14, 2, 4)))
+        t = report.arbitrary_disks
+        # Concentrated pattern of size t is still recoverable.
+        group = lrc.group_members(0)[: t]
+        assert lrc.is_information_theoretically_recoverable(group)
+        # Size t+1 concentrated in one group is not.
+        group_plus = lrc.group_members(0)[: t + 1]
+        assert not lrc.is_information_theoretically_recoverable(group_plus)

@@ -1,0 +1,133 @@
+"""Topology addressing and placement invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DatacenterConfig, MLECParams
+from repro.core.scheme import mlec_scheme_from_name
+from repro.topology import (
+    ClusteredStripePlacement,
+    DatacenterTopology,
+    DeclusteredStripePlacement,
+    NetworkStripePlacement,
+)
+
+TOPO = DatacenterTopology(DatacenterConfig())
+
+
+class TestAddressing:
+    @given(disk=st.integers(min_value=0, max_value=57_599))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, disk):
+        addr = TOPO.address_of(disk)
+        assert TOPO.disk_id(addr.rack, addr.enclosure, addr.slot) == disk
+
+    def test_vectorized_locators_consistent(self):
+        ids = np.arange(0, 57_600, 977)
+        racks = TOPO.rack_of(ids)
+        encs = TOPO.enclosure_in_rack_of(ids)
+        slots = TOPO.slot_of(ids)
+        for i, d in enumerate(ids):
+            addr = TOPO.address_of(int(d))
+            assert (addr.rack, addr.enclosure, addr.slot) == (
+                racks[i], encs[i], slots[i],
+            )
+
+    def test_position_in_rack(self):
+        # Same position across racks differ by exactly disks_per_rack.
+        assert TOPO.position_in_rack_of(5) == TOPO.position_in_rack_of(5 + 960)
+
+    def test_clustered_pool_of(self):
+        pools = TOPO.clustered_pool_of(np.array([0, 19, 20, 119, 120]), 20)
+        assert pools.tolist() == [0, 0, 1, 5, 6]
+
+    def test_clustered_pool_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            TOPO.clustered_pool_of(np.array([0]), 7)
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            TOPO.address_of(57_600)
+        with pytest.raises(ValueError):
+            TOPO.disk_id(60, 0, 0)
+        with pytest.raises(ValueError):
+            TOPO.rack_disk_ids(-1)
+
+    def test_rack_and_enclosure_ids(self):
+        rack5 = TOPO.rack_disk_ids(5)
+        assert len(rack5) == 960
+        assert TOPO.rack_of(rack5[0]) == 5 and TOPO.rack_of(rack5[-1]) == 5
+        enc = TOPO.enclosure_disk_ids(5, 3)
+        assert len(enc) == 120
+        assert np.all(TOPO.enclosure_in_rack_of(enc) == 3)
+
+
+class TestStripePlacements:
+    def test_clustered_spans_pool(self):
+        pool = np.arange(100, 120)
+        place = ClusteredStripePlacement(pool, width=20)
+        assert np.array_equal(place.stripe_devices(7), pool)
+        assert len(place.stripes_touching(105, 50)) == 50
+
+    def test_clustered_requires_exact_width(self):
+        with pytest.raises(ValueError):
+            ClusteredStripePlacement(np.arange(30), width=20)
+
+    @given(stripe=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_declustered_distinct_devices(self, stripe):
+        place = DeclusteredStripePlacement(np.arange(120), width=20, seed=3)
+        devs = place.stripe_devices(stripe)
+        assert len(devs) == 20
+        assert len(set(devs.tolist())) == 20
+
+    def test_declustered_deterministic(self):
+        place = DeclusteredStripePlacement(np.arange(120), width=20, seed=3)
+        a = place.stripe_devices(42)
+        b = place.stripe_devices(42)
+        assert np.array_equal(a, b)
+
+    def test_declustered_damage_count(self):
+        place = DeclusteredStripePlacement(np.arange(120), width=20, seed=3)
+        devs = set(place.stripe_devices(0).tolist())
+        assert place.stripe_damage(0, devs) == 20
+        assert place.stripe_damage(0, set()) == 0
+
+
+class TestNetworkStripePlacement:
+    @pytest.mark.parametrize("name", ["C/C", "C/D", "D/C", "D/D"])
+    def test_grid_invariants(self, name):
+        scheme = mlec_scheme_from_name(name, MLECParams(10, 2, 17, 3))
+        placement = NetworkStripePlacement(scheme, seed=11)
+        topo = DatacenterTopology(scheme.dc)
+        for stripe_id in range(5):
+            grid = placement.stripe_grid(stripe_id)
+            assert grid.shape == (12, 20)
+            # Rows in distinct racks (rack-failure tolerance).
+            row_racks = topo.rack_of(grid[:, 0])
+            assert len(set(row_racks.tolist())) == 12
+            for row in grid:
+                # Chunks on distinct disks within one enclosure's rack.
+                assert len(set(row.tolist())) == 20
+                assert len(set(topo.rack_of(row).tolist())) == 1
+
+    def test_clustered_rows_same_position(self):
+        scheme = mlec_scheme_from_name("C/C", MLECParams(10, 2, 17, 3))
+        placement = NetworkStripePlacement(scheme, seed=2)
+        pools = placement.stripe_pools(123)
+        positions = {pos for _rack, pos in pools}
+        assert len(positions) == 1  # same pool position across the group
+        racks = [rack for rack, _pos in pools]
+        assert racks == sorted(racks)
+        assert racks[-1] - racks[0] == 11  # consecutive group of 12
+
+    def test_declustered_rows_random_racks(self):
+        scheme = mlec_scheme_from_name("D/D", MLECParams(10, 2, 17, 3))
+        placement = NetworkStripePlacement(scheme, seed=2)
+        seen_rack_sets = {
+            tuple(sorted(r for r, _ in placement.stripe_pools(i)))
+            for i in range(10)
+        }
+        assert len(seen_rack_sets) > 1  # not all stripes share a group

@@ -1,0 +1,96 @@
+"""Failure traces: CSV roundtrip and synthetic generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DatacenterConfig, YEAR
+from repro.sim.traces import FailureTrace, SyntheticTraceGenerator
+from repro.topology.datacenter import DatacenterTopology
+
+
+class TestFailureTrace:
+    def test_events_sorted_on_construction(self):
+        trace = FailureTrace(
+            events=[(30.0, 2), (10.0, 1)], duration=100.0, total_disks=5
+        )
+        assert trace.events == [(10.0, 1), (30.0, 2)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureTrace(events=[(200.0, 0)], duration=100.0, total_disks=5)
+        with pytest.raises(ValueError):
+            FailureTrace(events=[(10.0, 9)], duration=100.0, total_disks=5)
+
+    def test_afr_computation(self):
+        trace = FailureTrace(
+            events=[(1.0, i) for i in range(10)],
+            duration=YEAR,
+            total_disks=1000,
+        )
+        assert trace.annualized_failure_rate == pytest.approx(0.01)
+
+    def test_csv_roundtrip(self, tmp_path):
+        trace = FailureTrace(
+            events=[(10.5, 3), (99.125, 7)], duration=1000.0, total_disks=64
+        )
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        back = FailureTrace.from_csv(path)
+        assert back.duration == trace.duration
+        assert back.total_disks == trace.total_disks
+        assert back.events == trace.events
+
+    def test_csv_string_roundtrip(self):
+        trace = FailureTrace(events=[(1.0, 0)], duration=10.0, total_disks=2)
+        back = FailureTrace.from_csv_string(trace.to_csv_string())
+        assert back.events == trace.events
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            FailureTrace.from_csv_string("nope,nope\n1,2\n")
+
+
+class TestSyntheticGenerator:
+    def test_background_rate_matches_afr(self):
+        gen = SyntheticTraceGenerator(
+            background_afr=0.02, bursts_per_year=0.0
+        )
+        trace = gen.generate(duration=YEAR, seed=0)
+        assert trace.annualized_failure_rate == pytest.approx(0.02, rel=0.1)
+
+    def test_bursts_are_rack_localized(self):
+        dc = DatacenterConfig()
+        gen = SyntheticTraceGenerator(
+            dc=dc, background_afr=0.0, bursts_per_year=5.0,
+            burst_size=20, burst_racks=1, burst_window=60.0,
+        )
+        trace = gen.generate(duration=YEAR, seed=1)
+        assert len(trace) > 0
+        topo = DatacenterTopology(dc)
+        times = np.array([t for t, _ in trace.events])
+        disks = np.array([d for _, d in trace.events])
+        # Cluster events by time proximity; each burst sits in one rack.
+        split_points = np.nonzero(np.diff(times) > 120.0)[0] + 1
+        for chunk in np.split(np.arange(len(times)), split_points):
+            racks = set(topo.rack_of(disks[chunk]).tolist())
+            assert len(racks) == 1
+
+    def test_burst_plus_background_mix(self):
+        gen = SyntheticTraceGenerator(
+            background_afr=0.01, bursts_per_year=3.0, burst_size=15
+        )
+        trace = gen.generate(duration=YEAR, seed=2)
+        pure_background = 0.01 * DatacenterConfig().total_disks
+        assert len(trace) > pure_background  # bursts added on top
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(background_afr=1.5)
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(burst_racks=0)
+
+    def test_deterministic_given_seed(self):
+        gen = SyntheticTraceGenerator(bursts_per_year=1.0)
+        a = gen.generate(duration=YEAR / 12, seed=3)
+        b = gen.generate(duration=YEAR / 12, seed=3)
+        assert a.events == b.events

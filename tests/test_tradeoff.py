@@ -1,0 +1,93 @@
+"""Trade-off sweeps: Figures 12 and 15 structure."""
+
+import pytest
+
+from repro.analysis.tradeoff import (
+    enumerate_lrc_configs,
+    enumerate_mlec_configs,
+    enumerate_slec_configs,
+    lrc_tradeoff,
+    mlec_tradeoff,
+    pareto_front,
+    slec_tradeoff,
+)
+from repro.core.types import Level, Placement
+
+
+class TestEnumeration:
+    def test_mlec_band_and_fit(self):
+        configs = list(enumerate_mlec_configs("C/C"))
+        assert configs, "expected admissible C/C configurations"
+        for scheme in configs:
+            assert 0.27 <= scheme.params.parity_fraction <= 0.33
+            assert 120 % scheme.params.n_l == 0
+            assert 60 % scheme.params.n_n == 0
+
+    def test_paper_config_enumerated(self):
+        configs = {str(s.params) for s in enumerate_mlec_configs("C/D")}
+        assert "(10+2)/(17+3)" in configs
+
+    def test_slec_band(self):
+        configs = list(
+            enumerate_slec_configs(Level.LOCAL, Placement.CLUSTERED)
+        )
+        assert configs
+        for scheme in configs:
+            assert 0.27 <= scheme.params.parity_fraction <= 0.33
+            assert 120 % scheme.params.n == 0
+
+    def test_lrc_band(self):
+        configs = {str(s.params) for s in enumerate_lrc_configs()}
+        assert "(14,2,4)" in configs
+
+
+class TestTradeoffStructure:
+    def test_figure12_mlec_beats_slec_at_high_durability(self):
+        """Finding 2 §5.1.2: above ~20 nines MLEC keeps multi-GB/s
+        throughput while SLEC falls under ~1.5 GB/s."""
+        mlec = mlec_tradeoff("C/C")
+        slec = slec_tradeoff(Level.LOCAL, Placement.CLUSTERED)
+        best_mlec = max(
+            (p for p in mlec if p.durability_nines > 25),
+            key=lambda p: p.throughput_bytes_per_s,
+        )
+        best_slec = max(
+            (p for p in slec if p.durability_nines > 20),
+            key=lambda p: p.throughput_bytes_per_s,
+            default=None,
+        )
+        assert best_mlec.throughput_gb_per_s > 2.0
+        if best_slec is not None:
+            assert best_mlec.throughput_gb_per_s > 1.5 * best_slec.throughput_gb_per_s
+
+    def test_figure15_cd_dominates_lrc(self):
+        """Finding 1 §5.2.2: C/D reaches high durability at higher
+        throughput than LRC-Dp."""
+        cd = mlec_tradeoff("C/D")
+        lrc = lrc_tradeoff()
+        cd_best = max(
+            (p for p in cd if p.durability_nines > 30),
+            key=lambda p: p.throughput_bytes_per_s,
+        )
+        lrc_best = max(
+            (p for p in lrc if p.durability_nines > 30),
+            key=lambda p: p.throughput_bytes_per_s,
+            default=None,
+        )
+        assert cd_best.throughput_gb_per_s > 2.5
+        if lrc_best is not None:
+            assert cd_best.throughput_gb_per_s > 2 * lrc_best.throughput_gb_per_s
+
+    def test_finding1_durability_throughput_anticorrelated(self):
+        """Within one family the Pareto front trades one for the other."""
+        front = pareto_front(mlec_tradeoff("C/C"))
+        assert len(front) >= 3
+        nines = [p.durability_nines for p in front]
+        thr = [p.throughput_bytes_per_s for p in front]
+        assert nines == sorted(nines)
+        assert thr == sorted(thr, reverse=True)
+
+    def test_points_have_labels_and_configs(self):
+        for p in slec_tradeoff(Level.NETWORK, Placement.DECLUSTERED)[:3]:
+            assert p.label == "Net-Dp-S"
+            assert p.config.startswith("(")

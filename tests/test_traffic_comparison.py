@@ -1,0 +1,82 @@
+"""Long-run repair traffic: §5.1.4 and §5.2.4 prose claims."""
+
+import pytest
+
+from repro.analysis.markov import local_pool_catastrophic_rate
+from repro.core.config import PAPER_MLEC, LRCParams, SLECParams
+from repro.core.scheme import LRCScheme, SLECScheme, mlec_scheme_from_name
+from repro.core.types import Level, Placement, RepairMethod
+from repro.repair.traffic_comparison import (
+    lrc_annual_cross_rack_traffic,
+    mlec_annual_cross_rack_traffic,
+    slec_annual_cross_rack_traffic,
+    years_per_terabyte,
+)
+
+
+class TestSLECTraffic:
+    def test_network_slec_hundreds_of_tb_per_day(self):
+        """Paper: '(7+3) network SLEC requires hundreds of TB repair
+        network traffic every day'."""
+        scheme = SLECScheme(SLECParams(7, 3), Level.NETWORK, Placement.DECLUSTERED)
+        rate = slec_annual_cross_rack_traffic(scheme)
+        assert 100 < rate.tb_per_day < 1000
+
+    def test_local_slec_is_free(self):
+        scheme = SLECScheme(SLECParams(7, 3), Level.LOCAL, Placement.CLUSTERED)
+        assert slec_annual_cross_rack_traffic(scheme).bytes_per_year == 0.0
+
+
+class TestLRCTraffic:
+    def test_lrc_below_equivalent_network_slec(self):
+        """§5.2.4: LRC's local groups shrink repair reads vs network SLEC
+        at comparable durability (wider stripes)."""
+        lrc = LRCScheme(LRCParams(14, 2, 4))
+        slec = SLECScheme(SLECParams(14, 6), Level.NETWORK, Placement.DECLUSTERED)
+        assert (
+            lrc_annual_cross_rack_traffic(lrc).tb_per_day
+            < slec_annual_cross_rack_traffic(slec).tb_per_day
+        )
+
+    def test_lrc_still_substantial(self):
+        lrc = LRCScheme(LRCParams(14, 2, 4))
+        assert lrc_annual_cross_rack_traffic(lrc).tb_per_day > 50
+
+
+class TestMLECTraffic:
+    def test_mlec_tb_every_thousands_of_years(self):
+        """Paper: 'MLEC only requires a few TB repair network traffic every
+        thousand of years'."""
+        scheme = mlec_scheme_from_name("C/D", PAPER_MLEC)
+        pool_rate = local_pool_catastrophic_rate(scheme)
+        rate = mlec_annual_cross_rack_traffic(
+            scheme,
+            RepairMethod.R_MIN,
+            catastrophic_pool_rate_per_year=pool_rate * scheme.total_local_pools,
+        )
+        assert years_per_terabyte(rate) > 1_000
+
+    def test_orders_of_magnitude_vs_slec(self):
+        mlec = mlec_scheme_from_name("C/D", PAPER_MLEC)
+        pool_rate = local_pool_catastrophic_rate(mlec)
+        mlec_rate = mlec_annual_cross_rack_traffic(
+            mlec, RepairMethod.R_MIN,
+            catastrophic_pool_rate_per_year=pool_rate * mlec.total_local_pools,
+        )
+        slec = SLECScheme(SLECParams(7, 3), Level.NETWORK, Placement.DECLUSTERED)
+        slec_rate = slec_annual_cross_rack_traffic(slec)
+        assert slec_rate.bytes_per_year / max(mlec_rate.bytes_per_year, 1e-30) > 1e6
+
+    def test_rall_pays_more_than_rmin(self):
+        scheme = mlec_scheme_from_name("C/D", PAPER_MLEC)
+        kwargs = dict(catastrophic_pool_rate_per_year=1e-4)
+        r_all = mlec_annual_cross_rack_traffic(scheme, RepairMethod.R_ALL, **kwargs)
+        r_min = mlec_annual_cross_rack_traffic(scheme, RepairMethod.R_MIN, **kwargs)
+        assert r_all.bytes_per_year > 1000 * r_min.bytes_per_year
+
+    def test_infinite_years_for_zero_traffic(self):
+        scheme = mlec_scheme_from_name("C/D", PAPER_MLEC)
+        rate = mlec_annual_cross_rack_traffic(
+            scheme, RepairMethod.R_MIN, catastrophic_pool_rate_per_year=0.0
+        )
+        assert years_per_terabyte(rate) == float("inf")
