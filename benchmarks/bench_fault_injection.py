@@ -1,0 +1,31 @@
+"""Chaos-campaign throughput: the full fault-injection sweep.
+
+Times a complete robustness campaign -- every standard fault scenario
+(rack outage, transient offline, latent sector errors, bandwidth
+degradation) against C/C and D/D with invariants audited after every
+event -- and emits the structured robustness report.
+"""
+
+from _harness import emit
+from _harness import once
+
+from repro.faults import ChaosCampaign
+
+
+def run_campaign():
+    campaign = ChaosCampaign(schemes=("C/C", "D/D"), trials=3)
+    return campaign.run(seed=0)
+
+
+def test_fault_injection_campaign(benchmark):
+    report = once(benchmark, run_campaign)
+    emit("fault_injection_campaign", report.to_text())
+
+    assert report.total_invariant_violations == 0
+    assert report.total_events_checked > 1000
+    # Correlated rack loss must hurt the fully clustered scheme the most.
+    cc = report.cell("rack-outage", "C/C")
+    dd = report.cell("rack-outage", "D/D")
+    assert cc.pdl >= dd.pdl
+    # Transient faults cost availability, never durability.
+    assert report.cell("transient-offline", "C/C").pdl == 0.0

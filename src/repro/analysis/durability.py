@@ -19,11 +19,9 @@ All results are 1-year durabilities expressed in nines.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
-from ..core.config import BandwidthConfig, FailureConfig, YEAR
+from ..core.config import BandwidthConfig, FailureConfig
 from ..core.scheme import LRCScheme, MLECScheme, SLECScheme
 from ..core.types import Level, Placement, RepairMethod
 from ..repair.bandwidth import BandwidthModel

@@ -8,6 +8,7 @@ Operator-facing entry points over the library's analyses::
     mlec-sim durability C/D --method RMIN --detection-minutes 1
     mlec-sim tradeoff C/D --top 10
     mlec-sim simulate C/D --months 3 --afr 0.05 --seed 7
+    mlec-sim chaos --schemes C/C,D/D --trials 5 --seed 0
 
 Code parameters are written ``kn+pn/kl+pl`` (MLEC).  All other knobs
 default to the paper's §3 setup.
@@ -205,6 +206,31 @@ def cmd_traffic(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .faults import ChaosCampaign, standard_scenarios
+
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    if not schemes:
+        raise ValueError("--schemes must name at least one MLEC scheme")
+    scenarios = standard_scenarios()
+    if args.scenario:
+        by_name = {s.name: s for s in scenarios}
+        unknown = [n for n in args.scenario if n not in by_name]
+        if unknown:
+            raise ValueError(
+                f"unknown scenario(s) {unknown}; "
+                f"available: {sorted(by_name)}"
+            )
+        scenarios = tuple(by_name[n] for n in args.scenario)
+    campaign = ChaosCampaign(
+        schemes=schemes, params=args.code, trials=args.trials,
+        scenarios=scenarios,
+    )
+    report = campaign.run(seed=args.seed)
+    print(report.to_text())
+    return 1 if report.total_invariant_violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mlec-sim",
@@ -263,13 +289,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_simulate)
 
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign with invariant auditing",
+    )
+    p.add_argument(
+        "--schemes", default=",".join(MLEC_SCHEME_NAMES),
+        help="comma-separated scheme names (default: all four)",
+    )
+    p.add_argument(
+        "--code", type=parse_mlec_code, default=MLECParams(10, 2, 17, 3),
+        help="code parameters kn+pn/kl+pl (default: the paper's 10+2/17+3)",
+    )
+    p.add_argument(
+        "--scenario", action="append", default=None,
+        help="restrict to a named scenario (repeatable; default: all)",
+    )
+    p.add_argument("--trials", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_chaos)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Invalid inputs (bad scheme/code/topology combinations, broken traces,
+    out-of-range fault domains) exit with code 2 and a one-line diagnostic
+    on stderr instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        print(f"mlec-sim: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

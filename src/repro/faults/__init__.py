@@ -1,0 +1,43 @@
+"""Correlated fault injection, invariants, and chaos campaigns.
+
+This package stresses the event-driven simulator beyond independent disk
+failures: whole-domain outages, transient unavailability, latent sector
+errors, and repair-bandwidth degradation, with conservation-law invariants
+audited after every event and a campaign runner that compares how the four
+MLEC schemes degrade.
+"""
+
+from .campaign import (
+    CampaignCell,
+    ChaosCampaign,
+    ChaosScenario,
+    RobustnessReport,
+    chaos_datacenter,
+    standard_scenarios,
+)
+from .events import (
+    BandwidthDegradation,
+    EnclosureOutage,
+    FaultEvent,
+    RackOutage,
+    SectorErrorBurst,
+)
+from .injector import FaultInjector
+from .invariants import InvariantChecker, InvariantViolation
+
+__all__ = [
+    "FaultEvent",
+    "RackOutage",
+    "EnclosureOutage",
+    "SectorErrorBurst",
+    "BandwidthDegradation",
+    "FaultInjector",
+    "InvariantChecker",
+    "InvariantViolation",
+    "ChaosScenario",
+    "ChaosCampaign",
+    "CampaignCell",
+    "RobustnessReport",
+    "chaos_datacenter",
+    "standard_scenarios",
+]

@@ -1,0 +1,144 @@
+"""Correlated fault descriptions (paper Table 1 / §2.3 failure taxonomy).
+
+The paper's simulator injects failures "based on distributions, rules, or
+real traces"; this module adds the *correlated* fault classes that the
+per-disk :class:`repro.sim.failures.FailureModel` protocol cannot express:
+
+* :class:`RackOutage` / :class:`EnclosureOutage` -- a whole failure domain
+  goes down at once, either permanently (all disks fail and must be
+  rebuilt) or transiently (data is unavailable until the domain returns);
+* :class:`SectorErrorBurst` -- latent sector errors silently corrupt
+  chunks on a disk; nothing notices until a scrub pass or a repair read
+  touches them;
+* :class:`BandwidthDegradation` -- the repair bandwidth budget drops for a
+  window (cross-rack congestion, a throttled maintenance link), forcing
+  in-flight network-stage repairs to stall and re-plan.
+
+Each description is an immutable, validated value object.  The
+:class:`repro.faults.injector.FaultInjector` turns a set of them into
+concrete simulator events on top of any base failure model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+__all__ = [
+    "FaultEvent",
+    "RackOutage",
+    "EnclosureOutage",
+    "SectorErrorBurst",
+    "BandwidthDegradation",
+]
+
+
+def _check_time(name: str, value: float) -> None:
+    if math.isnan(value) or math.isinf(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative time, got {value}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """Base class: something bad happens at ``time`` (seconds)."""
+
+    time: float
+
+    def __post_init__(self) -> None:
+        _check_time("time", self.time)
+
+
+@dataclasses.dataclass(frozen=True)
+class RackOutage(FaultEvent):
+    """A whole rack goes down at ``time``.
+
+    ``duration=None`` means the outage is *permanent*: every disk in the
+    rack fails and its data must be rebuilt.  A finite ``duration`` means
+    the rack is transiently offline (power/switch event) and returns with
+    its data intact after ``duration`` seconds.
+    """
+
+    rack: int = 0
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rack < 0:
+            raise ValueError(f"rack must be non-negative, got {self.rack}")
+        if self.duration is not None:
+            _check_time("duration", self.duration)
+            if self.duration == 0:
+                raise ValueError("transient outage duration must be positive")
+
+    @property
+    def permanent(self) -> bool:
+        return self.duration is None
+
+
+@dataclasses.dataclass(frozen=True)
+class EnclosureOutage(FaultEvent):
+    """One enclosure of a rack goes down (same semantics as RackOutage)."""
+
+    rack: int = 0
+    enclosure: int = 0
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rack < 0 or self.enclosure < 0:
+            raise ValueError("rack and enclosure must be non-negative")
+        if self.duration is not None:
+            _check_time("duration", self.duration)
+            if self.duration == 0:
+                raise ValueError("transient outage duration must be positive")
+
+    @property
+    def permanent(self) -> bool:
+        return self.duration is None
+
+
+@dataclasses.dataclass(frozen=True)
+class SectorErrorBurst(FaultEvent):
+    """``chunks`` chunks on ``disk`` become silently unreadable at ``time``.
+
+    The corruption is *latent*: the simulator only learns about it when a
+    scrub pass runs, when the pool performs a repair (repair reads touch
+    every surviving disk), or -- worst case -- when a failure leaves a
+    stripe depending on the corrupt chunk, which converts the latent error
+    into a locally-unrecoverable stripe.
+    """
+
+    disk: int = 0
+    chunks: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.disk < 0:
+            raise ValueError(f"disk must be non-negative, got {self.disk}")
+        if self.chunks <= 0:
+            raise ValueError(f"chunks must be positive, got {self.chunks}")
+
+
+@dataclasses.dataclass(frozen=True)
+class BandwidthDegradation(FaultEvent):
+    """Repair bandwidth drops to a fraction of nominal for a window.
+
+    ``network_factor`` scales the cross-rack (network-stage) repair rate
+    and ``local_factor`` the in-pool disk repair rate; both return to 1.0
+    when the window closes.  Windows should not overlap -- the simulator
+    applies factors last-writer-wins.
+    """
+
+    duration: float = 0.0
+    network_factor: float = 1.0
+    local_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_time("duration", self.duration)
+        if self.duration == 0:
+            raise ValueError("degradation window duration must be positive")
+        for name in ("network_factor", "local_factor"):
+            v = getattr(self, name)
+            if math.isnan(v) or not 0 < v <= 1:
+                raise ValueError(f"{name} must be in (0, 1], got {v}")

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from ..core.config import DatacenterConfig, FailureConfig, YEAR
+from ..core.config import DatacenterConfig, FailureConfig
 from ..core.scheme import LRCScheme, MLECScheme, SLECScheme
 from ..core.types import Level, RepairMethod
 from .methods import CatastrophicRepairModel

@@ -13,7 +13,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_heatmap", "format_bar_chart"]
+__all__ = ["format_table", "format_matrix", "format_heatmap", "format_bar_chart"]
 
 
 def format_table(
@@ -48,6 +48,28 @@ def format_table(
     for row in cells:
         lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_matrix(
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    values: np.ndarray,
+    title: str | None = None,
+    corner: str = "",
+) -> str:
+    """Render a labelled 2-D matrix as an aligned table.
+
+    Row labels become the first column (header ``corner``); ``values`` must
+    be shaped ``(len(row_labels), len(col_labels))``.
+    """
+    values = np.asarray(values)
+    if values.shape != (len(row_labels), len(col_labels)):
+        raise ValueError("values shape does not match labels")
+    rows = [
+        [str(label), *(float(v) for v in row)]
+        for label, row in zip(row_labels, values)
+    ]
+    return format_table([corner, *(str(c) for c in col_labels)], rows, title=title)
 
 
 #: Log-PDL glyph ramp: '.' ~ zero through '#' ~ certain loss.

@@ -22,7 +22,6 @@ Averaging evaluator outputs over generator samples gives the heatmap cell.
 
 from __future__ import annotations
 
-import dataclasses
 
 import numpy as np
 

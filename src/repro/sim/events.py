@@ -10,6 +10,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import heapq
+import math
 from typing import Any
 
 __all__ = ["EventType", "Event", "EventQueue"]
@@ -23,6 +24,11 @@ class EventType(enum.Enum):
     REPAIR_COMPLETE = "repair-complete"
     POOL_CATASTROPHIC = "pool-catastrophic"
     POOL_RESTORED = "pool-restored"
+    TRANSIENT_OFFLINE = "transient-offline"
+    TRANSIENT_ONLINE = "transient-online"
+    SECTOR_ERROR = "sector-error"
+    BANDWIDTH_CHANGE = "bandwidth-change"
+    SCRUB = "scrub"
     END_OF_MISSION = "end-of-mission"
 
 
@@ -53,7 +59,20 @@ class EventQueue:
         return len(self._heap) - len(self._dead)
 
     def push(self, time: float, kind: EventType, payload: Any = None) -> int:
-        """Schedule an event; returns a handle usable with :meth:`cancel`."""
+        """Schedule an event; returns a handle usable with :meth:`cancel`.
+
+        Rejects corrupt timestamps outright: NaN (undefined ordering),
+        negative times, and infinite times for anything other than an
+        :attr:`EventType.END_OF_MISSION` sentinel.
+        """
+        if math.isnan(time):
+            raise ValueError(f"event time must not be NaN ({kind})")
+        if time < 0:
+            raise ValueError(f"event time must be non-negative: {time}")
+        if math.isinf(time) and kind is not EventType.END_OF_MISSION:
+            raise ValueError(
+                f"only END_OF_MISSION may be scheduled at infinity, not {kind}"
+            )
         if time < self.now:
             raise ValueError(
                 f"cannot schedule into the past: {time} < now={self.now}"

@@ -34,7 +34,6 @@ for durability: how long the pool dwells one failure away from catastrophe.
 from __future__ import annotations
 
 import dataclasses
-import math
 
 import numpy as np
 

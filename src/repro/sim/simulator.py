@@ -16,6 +16,20 @@ replay), any MLEC scheme, and any repair method:
   stripe-sharing probability the analytic models use) and records a data
   loss.
 
+Beyond plain disk deaths the simulator understands the correlated fault
+events injected by :class:`repro.faults.FaultInjector`:
+
+* ``TRANSIENT_OFFLINE`` / ``TRANSIENT_ONLINE`` -- a rack or enclosure
+  drops out and returns with its data intact; the affected pools run
+  *degraded* (the outage counts toward unavailability, not data loss);
+* ``SECTOR_ERROR`` -- latent corrupt chunks accumulate silently and are
+  only found by a ``SCRUB`` pass, by repair reads, or -- worst case -- when
+  a failure leaves a stripe depending on a corrupt chunk, which escalates
+  into a catastrophic (network-stage) repair;
+* ``BANDWIDTH_CHANGE`` -- the repair-bandwidth budget changes mid-flight;
+  every active network-stage repair banks the progress it made at the old
+  rate and re-plans its completion against the new one.
+
 At the paper's 1% AFR catastrophic events are (by design!) vanishingly
 rare, so PDL measurement through this simulator alone is only practical in
 accelerated or burst-injected scenarios -- exactly why the paper adds the
@@ -27,6 +41,8 @@ behaviour under correlated bursts from synthetic or replayed traces.
 from __future__ import annotations
 
 import dataclasses
+import math
+from typing import Callable
 
 import numpy as np
 
@@ -36,7 +52,7 @@ from ..core.scheme import MLECScheme
 from ..core.types import Placement, RepairMethod
 from ..repair.bandwidth import BandwidthModel
 from ..topology.datacenter import DatacenterTopology
-from .events import EventQueue, EventType
+from .events import Event, EventQueue, EventType
 from .failures import ExponentialFailures, FailureModel
 
 __all__ = ["DataLossEvent", "SystemSimResult", "MLECSystemSimulator"]
@@ -52,7 +68,11 @@ class DataLossEvent:
 
 @dataclasses.dataclass
 class SystemSimResult:
-    """Aggregate outcome of one system run."""
+    """Aggregate outcome of one system run.
+
+    The trailing block of fields is the degraded-mode accounting added for
+    fault injection; it stays at its zero defaults for plain runs.
+    """
 
     mission_time: float
     n_disk_failures: int
@@ -61,6 +81,19 @@ class SystemSimResult:
     cross_rack_repair_bytes: float
     local_repair_bytes: float
     max_concurrent_catastrophic: int
+    # --- fault-injection / degraded-mode accounting -------------------
+    n_transient_outages: int = 0
+    n_unavailability_events: int = 0
+    offline_disk_seconds: float = 0.0
+    n_sector_errors: int = 0
+    n_latent_errors_detected: int = 0
+    n_latent_induced_catastrophes: int = 0
+    scrub_repair_bytes: float = 0.0
+    n_scrubs: int = 0
+    n_bandwidth_changes: int = 0
+    n_repair_replans: int = 0
+    net_repair_seconds: float = 0.0
+    degraded_repair_seconds: float = 0.0
 
     @property
     def lost_data(self) -> bool:
@@ -70,15 +103,85 @@ class SystemSimResult:
 class _PoolState:
     """Damage bookkeeping for one local pool (see local_pool.py)."""
 
-    __slots__ = ("failed", "work", "catastrophic_until")
+    __slots__ = ("failed", "offline", "work")
 
     def __init__(self, parities: int) -> None:
         self.failed = 0
+        self.offline = 0
         self.work = np.zeros(parities + 1)
-        self.catastrophic_until = -1.0
 
     def is_idle(self) -> bool:
-        return self.failed == 0 and not self.work.any()
+        return self.failed == 0 and self.offline == 0 and not self.work.any()
+
+
+class _NetRepair:
+    """One in-flight network-stage repair of a catastrophic pool.
+
+    ``remaining`` bytes still to rebuild; ``clock`` is the last time the
+    repair's progress was banked (starts at ``ready_at``, the end of the
+    detection window, so no progress accrues before detection).
+    """
+
+    __slots__ = ("ready_at", "remaining", "clock")
+
+    def __init__(self, ready_at: float, remaining: float) -> None:
+        self.ready_at = ready_at
+        self.remaining = remaining
+        self.clock = ready_at
+
+
+class _RunState:
+    """All mutable state of one simulation run.
+
+    Exposed read-only to observers (see ``MLECSystemSimulator.run``); the
+    invariant checker in :mod:`repro.faults.invariants` audits these fields
+    after every event.
+    """
+
+    __slots__ = (
+        "rng", "pools", "net_repairs", "latent", "offline_since",
+        "net_factor", "local_factor", "losses",
+        "n_failures", "n_catastrophic", "cross_rack_bytes", "local_bytes",
+        "max_concurrent",
+        "n_transient_outages", "n_unavail", "offline_disk_seconds",
+        "n_sector_errors", "n_latent_detected", "n_latent_induced",
+        "n_latent_induced_chunks", "scrub_repair_bytes", "n_scrubs",
+        "n_bandwidth_changes", "n_repair_replans",
+        "net_repair_seconds", "degraded_repair_seconds",
+    )
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self.pools: dict[int, _PoolState] = {}
+        self.net_repairs: dict[int, _NetRepair] = {}
+        self.latent: dict[int, int] = {}  # pool id -> latent corrupt chunks
+        self.offline_since: dict[int, float] = {}  # disk id -> offline time
+        self.net_factor = 1.0
+        self.local_factor = 1.0
+        self.losses: list[DataLossEvent] = []
+        self.n_failures = 0
+        self.n_catastrophic = 0
+        self.cross_rack_bytes = 0.0
+        self.local_bytes = 0.0
+        self.max_concurrent = 0
+        self.n_transient_outages = 0
+        self.n_unavail = 0
+        self.offline_disk_seconds = 0.0
+        self.n_sector_errors = 0
+        self.n_latent_detected = 0
+        self.n_latent_induced = 0
+        self.n_latent_induced_chunks = 0
+        self.scrub_repair_bytes = 0.0
+        self.n_scrubs = 0
+        self.n_bandwidth_changes = 0
+        self.n_repair_replans = 0
+        self.net_repair_seconds = 0.0
+        self.degraded_repair_seconds = 0.0
+
+
+#: Observer signature: called after every processed event with the event
+#: and the (read-only) run state.
+SimObserver = Callable[[Event, _RunState], None]
 
 
 class MLECSystemSimulator:
@@ -94,6 +197,9 @@ class MLECSystemSimulator:
         Bandwidth and failure/detection configuration (paper defaults).
     failure_model:
         Per-disk failure model; defaults to the configured exponential AFR.
+        A :class:`repro.faults.FaultInjector` (anything exposing a
+        ``schedule(queue, mission_time)`` hook) additionally injects
+        correlated fault events at run start.
     """
 
     def __init__(
@@ -175,12 +281,282 @@ class MLECSystemSimulator:
         return (rack // s.network_group_racks) * ppr + pool_id % ppr
 
     # ------------------------------------------------------------------
-    def run(self, mission_time: float = YEAR, seed: int = 0) -> SystemSimResult:
-        """Run the system for ``mission_time`` seconds."""
+    # Network-stage repair progress
+    # ------------------------------------------------------------------
+    def _advance_net_repairs(self, st: _RunState, now: float) -> None:
+        """Bank progress of every in-flight network repair up to ``now``.
+
+        Progress is linear at the *current* effective rate, so this must be
+        called (and is) before every rate change; completed repairs leave
+        the catastrophic set.
+        """
+        rate = self._network_rate * st.net_factor
+        done = []
+        for pool_id, rep in st.net_repairs.items():
+            if now > rep.clock:
+                capacity = (now - rep.clock) * rate
+                progress = min(rep.remaining, capacity)
+                if progress > 0:
+                    active = progress / rate
+                    st.net_repair_seconds += active
+                    if st.net_factor < 1.0:
+                        st.degraded_repair_seconds += active
+                rep.remaining -= progress
+                rep.clock = now
+            if rep.remaining <= 1e-6:
+                done.append(pool_id)
+        for pool_id in done:
+            del st.net_repairs[pool_id]
+
+    def _check_data_loss(
+        self, st: _RunState, now: float, pool_id: int, rho: float
+    ) -> None:
+        self._advance_net_repairs(st, now)
         s = self.scheme
+        key = self._co_stripe_key(pool_id)
+        ppr = s.local_pools_per_rack
+        concurrent = {
+            pid for pid in st.net_repairs
+            if self._co_stripe_key(pid) == key
+        }
+        concurrent.add(pool_id)
+        racks = {pid // ppr for pid in concurrent}
+        st.max_concurrent = max(st.max_concurrent, len(concurrent))
+        if len(racks) >= s.params.p_n + 1:
+            if st.rng.random() < self._share_probability(len(racks), rho):
+                st.losses.append(
+                    DataLossEvent(time=now, pools=tuple(sorted(concurrent)))
+                )
+
+    def _register_catastrophe(
+        self,
+        st: _RunState,
+        now: float,
+        pool_id: int,
+        lost_stripes: float,
+        latent_induced: bool = False,
+    ) -> None:
+        s = self.scheme
+        st.n_catastrophic += 1
+        if latent_induced:
+            st.n_latent_induced += 1
+        rho = lost_stripes / self._stripes_per_pool
+        rebuild = self._network_stage_bytes(lost_stripes)
+        st.cross_rack_bytes += rebuild * (s.params.k_n + 1)
+        self._check_data_loss(st, now, pool_id, rho)
+        rep = st.net_repairs.get(pool_id)
+        if rep is None:
+            st.net_repairs[pool_id] = _NetRepair(
+                now + self.failures.detection_time, rebuild
+            )
+        else:
+            # Window extension (not accumulation): matches the previous
+            # "max(old window end, new window end)" semantics.
+            rep.remaining = max(rep.remaining, rebuild)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_disk_failure(
+        self, st: _RunState, event: Event, queue: EventQueue, mission_time: float
+    ) -> None:
+        s = self.scheme
+        p_l = s.params.p_l
+        now = event.time
+        st.n_failures += 1
+        disk = event.payload
+        pool_id = self._pool_of_disk(disk)
+        state = st.pools.setdefault(pool_id, _PoolState(p_l))
+        latent = st.latent.get(pool_id, 0)
+
+        # Catastrophe test: does the new failure hit outstanding
+        # damage-p_l stripes (or, with latent sector errors present, push
+        # a damage-p_l stripe over the edge via a corrupt chunk)?
+        lost_stripes = 0.0
+        latent_induced = False
+        if self._clustered:
+            if state.failed >= p_l:
+                lost_stripes = self._stripes_per_pool
+            elif latent and state.failed == p_l - 1:
+                # p_l concurrent failures; every stripe holding a latent
+                # chunk now has p_l+1 unreadable chunks.
+                lost_stripes = float(min(latent, int(self._stripes_per_pool)))
+                latent_induced = True
+                st.latent.pop(pool_id, None)
+                st.n_latent_detected += latent
+                st.n_latent_induced_chunks += latent
+        elif state.work[p_l] > 1e-6:
+            hits = state.work[p_l] * (
+                (s.params.n_l - p_l) / (s.local_pool_disks - p_l)
+            )
+            if latent:
+                # Chance that a damage-p_l stripe also depends on one of
+                # the pool's latent chunks (uniform spread approximation).
+                surviving = (s.local_pool_disks - p_l) * self._chunks_per_disk
+                hits += state.work[p_l] * latent * (s.params.n_l - p_l) / surviving
+            if st.rng.random() < min(1.0, hits):
+                lost_stripes = max(1.0, hits)
+
+        if lost_stripes > 0.0:
+            self._register_catastrophe(
+                st, now, pool_id, lost_stripes, latent_induced
+            )
+
+        # Damage bookkeeping (promotion of unrepaired damage).
+        combined_before = state.failed + state.offline
+        if not self._clustered:
+            for d in range(p_l - 1, 0, -1):
+                share = (s.params.n_l - d) / (s.local_pool_disks - d)
+                promoted = state.work[d] * share
+                state.work[d + 1] += promoted
+                state.work[d] -= promoted
+            state.work[1] += self._chunks_per_disk
+        state.failed = min(state.failed + 1, p_l)
+        if combined_before <= p_l < state.failed + state.offline:
+            # Together with transiently offline disks the pool now exceeds
+            # its parity budget: data is unavailable (not lost) until the
+            # offline disks return.
+            st.n_unavail += 1
+        # Local drain: this failure's data is restored after the local
+        # repair latency (coarse but conservative for the damage window;
+        # the pool-level simulator refines this).  A degraded local
+        # bandwidth budget stretches the drain accordingly.
+        local_disk_time = (
+            self.failures.detection_time
+            + s.dc.disk_capacity_bytes / (self._local_rate * st.local_factor)
+        )
+        queue.push(now + local_disk_time, EventType.REPAIR_COMPLETE, pool_id)
+        st.local_bytes += s.dc.disk_capacity_bytes
+        # Replacement disk enters service.
+        t = self.failure_model.time_to_failure(st.rng, disk, now)
+        if t <= mission_time:
+            queue.push(t, EventType.DISK_FAILURE, disk)
+
+    def _on_repair_complete(self, st: _RunState, event: Event) -> None:
+        s = self.scheme
+        p_l = s.params.p_l
+        pool_id = event.payload
+        state = st.pools.get(pool_id)
+        if state is None:
+            return
+        state.failed = max(0, state.failed - 1)
+        if not self._clustered:
+            # One disk's worth of chunk repairs drains, highest classes
+            # first.
+            budget = self._chunks_per_disk
+            for d in range(p_l, 0, -1):
+                take = min(state.work[d], budget)
+                state.work[d] -= take
+                budget -= take
+                if budget <= 0:
+                    break
+        # Repair reads sweep the pool's surviving disks, so any latent
+        # sector errors are detected (and re-written) as a side effect.
+        latent = st.latent.pop(pool_id, 0)
+        if latent:
+            st.n_latent_detected += latent
+            st.scrub_repair_bytes += latent * s.dc.chunk_size_bytes
+        if state.is_idle():
+            st.pools.pop(pool_id, None)
+
+    def _on_transient_offline(self, st: _RunState, event: Event) -> None:
+        p_l = self.scheme.params.p_l
+        now = event.time
+        st.n_transient_outages += 1
+        by_pool: dict[int, int] = {}
+        for disk in event.payload:
+            if disk in st.offline_since:  # overlapping outages: keep first
+                continue
+            st.offline_since[disk] = now
+            pool_id = self._pool_of_disk(disk)
+            by_pool[pool_id] = by_pool.get(pool_id, 0) + 1
+        for pool_id, count in by_pool.items():
+            state = st.pools.setdefault(pool_id, _PoolState(p_l))
+            before = state.failed + state.offline
+            state.offline += count
+            if before <= p_l < state.failed + state.offline:
+                st.n_unavail += 1
+
+    def _on_transient_online(self, st: _RunState, event: Event) -> None:
+        now = event.time
+        touched = set()
+        for disk in event.payload:
+            start = st.offline_since.pop(disk, None)
+            if start is None:
+                continue
+            st.offline_disk_seconds += now - start
+            pool_id = self._pool_of_disk(disk)
+            state = st.pools.get(pool_id)
+            if state is not None:
+                state.offline = max(0, state.offline - 1)
+                touched.add(pool_id)
+        for pool_id in touched:
+            state = st.pools.get(pool_id)
+            if state is not None and state.is_idle():
+                st.pools.pop(pool_id, None)
+
+    def _on_sector_error(self, st: _RunState, event: Event) -> None:
+        disk, chunks = event.payload
+        pool_id = self._pool_of_disk(disk)
+        st.latent[pool_id] = st.latent.get(pool_id, 0) + chunks
+        st.n_sector_errors += chunks
+
+    def _on_scrub(self, st: _RunState, event: Event) -> None:
+        del event
+        st.n_scrubs += 1
+        if not st.latent:
+            return
+        chunk = self.scheme.dc.chunk_size_bytes
+        for chunks in st.latent.values():
+            st.n_latent_detected += chunks
+            st.scrub_repair_bytes += chunks * chunk
+        st.latent.clear()
+
+    def _on_bandwidth_change(self, st: _RunState, event: Event) -> None:
+        net_factor, local_factor = event.payload
+        for name, factor in (("network", net_factor), ("local", local_factor)):
+            if math.isnan(factor) or not 0 < factor <= 1:
+                raise ValueError(
+                    f"{name} bandwidth factor must be in (0, 1], got {factor}"
+                )
+        # Bank progress at the old rate, then re-plan every in-flight
+        # network repair against the new one.
+        self._advance_net_repairs(st, event.time)
+        if st.net_repairs and net_factor != st.net_factor:
+            st.n_repair_replans += len(st.net_repairs)
+        st.net_factor = net_factor
+        st.local_factor = local_factor
+        st.n_bandwidth_changes += 1
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        mission_time: float = YEAR,
+        seed: int = 0,
+        observer: SimObserver | None = None,
+    ) -> SystemSimResult:
+        """Run the system for ``mission_time`` seconds.
+
+        ``observer``, if given, is called as ``observer(event, state)``
+        after every processed event (including END_OF_MISSION) -- the hook
+        the chaos campaign uses to enforce simulator invariants.  Observers
+        must treat the state as read-only.
+        """
+        if math.isnan(mission_time) or not mission_time > 0:
+            raise ValueError(
+                f"mission_time must be a positive number of seconds, "
+                f"got {mission_time!r}"
+            )
+        if math.isinf(mission_time):
+            raise ValueError("mission_time must be finite")
         rng = np.random.default_rng(seed)
         queue = EventQueue()
         queue.push(mission_time, EventType.END_OF_MISSION)
+
+        # Correlated-fault injection hook (see repro.faults.FaultInjector).
+        schedule = getattr(self.failure_model, "schedule", None)
+        if callable(schedule):
+            schedule(queue, mission_time)
 
         # Initial per-disk failure schedules.  Exponential models allow a
         # fast vectorized path; generic models fall back to the protocol.
@@ -196,129 +572,57 @@ class MLECSystemSimulator:
                 if t <= mission_time:
                     queue.push(t, EventType.DISK_FAILURE, disk)
 
-        pools: dict[int, _PoolState] = {}
-        catastrophic: dict[int, float] = {}  # pool id -> window end time
-        p_l = s.params.p_l
-        threshold = s.params.p_n + 1
-
-        n_failures = 0
-        n_catastrophic = 0
-        cross_rack_bytes = 0.0
-        local_bytes = 0.0
-        max_concurrent = 0
-        losses: list[DataLossEvent] = []
-        # Local repair is modelled as a fixed-latency drain per pool: each
-        # failure's data is restored one local-repair time after detection.
-        local_disk_time = (
-            self.failures.detection_time
-            + s.dc.disk_capacity_bytes / self._local_rate
-        )
-
-        def check_data_loss(now: float, pool_id: int, rho: float) -> None:
-            nonlocal max_concurrent
-            # Prune expired windows.
-            for pid in [p for p, until in catastrophic.items() if until <= now]:
-                del catastrophic[pid]
-            key = self._co_stripe_key(pool_id)
-            ppr = s.local_pools_per_rack
-            concurrent = {
-                pid for pid in catastrophic
-                if self._co_stripe_key(pid) == key
-            }
-            concurrent.add(pool_id)
-            racks = {pid // ppr for pid in concurrent}
-            max_concurrent = max(max_concurrent, len(concurrent))
-            if len(racks) >= threshold:
-                if rng.random() < self._share_probability(len(racks), rho):
-                    losses.append(
-                        DataLossEvent(time=now, pools=tuple(sorted(concurrent)))
-                    )
-
+        st = _RunState(rng)
         while True:
             event = queue.pop()
             if event is None or event.kind is EventType.END_OF_MISSION:
+                # Bank the tail: repair progress and offline time up to
+                # the end of the mission.
+                self._advance_net_repairs(st, mission_time)
+                for start in st.offline_since.values():
+                    st.offline_disk_seconds += mission_time - start
+                if observer is not None and event is not None:
+                    observer(event, st)
                 break
-            now = event.time
 
-            if event.kind is EventType.DISK_FAILURE:
-                n_failures += 1
-                disk = event.payload
-                pool_id = self._pool_of_disk(disk)
-                state = pools.setdefault(pool_id, _PoolState(p_l))
-
-                # Catastrophe test: does the new failure hit outstanding
-                # damage-p_l stripes?
-                lost_stripes = 0.0
-                if self._clustered:
-                    if state.failed >= p_l:
-                        lost_stripes = self._stripes_per_pool
-                elif state.work[p_l] > 1e-6:
-                    hits = state.work[p_l] * (
-                        (s.params.n_l - p_l) / (s.local_pool_disks - p_l)
-                    )
-                    if rng.random() < min(1.0, hits):
-                        lost_stripes = max(1.0, hits)
-
-                if lost_stripes > 0.0:
-                    n_catastrophic += 1
-                    rho = lost_stripes / self._stripes_per_pool
-                    rebuild = self._network_stage_bytes(lost_stripes)
-                    window = (
-                        self.failures.detection_time
-                        + rebuild / self._network_rate
-                    )
-                    cross_rack_bytes += rebuild * (s.params.k_n + 1)
-                    check_data_loss(now, pool_id, rho)
-                    catastrophic[pool_id] = max(
-                        catastrophic.get(pool_id, 0.0), now + window
-                    )
-
-                # Damage bookkeeping (promotion of unrepaired damage).
-                if not self._clustered:
-                    for d in range(p_l - 1, 0, -1):
-                        share = (s.params.n_l - d) / (s.local_pool_disks - d)
-                        promoted = state.work[d] * share
-                        state.work[d + 1] += promoted
-                        state.work[d] -= promoted
-                    state.work[1] += self._chunks_per_disk
-                state.failed = min(state.failed + 1, p_l)
-                # Local drain: this failure's data is restored after the
-                # local repair latency (coarse but conservative for the
-                # damage window; the pool-level simulator refines this).
-                queue.push(
-                    now + local_disk_time, EventType.REPAIR_COMPLETE, pool_id
-                )
-                local_bytes += s.dc.disk_capacity_bytes
-                # Replacement disk enters service.
-                t = self.failure_model.time_to_failure(rng, disk, now)
-                if t <= mission_time:
-                    queue.push(t, EventType.DISK_FAILURE, disk)
-
-            elif event.kind is EventType.REPAIR_COMPLETE:
-                pool_id = event.payload
-                state = pools.get(pool_id)
-                if state is None:
-                    continue
-                state.failed = max(0, state.failed - 1)
-                if not self._clustered:
-                    # One disk's worth of chunk repairs drains, highest
-                    # classes first.
-                    budget = self._chunks_per_disk
-                    for d in range(p_l, 0, -1):
-                        take = min(state.work[d], budget)
-                        state.work[d] -= take
-                        budget -= take
-                        if budget <= 0:
-                            break
-                if state.is_idle():
-                    pools.pop(pool_id, None)
+            kind = event.kind
+            if kind is EventType.DISK_FAILURE:
+                self._on_disk_failure(st, event, queue, mission_time)
+            elif kind is EventType.REPAIR_COMPLETE:
+                self._on_repair_complete(st, event)
+            elif kind is EventType.TRANSIENT_OFFLINE:
+                self._on_transient_offline(st, event)
+            elif kind is EventType.TRANSIENT_ONLINE:
+                self._on_transient_online(st, event)
+            elif kind is EventType.SECTOR_ERROR:
+                self._on_sector_error(st, event)
+            elif kind is EventType.SCRUB:
+                self._on_scrub(st, event)
+            elif kind is EventType.BANDWIDTH_CHANGE:
+                self._on_bandwidth_change(st, event)
+            else:
+                raise ValueError(f"simulator cannot handle event kind {kind}")
+            if observer is not None:
+                observer(event, st)
 
         return SystemSimResult(
             mission_time=mission_time,
-            n_disk_failures=n_failures,
-            n_catastrophic_events=n_catastrophic,
-            data_loss_events=losses,
-            cross_rack_repair_bytes=cross_rack_bytes,
-            local_repair_bytes=local_bytes,
-            max_concurrent_catastrophic=max_concurrent,
+            n_disk_failures=st.n_failures,
+            n_catastrophic_events=st.n_catastrophic,
+            data_loss_events=st.losses,
+            cross_rack_repair_bytes=st.cross_rack_bytes,
+            local_repair_bytes=st.local_bytes,
+            max_concurrent_catastrophic=st.max_concurrent,
+            n_transient_outages=st.n_transient_outages,
+            n_unavailability_events=st.n_unavail,
+            offline_disk_seconds=st.offline_disk_seconds,
+            n_sector_errors=st.n_sector_errors,
+            n_latent_errors_detected=st.n_latent_detected,
+            n_latent_induced_catastrophes=st.n_latent_induced,
+            scrub_repair_bytes=st.scrub_repair_bytes,
+            n_scrubs=st.n_scrubs,
+            n_bandwidth_changes=st.n_bandwidth_changes,
+            n_repair_replans=st.n_repair_replans,
+            net_repair_seconds=st.net_repair_seconds,
+            degraded_repair_seconds=st.degraded_repair_seconds,
         )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.config import DatacenterConfig, LRCParams, MLECParams, SLECParams
+from repro.core.config import LRCParams, MLECParams, SLECParams
 from repro.core.scheme import LRCScheme, SLECScheme, mlec_scheme_from_name
 from repro.core.types import Level, Placement
 from repro.sim.burst import (

@@ -81,3 +81,22 @@ class TestCommands:
     def test_invalid_scheme_rejected(self):
         with pytest.raises(SystemExit):
             main(["info", "X/Y"])
+
+
+class TestErrorHandling:
+    """Invalid inputs exit with code 2 and a one-line diagnostic."""
+
+    def test_incompatible_code_exits_2(self, capsys):
+        # 16+3 = 19-disk pools do not divide the 120-disk enclosures.
+        assert main(["info", "C/C", "--code", "10+2/16+3"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("mlec-sim: error:")
+        assert err.count("\n") == 1
+
+    def test_non_positive_mission_exits_2(self, capsys):
+        assert main(["simulate", "C/C", "--months", "0"]) == 2
+        assert "mission_time" in capsys.readouterr().err
+
+    def test_bad_tradeoff_input_exits_2(self, capsys):
+        assert main(["durability", "C/C", "--afr", "2.0"]) == 2
+        assert "mlec-sim: error:" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """Durability models: Figure 10 findings, SLEC/LRC comparisons."""
 
-import pytest
 
 from repro.analysis.durability import (
     lrc_durability_nines,

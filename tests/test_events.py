@@ -1,4 +1,6 @@
-"""Event queue: ordering, determinism, cancellation."""
+"""Event queue: ordering, determinism, cancellation, time validation."""
+
+import math
 
 import pytest
 
@@ -61,4 +63,32 @@ class TestEventQueue:
         q = EventQueue()
         assert q.pop() is None
         assert q.peek_time() is None
+        assert len(q) == 0
+
+
+class TestTimeValidation:
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError, match="NaN"):
+            q.push(math.nan, EventType.DISK_FAILURE)
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError, match="non-negative"):
+            q.push(-1.0, EventType.DISK_FAILURE)
+
+    def test_infinite_time_rejected_for_ordinary_events(self):
+        q = EventQueue()
+        with pytest.raises(ValueError, match="END_OF_MISSION"):
+            q.push(math.inf, EventType.REPAIR_COMPLETE)
+
+    def test_infinite_end_of_mission_sentinel_allowed(self):
+        q = EventQueue()
+        q.push(math.inf, EventType.END_OF_MISSION)
+        assert q.pop().kind is EventType.END_OF_MISSION
+
+    def test_rejected_events_leave_queue_untouched(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(math.nan, EventType.DISK_FAILURE)
         assert len(q) == 0

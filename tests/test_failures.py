@@ -106,3 +106,21 @@ class TestTraceReplay:
         model = TraceFailures([(5.0, 1)])
         rng = np.random.default_rng(0)
         assert model.time_to_failure(rng, 1, 6.0) == math.inf
+
+    def test_duplicate_timestamps_collapse_to_one_failure(self):
+        """Two trace entries at the same instant for the same disk: the
+        replacement cannot fail at the moment it enters service, so the
+        duplicate is skipped and the next distinct time is replayed."""
+        model = TraceFailures([(50.0, 7), (50.0, 7), (80.0, 7)])
+        rng = np.random.default_rng(0)
+        assert model.time_to_failure(rng, 7, 0.0) == 50.0
+        assert model.time_to_failure(rng, 7, 50.0) == 80.0
+        assert model.time_to_failure(rng, 7, 80.0) == math.inf
+
+    def test_failure_exactly_at_in_service_time_is_not_replayed(self):
+        """Replay is strictly-after: a disk installed at t does not
+        immediately re-fail on a trace event stamped exactly t."""
+        model = TraceFailures([(100.0, 3)])
+        rng = np.random.default_rng(0)
+        assert model.time_to_failure(rng, 3, 100.0) == math.inf
+        assert model.time_to_failure(rng, 3, 99.999) == 100.0

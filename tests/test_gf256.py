@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.codes import gf256
 from repro.codes.gf256 import (
     EXP_TABLE,
     INV_TABLE,

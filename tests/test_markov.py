@@ -6,13 +6,12 @@ import numpy as np
 import pytest
 
 from repro.analysis.markov import (
-    PoolReliabilityChain,
     birth_death_mttdl,
     local_pool_catastrophic_rate,
     local_pool_reliability_chain,
     system_catastrophic_probability,
 )
-from repro.core.config import PAPER_MLEC, YEAR
+from repro.core.config import PAPER_MLEC
 from repro.core.scheme import mlec_scheme_from_name
 
 

@@ -1,6 +1,5 @@
 """Durability unit conversions."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,6 @@ from repro.core.config import DatacenterConfig, LRCParams, MLECParams, SLECParam
 from repro.core.scheme import (
     MLEC_SCHEME_NAMES,
     LRCScheme,
-    MLECScheme,
     SLECScheme,
     mlec_scheme_from_name,
 )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.config import LRCParams, SLECParams, YEAR, FailureConfig
+from repro.core.config import LRCParams, SLECParams, YEAR
 from repro.core.scheme import LRCScheme, SLECScheme
 from repro.core.types import Level, Placement
 from repro.repair.traffic_comparison import (

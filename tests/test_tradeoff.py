@@ -1,6 +1,5 @@
 """Trade-off sweeps: Figures 12 and 15 structure."""
 
-import pytest
 
 from repro.analysis.tradeoff import (
     enumerate_lrc_configs,

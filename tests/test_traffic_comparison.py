@@ -1,6 +1,5 @@
 """Long-run repair traffic: §5.1.4 and §5.2.4 prose claims."""
 
-import pytest
 
 from repro.analysis.markov import local_pool_catastrophic_rate
 from repro.core.config import PAPER_MLEC, LRCParams, SLECParams
