@@ -5,10 +5,28 @@ regenerated artifact is printed (visible with ``pytest -s``) *and* written
 to ``benchmarks/results/<name>.txt`` so that a plain
 ``pytest benchmarks/ --benchmark-only`` run leaves the full set of
 reproduced tables on disk for EXPERIMENTS.md-style comparison.
+
+Alongside the text artifact, every :func:`once` run emits a
+machine-readable ``benchmarks/results/BENCH_<name>.json`` record --
+wall-clock seconds, trial throughput, worker count, and the git SHA -- so
+the performance trajectory accumulates across commits (CI uploads these as
+workflow artifacts).
+
+Environment knobs for CI smoke runs:
+
+* ``MLEC_BENCH_TRIALS`` -- overrides the trial count of benchmarks that
+  opt in via :func:`scaled_trials` (smaller = faster smoke run).
+* ``MLEC_BENCH_WORKERS`` -- worker-process count for benchmarks that fan
+  trials out through :class:`repro.runtime.TrialRunner` (results are
+  worker-count-independent, so this only changes the timing).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -21,11 +39,69 @@ def emit(name: str, text: str) -> None:
     print(f"\n{text}")
 
 
-def once(benchmark, fn):
+def scaled_trials(default: int) -> int:
+    """Benchmark trial count, overridable via ``MLEC_BENCH_TRIALS``."""
+    override = os.environ.get("MLEC_BENCH_TRIALS", "").strip()
+    return max(1, int(override)) if override else default
+
+
+def bench_workers() -> int:
+    """Worker count for parallel benchmarks (``MLEC_BENCH_WORKERS``)."""
+    override = os.environ.get("MLEC_BENCH_WORKERS", "").strip()
+    return max(1, int(override)) if override else 1
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def emit_bench(
+    name: str,
+    *,
+    seconds: float,
+    trials: int | None = None,
+    workers: int = 1,
+) -> None:
+    """Persist one machine-readable benchmark telemetry record."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "name": name,
+        "wall_clock_seconds": seconds,
+        "trials": trials,
+        "trials_per_second": (
+            trials / seconds if trials is not None and seconds > 0 else None
+        ),
+        "workers": workers,
+        "git_sha": _git_sha(),
+        "unix_time": time.time(),
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def once(benchmark, fn, *, trials: int | None = None, workers: int = 1):
     """Run an expensive experiment exactly once under pytest-benchmark.
 
     The interesting output of these benchmarks is the regenerated figure,
     not a statistically tight timing distribution; one round keeps the
-    whole harness fast while still recording wall-clock cost.
+    whole harness fast while still recording wall-clock cost.  The timing
+    (plus ``trials``/``workers`` metadata when the caller supplies them)
+    lands in ``BENCH_<name>.json`` for the CI perf trajectory.
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    name = getattr(benchmark, "name", None) or getattr(fn, "__name__", "bench")
+    name = name.removeprefix("test_")
+    emit_bench(name, seconds=elapsed, trials=trials, workers=workers)
+    return result

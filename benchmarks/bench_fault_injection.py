@@ -6,19 +6,27 @@ degradation) against C/C and D/D with invariants audited after every
 event -- and emits the structured robustness report.
 """
 
-from _harness import emit
-from _harness import once
+from _harness import bench_workers, emit, once, scaled_trials
 
 from repro.faults import ChaosCampaign
 
+TRIALS = scaled_trials(3)
+WORKERS = bench_workers()
+
 
 def run_campaign():
-    campaign = ChaosCampaign(schemes=("C/C", "D/D"), trials=3)
+    campaign = ChaosCampaign(
+        schemes=("C/C", "D/D"), trials=TRIALS, workers=WORKERS
+    )
     return campaign.run(seed=0)
 
 
 def test_fault_injection_campaign(benchmark):
-    report = once(benchmark, run_campaign)
+    report = once(
+        benchmark, run_campaign,
+        trials=4 * 2 * TRIALS,  # scenarios x schemes x seeds
+        workers=WORKERS,
+    )
     emit("fault_injection_campaign", report.to_text())
 
     assert report.total_invariant_violations == 0

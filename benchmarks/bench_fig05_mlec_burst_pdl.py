@@ -6,24 +6,31 @@ and asserts the paper's Findings 1-7.
 """
 
 import numpy as np
-from _harness import emit, once
+from _harness import bench_workers, emit, once, scaled_trials
 
 from repro import PAPER_MLEC, mlec_scheme_from_name
 from repro.analysis.burst_dp import mlec_burst_pdl
 from repro.reporting import format_heatmap, format_table
+from repro.runtime import TrialRunner
 from repro.sim.burst import MLECBurstEvaluator, burst_pdl_grid
 
 SCHEMES = ("C/C", "C/D", "D/C", "D/D")
 FAILURES = np.array([12, 24, 36, 48, 60])
 RACKS = np.array([1, 2, 3, 6, 12, 30, 60])
+TRIALS = scaled_trials(25)
+WORKERS = bench_workers()
+# Monte-Carlo volume: every feasible (y >= x) heatmap cell of every scheme.
+N_CELLS = int(sum((FAILURES >= x).sum() for x in RACKS))
 
 
 def build_figure():
+    runner = TrialRunner(workers=WORKERS)
     sections = []
     grids = {}
     for name in SCHEMES:
         ev = MLECBurstEvaluator(mlec_scheme_from_name(name, PAPER_MLEC))
-        grid = burst_pdl_grid(ev, FAILURES, RACKS, trials=25, seed=5)
+        grid = burst_pdl_grid(ev, FAILURES, RACKS, trials=TRIALS, seed=5,
+                              runner=runner)
         grids[name] = grid
         sections.append(format_heatmap(
             grid, FAILURES.tolist(), RACKS.tolist(),
@@ -44,7 +51,10 @@ def build_figure():
 
 
 def test_fig05_mlec_burst_pdl(benchmark):
-    grids, dp_rows, text = once(benchmark, build_figure)
+    grids, dp_rows, text = once(
+        benchmark, build_figure,
+        trials=len(SCHEMES) * N_CELLS * TRIALS, workers=WORKERS,
+    )
     emit("fig05_mlec_burst_pdl", text)
 
     dp = {row[0]: row[1] for row in dp_rows}

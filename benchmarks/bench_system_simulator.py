@@ -21,7 +21,7 @@ def run_quarter():
 
 
 def test_system_simulator_quarter(benchmark):
-    result = once(benchmark, run_quarter)
+    result = once(benchmark, run_quarter, trials=1)
     text = format_table(
         ["metric", "value"],
         [

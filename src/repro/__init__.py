@@ -36,6 +36,7 @@ from .core.scheme import (
     mlec_scheme_from_name,
 )
 from .core.types import Level, Placement, RepairMethod
+from .runtime import TrialAggregate, TrialContext, TrialExecutionError, TrialRunner
 
 __version__ = "1.0.0"
 
@@ -56,5 +57,9 @@ __all__ = [
     "Level",
     "Placement",
     "RepairMethod",
+    "TrialAggregate",
+    "TrialContext",
+    "TrialExecutionError",
+    "TrialRunner",
     "__version__",
 ]

@@ -34,6 +34,7 @@ from ..core.config import BandwidthConfig, FailureConfig, YEAR
 from ..core.scheme import MLECScheme
 from ..core.types import Placement, RepairMethod
 from ..repair.bandwidth import BandwidthModel
+from ..runtime import TrialContext, TrialRunner
 from ..sim.failures import ExponentialFailures
 from ..sim.local_pool import LocalPoolSimulator
 from .durability import _network_exposure_time, _stripe_share_probability
@@ -94,6 +95,28 @@ def _pool_simulator(
     )
 
 
+def _stage1_pool_year(
+    ctx: TrialContext,
+    scheme: MLECScheme,
+    afr: float,
+    bw: BandwidthConfig,
+    failures: FailureConfig,
+    base_seed: int,
+) -> tuple[int, tuple[float, ...]]:
+    """One accelerated pool-year: catastrophic count + lost fractions.
+
+    Seeds stay on the historical ``base_seed + year`` grid (rather than the
+    spawned stream) so parallel sweeps reproduce the serial results bit for
+    bit.
+    """
+    sim = _pool_simulator(scheme, afr, bw, failures)
+    result = sim.run(mission_time=YEAR, seed=base_seed + ctx.index)
+    return (
+        result.n_catastrophic,
+        tuple(s.lost_fraction for s in result.catastrophic_samples),
+    )
+
+
 def stage1_pool_rate(
     scheme: MLECScheme,
     accelerated_afrs: tuple[float, ...] = (0.4, 0.5, 0.65),
@@ -101,21 +124,30 @@ def stage1_pool_rate(
     bw: BandwidthConfig | None = None,
     failures: FailureConfig | None = None,
     seed: int = 0,
+    runner: TrialRunner | None = None,
 ) -> Stage1Result:
-    """Stage 1: accelerated pool simulation + power-law extrapolation."""
+    """Stage 1: accelerated pool simulation + power-law extrapolation.
+
+    The ``pool_years_each`` independent pool-years per accelerated AFR are
+    Monte Carlo trials; ``runner`` fans them out over worker processes with
+    results identical to the serial sweep for any worker count.
+    """
     bw = bw if bw is not None else BandwidthConfig()
     failures = failures if failures is not None else FailureConfig()
+    runner = runner if runner is not None else TrialRunner()
     points: list[AcceleratedRatePoint] = []
     lost_fractions: list[float] = []
     for i, afr in enumerate(accelerated_afrs):
-        sim = _pool_simulator(scheme, afr, bw, failures)
+        outcomes = runner.map(
+            _stage1_pool_year,
+            pool_years_each,
+            seed=seed + i,
+            args=(scheme, afr, bw, failures, seed + i * 100_000),
+        )
         events = 0
-        for year in range(pool_years_each):
-            result = sim.run(mission_time=YEAR, seed=seed + i * 100_000 + year)
-            events += result.n_catastrophic
-            lost_fractions.extend(
-                s.lost_fraction for s in result.catastrophic_samples
-            )
+        for n_catastrophic, fractions in outcomes:
+            events += n_catastrophic
+            lost_fractions.extend(fractions)
         points.append(
             AcceleratedRatePoint(afr=afr, pool_years=pool_years_each, events=events)
         )
@@ -255,10 +287,13 @@ def splitting_durability_nines(
     bw: BandwidthConfig | None = None,
     failures: FailureConfig | None = None,
     seed: int = 0,
+    runner: TrialRunner | None = None,
 ) -> float:
     """End-to-end splitting estimate of one-year durability in nines."""
     if stage1 is None:
-        stage1 = stage1_pool_rate(scheme, bw=bw, failures=failures, seed=seed)
+        stage1 = stage1_pool_rate(
+            scheme, bw=bw, failures=failures, seed=seed, runner=runner
+        )
     stage2 = stage2_network_pdl(
         scheme,
         method,

@@ -11,12 +11,15 @@ Operator-facing entry points over the library's analyses::
     mlec-sim chaos --schemes C/C,D/D --trials 5 --seed 0
 
 Code parameters are written ``kn+pn/kl+pl`` (MLEC).  All other knobs
-default to the paper's §3 setup.
+default to the paper's §3 setup.  The Monte-Carlo subcommands (``burst``,
+``simulate``, ``chaos``) accept ``--workers N`` to fan trials out over a
+process pool; results are bitwise identical for any worker count.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import re
 import sys
 
@@ -58,6 +61,14 @@ def _scheme_from(args):
     return mlec_scheme_from_name(args.scheme, args.code)
 
 
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for Monte-Carlo trials (default 1; results "
+             "are identical for any worker count)",
+    )
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -86,18 +97,21 @@ def cmd_burst(args) -> int:
 
         pdl = mlec_burst_pdl(scheme, args.failures, args.racks)
         kind = "exact DP (worst-case declustering)"
+        detail = ""
     else:
-        import numpy as np
+        from .runtime import TrialRunner
+        from .sim.burst import MLECBurstEvaluator, burst_pdl_stats
 
-        from .sim.burst import MLECBurstEvaluator, burst_pdl
-
-        pdl = burst_pdl(
+        stats = burst_pdl_stats(
             MLECBurstEvaluator(scheme), args.failures, args.racks,
-            trials=args.trials, rng=np.random.default_rng(args.seed),
+            trials=args.trials, seed=args.seed,
+            runner=TrialRunner(workers=args.workers),
         )
+        pdl = stats.mean
         kind = f"Monte-Carlo ({args.trials} trials)"
+        detail = f"  95% CI +/- {stats.ci95_halfwidth:.3e}"
     print(f"PDL[{args.failures} failures across {args.racks} racks] = "
-          f"{pdl:.3e}   [{kind}]")
+          f"{pdl:.3e}   [{kind}]{detail}")
     survivable = mlec_tolerance(scheme).survives_burst(args.failures, args.racks)
     print(f"guaranteed survivable: {'yes' if survivable else 'no'}")
     return 0
@@ -152,24 +166,58 @@ def cmd_tradeoff(args) -> int:
     return 0
 
 
-def cmd_simulate(args) -> int:
+def _simulate_trial(ctx, scheme, method, afr, mission_time, base_seed):
+    """One full-system simulation trial (module-level for pickling)."""
     from .sim.failures import ExponentialFailures
     from .sim.simulator import MLECSystemSimulator
 
+    sim = MLECSystemSimulator(
+        scheme, method, failure_model=ExponentialFailures(afr)
+    )
+    return sim.run(mission_time=mission_time, seed=base_seed + ctx.index)
+
+
+def cmd_simulate(args) -> int:
+    from .runtime import TrialRunner
+
     scheme = _scheme_from(args)
     method = RepairMethod(args.method)
-    sim = MLECSystemSimulator(
-        scheme, method, failure_model=ExponentialFailures(args.afr)
+    mission_time = args.months / 12 * YEAR
+    if math.isnan(mission_time) or math.isinf(mission_time) or mission_time <= 0:
+        raise ValueError(
+            f"mission_time must be a positive number of seconds, "
+            f"got {mission_time!r} ({args.months!r} months)"
+        )
+    runner = TrialRunner(workers=args.workers)
+    results = runner.map(
+        _simulate_trial, args.trials, seed=args.seed,
+        args=(scheme, method, args.afr, mission_time, args.seed),
     )
-    result = sim.run(mission_time=args.months / 12 * YEAR, seed=args.seed)
-    print(f"simulated {args.months} months of {scheme} + {method} "
-          f"at AFR {args.afr:.1%} (seed {args.seed}):")
-    print(f"  disk failures        : {result.n_disk_failures}")
-    print(f"  catastrophic pools   : {result.n_catastrophic_events}")
-    print(f"  data loss events     : {len(result.data_loss_events)}")
-    print(f"  cross-rack repair    : {result.cross_rack_repair_bytes / 1e12:.3f} TB")
-    print(f"  local repair         : {result.local_repair_bytes / 1e15:.3f} PB")
-    return 1 if result.lost_data else 0
+    if args.trials == 1:
+        result = results[0]
+        print(f"simulated {args.months} months of {scheme} + {method} "
+              f"at AFR {args.afr:.1%} (seed {args.seed}):")
+        print(f"  disk failures        : {result.n_disk_failures}")
+        print(f"  catastrophic pools   : {result.n_catastrophic_events}")
+        print(f"  data loss events     : {len(result.data_loss_events)}")
+        print(f"  cross-rack repair    : "
+              f"{result.cross_rack_repair_bytes / 1e12:.3f} TB")
+        print(f"  local repair         : "
+              f"{result.local_repair_bytes / 1e15:.3f} PB")
+        return 1 if result.lost_data else 0
+
+    trials = len(results)
+    losses = sum(bool(r.lost_data) for r in results)
+    mean_failures = sum(r.n_disk_failures for r in results) / trials
+    mean_catastrophic = sum(r.n_catastrophic_events for r in results) / trials
+    mean_cross_tb = sum(r.cross_rack_repair_bytes for r in results) / trials / 1e12
+    print(f"simulated {trials} x {args.months} months of {scheme} + {method} "
+          f"at AFR {args.afr:.1%} (seeds {args.seed}..{args.seed + trials - 1}):")
+    print(f"  trials with data loss: {losses}/{trials}")
+    print(f"  mean disk failures   : {mean_failures:.1f}")
+    print(f"  mean catastrophic    : {mean_catastrophic:.2f}")
+    print(f"  mean cross-rack      : {mean_cross_tb:.3f} TB")
+    return 1 if losses else 0
 
 
 def cmd_traffic(args) -> int:
@@ -224,7 +272,7 @@ def cmd_chaos(args) -> int:
         scenarios = tuple(by_name[n] for n in args.scenario)
     campaign = ChaosCampaign(
         schemes=schemes, params=args.code, trials=args.trials,
-        scenarios=scenarios,
+        scenarios=scenarios, workers=args.workers,
     )
     report = campaign.run(seed=args.seed)
     print(report.to_text())
@@ -251,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exact DP instead of Monte-Carlo")
     p.add_argument("--trials", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
+    _add_workers_arg(p)
     p.set_defaults(func=cmd_burst)
 
     p = sub.add_parser("repair", help="catastrophic-pool repair comparison")
@@ -287,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=[m.value for m in RepairMethod],
                    default="RMIN")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trials", type=int, default=1,
+        help="independent missions to simulate (seeds seed..seed+trials-1)",
+    )
+    _add_workers_arg(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser(
@@ -307,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trials", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
+    _add_workers_arg(p)
     p.set_defaults(func=cmd_chaos)
 
     return parser
@@ -319,9 +374,15 @@ def main(argv: list[str] | None = None) -> int:
     out-of-range fault domains) exit with code 2 and a one-line diagnostic
     on stderr instead of a traceback.
     """
+    from .runtime import TrialExecutionError
+
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except TrialExecutionError as exc:
+        first_line = str(exc).splitlines()[0] if str(exc) else "trial failed"
+        print(f"mlec-sim: error: {first_line}", file=sys.stderr)
+        return 2
     except (ValueError, OSError) as exc:
         print(f"mlec-sim: error: {exc}", file=sys.stderr)
         return 2

@@ -34,6 +34,7 @@ from ..core.config import (
 from ..core.scheme import MLEC_SCHEME_NAMES, mlec_scheme_from_name
 from ..core.types import RepairMethod
 from ..reporting import format_matrix, format_table
+from ..runtime import TrialContext, TrialRunner
 from ..sim.failures import ExponentialFailures
 from ..sim.simulator import MLECSystemSimulator
 from .events import (
@@ -248,6 +249,78 @@ class RobustnessReport:
         return "\n".join(lines)
 
 
+@dataclasses.dataclass(frozen=True)
+class _TrialOutcome:
+    """Per-trial statistics shipped back from a campaign worker."""
+
+    lost: bool
+    stats: tuple[float, float, float, float, float]
+    replans: int
+    unavail: int
+    outages: int
+    sector: int
+    detected: int
+    induced: int
+    violations: int
+    events_checked: int
+
+
+def _campaign_trial(
+    ctx: TrialContext,
+    tasks: tuple,
+    scenarios: tuple,
+    schemes: tuple,
+    trials: int,
+    dc: DatacenterConfig,
+    method: RepairMethod,
+    bw: BandwidthConfig | None,
+    failures: FailureConfig | None,
+    check_invariants: bool,
+    seed: int,
+) -> _TrialOutcome:
+    """One (scenario, scheme, trial) cell entry; runs in a worker process.
+
+    Each trial builds its own injector and simulator (both are cheap and
+    stateless across runs), and keeps the historical ``seed + trial``
+    integer seeding so trial ``i`` stays paired across schemes and the
+    parallel sweep reproduces the serial one exactly.
+    """
+    scenario_idx, scheme_idx, trial = tasks[ctx.index]
+    scenario: ChaosScenario = scenarios[scenario_idx]
+    scheme = schemes[scheme_idx]
+    injector = FaultInjector(
+        base=ExponentialFailures(scenario.background_afr),
+        faults=scenario.faults,
+        dc=dc,
+        scrub_period=scenario.scrub_period,
+    )
+    sim = MLECSystemSimulator(
+        scheme, method, bw=bw, failures=failures, failure_model=injector
+    )
+    checker = InvariantChecker(sim, strict=False) if check_invariants else None
+    result = sim.run(
+        mission_time=scenario.mission_time, seed=seed + trial, observer=checker
+    )
+    return _TrialOutcome(
+        lost=bool(result.lost_data),
+        stats=(
+            result.n_disk_failures,
+            result.n_catastrophic_events,
+            result.cross_rack_repair_bytes / 1e12,
+            result.net_repair_seconds / HOUR,
+            result.degraded_repair_seconds / HOUR,
+        ),
+        replans=result.n_repair_replans,
+        unavail=result.n_unavailability_events,
+        outages=result.n_transient_outages,
+        sector=result.n_sector_errors,
+        detected=result.n_latent_errors_detected,
+        induced=result.n_latent_induced_catastrophes,
+        violations=len(checker.violations) if checker is not None else 0,
+        events_checked=checker.events_checked if checker is not None else 0,
+    )
+
+
 class ChaosCampaign:
     """Sweep fault-injection scenarios across MLEC schemes.
 
@@ -266,6 +339,10 @@ class ChaosCampaign:
     check_invariants:
         Audit every event with an :class:`InvariantChecker` (non-strict:
         violations are counted in the report rather than raised).
+    workers / runner:
+        Fan the flattened (scenario, scheme, trial) sweep out over a
+        :class:`~repro.runtime.TrialRunner`; results are identical for any
+        worker count.
     """
 
     def __init__(
@@ -279,6 +356,8 @@ class ChaosCampaign:
         trials: int = 5,
         scenarios: Sequence[ChaosScenario] | None = None,
         check_invariants: bool = True,
+        workers: int = 1,
+        runner: TrialRunner | None = None,
     ) -> None:
         if trials <= 0:
             raise ValueError(f"trials must be positive, got {trials}")
@@ -296,15 +375,40 @@ class ChaosCampaign:
         if not self.scenarios:
             raise ValueError("campaign needs at least one scenario")
         self.check_invariants = check_invariants
+        self.runner = runner if runner is not None else TrialRunner(workers=workers)
 
     # ------------------------------------------------------------------
     def run(self, seed: int = 0) -> RobustnessReport:
-        """Run the full sweep; returns the structured robustness report."""
+        """Run the full sweep; returns the structured robustness report.
+
+        Every (scenario, scheme, trial) combination is one task of the
+        trial runner, so parallelism spans the whole campaign rather than
+        one cell at a time.
+        """
+        tasks = tuple(
+            (si, ci, trial)
+            for si in range(len(self.scenarios))
+            for ci in range(len(self.schemes))
+            for trial in range(self.trials)
+        )
+        outcomes = self.runner.map(
+            _campaign_trial,
+            len(tasks),
+            seed=seed,
+            args=(
+                tasks, self.scenarios, self.schemes, self.trials, self.dc,
+                self.method, self.bw, self.failures, self.check_invariants,
+                seed,
+            ),
+        )
         cells: dict[tuple[str, str], CampaignCell] = {}
+        cursor = 0
         for scenario in self.scenarios:
             for scheme in self.schemes:
-                cells[(scenario.name, scheme.name)] = self._run_cell(
-                    scenario, scheme, seed
+                cell_outcomes = outcomes[cursor:cursor + self.trials]
+                cursor += self.trials
+                cells[(scenario.name, scheme.name)] = self._reduce_cell(
+                    scenario.name, scheme.name, cell_outcomes
                 )
         return RobustnessReport(
             scenarios=tuple(s.name for s in self.scenarios),
@@ -313,53 +417,29 @@ class ChaosCampaign:
             cells=cells,
         )
 
-    def _run_cell(self, scenario: ChaosScenario, scheme, seed: int) -> CampaignCell:
-        injector = FaultInjector(
-            base=ExponentialFailures(scenario.background_afr),
-            faults=scenario.faults,
-            dc=self.dc,
-            scrub_period=scenario.scrub_period,
-        )
-        sim = MLECSystemSimulator(
-            scheme, self.method, bw=self.bw, failures=self.failures,
-            failure_model=injector,
-        )
+    def _reduce_cell(
+        self, scenario: str, scheme: str, outcomes: Sequence[_TrialOutcome]
+    ) -> CampaignCell:
         losses = 0
         violations = 0
         events_checked = 0
         sums = np.zeros(5)  # failures, catastrophic, cross TB, net h, degr h
         replans = unavail = outages = sector = detected = induced = 0
-        for trial in range(self.trials):
-            checker = (
-                InvariantChecker(sim, strict=False)
-                if self.check_invariants else None
-            )
-            result = sim.run(
-                mission_time=scenario.mission_time,
-                seed=seed + trial,
-                observer=checker,
-            )
-            if checker is not None:
-                violations += len(checker.violations)
-                events_checked += checker.events_checked
-            losses += bool(result.lost_data)
-            sums += (
-                result.n_disk_failures,
-                result.n_catastrophic_events,
-                result.cross_rack_repair_bytes / 1e12,
-                result.net_repair_seconds / HOUR,
-                result.degraded_repair_seconds / HOUR,
-            )
-            replans += result.n_repair_replans
-            unavail += result.n_unavailability_events
-            outages += result.n_transient_outages
-            sector += result.n_sector_errors
-            detected += result.n_latent_errors_detected
-            induced += result.n_latent_induced_catastrophes
+        for outcome in outcomes:
+            losses += outcome.lost
+            violations += outcome.violations
+            events_checked += outcome.events_checked
+            sums += outcome.stats
+            replans += outcome.replans
+            unavail += outcome.unavail
+            outages += outcome.outages
+            sector += outcome.sector
+            detected += outcome.detected
+            induced += outcome.induced
         means = sums / self.trials
         return CampaignCell(
-            scenario=scenario.name,
-            scheme=scheme.name,
+            scenario=scenario,
+            scheme=scheme,
             trials=self.trials,
             losses=losses,
             mean_disk_failures=float(means[0]),

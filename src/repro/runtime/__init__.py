@@ -1,0 +1,15 @@
+"""Execution runtime: parallel, deterministic Monte Carlo sweeps.
+
+The paper's evaluation is Monte Carlo end to end; this package provides
+the shared trial engine (:class:`TrialRunner`) that the burst grids,
+durability campaigns, and chaos sweeps all fan out through.
+"""
+
+from .runner import TrialAggregate, TrialContext, TrialExecutionError, TrialRunner
+
+__all__ = [
+    "TrialAggregate",
+    "TrialContext",
+    "TrialExecutionError",
+    "TrialRunner",
+]

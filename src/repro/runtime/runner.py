@@ -1,0 +1,332 @@
+"""Parallel Monte Carlo trial execution (the sweep engine behind §3).
+
+Every headline figure of the paper is a Monte Carlo sweep -- burst PDL
+grids, accelerated pool-year campaigns, chaos scenarios -- and all of them
+share one shape: *N independent trials, each consuming its own random
+stream, reduced to a small aggregate*.  :class:`TrialRunner` is that shape
+as infrastructure:
+
+* **Deterministic for any worker count.**  Trial ``i`` always receives the
+  ``i``-th child of ``numpy.random.SeedSequence(seed).spawn(trials)``, and
+  aggregation always folds results in trial order, so ``workers=1`` and
+  ``workers=16`` produce bitwise-identical results for the same seed.
+* **Chunked dispatch.**  Trials are grouped into contiguous chunks so the
+  per-task IPC cost amortizes over many cheap trials; chunk results are
+  consumed *in index order* (out-of-order completions are buffered), which
+  keeps the streaming fold deterministic.
+* **Graceful degradation.**  ``workers=1`` never touches multiprocessing;
+  if the process pool cannot be created at all (sandboxes, missing
+  semaphores), the runner warns once and falls back to in-process
+  execution with identical results.
+* **Failure surfacing.**  A trial that raises, a worker process that dies,
+  or a sweep that exceeds ``timeout`` all raise
+  :class:`TrialExecutionError` naming the trial range involved (with the
+  worker-side traceback when there is one) instead of hanging or
+  returning partial data.
+
+Trial functions receive a :class:`TrialContext` (trial index + spawned
+``SeedSequence``) followed by the ``args`` tuple, and must be defined at
+module top level so the process pool can pickle them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+import traceback
+import warnings
+from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+__all__ = [
+    "TrialContext",
+    "TrialAggregate",
+    "TrialExecutionError",
+    "TrialRunner",
+]
+
+
+class TrialExecutionError(RuntimeError):
+    """A Monte Carlo trial (or its worker) failed or timed out."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialContext:
+    """What one trial gets to work with: its index and its own stream.
+
+    ``seed_sequence`` is the ``index``-th spawned child of the sweep's root
+    ``SeedSequence`` -- statistically independent of every other trial's
+    stream regardless of which worker runs it.  Trial functions that need a
+    legacy integer seed (e.g. to feed an event-driven simulator's ``run``)
+    may use ``index`` instead; both choices are deterministic.
+    """
+
+    index: int
+    seed_sequence: np.random.SeedSequence
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator on this trial's private stream."""
+        return np.random.default_rng(self.seed_sequence)
+
+
+@dataclasses.dataclass
+class TrialAggregate:
+    """Streaming reduction of scalar trial outcomes: mean, CI, loss counts.
+
+    ``losses`` counts trials with a strictly positive outcome -- for PDL-
+    style indicators (0 = survived, >0 = some loss probability) this is the
+    number of trials that observed any data-loss exposure.
+    """
+
+    trials: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    losses: int = 0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        v = float(value)
+        self.trials += 1
+        self.total += v
+        self.total_sq += v * v
+        if v > 0.0:
+            self.losses += 1
+        self.minimum = min(self.minimum, v)
+        self.maximum = max(self.maximum, v)
+
+    def merge(self, other: TrialAggregate) -> None:
+        """Fold another aggregate in (right operand must be the later one)."""
+        self.trials += other.trials
+        self.total += other.total
+        self.total_sq += other.total_sq
+        self.losses += other.losses
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.trials if self.trials else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance of the trial outcomes."""
+        if self.trials < 2:
+            return 0.0
+        spread = self.total_sq - self.total * self.total / self.trials
+        return max(0.0, spread) / (self.trials - 1)
+
+    @property
+    def std_error(self) -> float:
+        return math.sqrt(self.variance / self.trials) if self.trials else math.nan
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the normal-approximation 95% confidence interval."""
+        return 1.96 * self.std_error
+
+    @property
+    def loss_fraction(self) -> float:
+        return self.losses / self.trials if self.trials else math.nan
+
+
+@dataclasses.dataclass(frozen=True)
+class _ChunkError:
+    """Worker-side trial failure, shipped back as data (always picklable)."""
+
+    index: int
+    message: str
+    worker_traceback: str
+
+
+def _run_chunk(
+    fn: Callable,
+    start: int,
+    children: Sequence[np.random.SeedSequence],
+    args: tuple,
+):
+    """Run one contiguous chunk of trials; runs in the worker process."""
+    out = []
+    for offset, child in enumerate(children):
+        ctx = TrialContext(index=start + offset, seed_sequence=child)
+        try:
+            out.append(fn(ctx, *args))
+        except Exception as exc:  # surfaced as TrialExecutionError upstream
+            return _ChunkError(
+                index=ctx.index,
+                message=f"{type(exc).__name__}: {exc}",
+                worker_traceback=traceback.format_exc(),
+            )
+    return out
+
+
+class TrialRunner:
+    """Fan independent Monte Carlo trials out over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` (the default) runs everything in-process;
+        ``None`` uses ``os.cpu_count()``.
+    chunk_size:
+        Trials per dispatched task.  Defaults to a size that gives each
+        worker a handful of chunks (load balancing) without making tasks
+        so small that IPC dominates.  Has no effect on results.
+    mp_context:
+        Optional ``multiprocessing`` context for the pool (e.g.
+        ``multiprocessing.get_context("fork")``).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = 1,
+        chunk_size: int | None = None,
+        mp_context=None,
+    ) -> None:
+        if workers is None:
+            import os
+
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = int(workers)
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable,
+        trials: int,
+        seed: int = 0,
+        args: tuple = (),
+        timeout: float | None = None,
+    ) -> TrialAggregate:
+        """Run ``trials`` trials of ``fn`` and reduce to a TrialAggregate.
+
+        ``fn(ctx, *args)`` must return a scalar.  The fold happens in
+        trial order as chunks stream in, so the aggregate is bitwise
+        independent of ``workers`` and ``chunk_size``.
+        """
+        agg = TrialAggregate()
+        for chunk in self._iter_chunks(fn, trials, seed, args, timeout):
+            for value in chunk:
+                agg.add(value)
+        return agg
+
+    def map(
+        self,
+        fn: Callable,
+        trials: int,
+        seed: int = 0,
+        args: tuple = (),
+        timeout: float | None = None,
+    ) -> list:
+        """Run ``trials`` trials and return their results in trial order.
+
+        Use this when trials produce structured payloads (simulation
+        results, per-trial statistics) that need a custom reduction.
+        """
+        results: list = []
+        for chunk in self._iter_chunks(fn, trials, seed, args, timeout):
+            results.extend(chunk)
+        return results
+
+    # ------------------------------------------------------------------
+    def _chunk_bounds(self, trials: int) -> list[tuple[int, int]]:
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            # ~4 chunks per worker, capped so one task never hoards work.
+            size = max(1, min(-(-trials // (self.workers * 4)), 128))
+        return [(lo, min(lo + size, trials)) for lo in range(0, trials, size)]
+
+    def _iter_chunks(
+        self,
+        fn: Callable,
+        trials: int,
+        seed: int,
+        args: tuple,
+        timeout: float | None,
+    ) -> Iterator[list]:
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        children = np.random.SeedSequence(seed).spawn(trials)
+        bounds = self._chunk_bounds(trials)
+
+        executor = None
+        if self.workers > 1 and len(bounds) > 1:
+            try:
+                executor = ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(bounds)),
+                    mp_context=self.mp_context,
+                )
+            except Exception as exc:  # sandboxes without semaphores/fork
+                warnings.warn(
+                    f"process pool unavailable ({exc!r}); "
+                    "running trials in-process",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                executor = None
+
+        if executor is None:
+            for lo, hi in bounds:
+                yield self._check_chunk(_run_chunk(fn, lo, children[lo:hi], args))
+            return
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            futures = [
+                executor.submit(_run_chunk, fn, lo, children[lo:hi], args)
+                for lo, hi in bounds
+            ]
+            # Consume in index order: buffering out-of-order completions in
+            # the executor keeps the downstream fold deterministic.
+            for (lo, hi), future in zip(bounds, futures):
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    chunk = future.result(timeout=remaining)
+                except TimeoutError as exc:
+                    self._kill_pool(executor, futures)
+                    executor = None
+                    raise TrialExecutionError(
+                        f"trial sweep timed out after {timeout:g}s waiting "
+                        f"for trials [{lo}, {hi})"
+                    ) from exc
+                except BrokenProcessPool as exc:
+                    raise TrialExecutionError(
+                        f"worker process crashed while running trials "
+                        f"[{lo}, {hi}); the pool is no longer usable"
+                    ) from exc
+                yield self._check_chunk(chunk)
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True, cancel_futures=True)
+
+    @staticmethod
+    def _check_chunk(chunk) -> list:
+        if isinstance(chunk, _ChunkError):
+            raise TrialExecutionError(
+                f"trial {chunk.index} raised {chunk.message}\n"
+                f"--- worker traceback ---\n{chunk.worker_traceback}"
+            )
+        return chunk
+
+    @staticmethod
+    def _kill_pool(executor: ProcessPoolExecutor, futures) -> None:
+        """Tear down a pool whose workers may be stuck mid-trial."""
+        for future in futures:
+            future.cancel()
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+        executor.shutdown(wait=False, cancel_futures=True)

@@ -34,6 +34,7 @@ from ..analysis.combinatorics import (
 from ..core.config import DatacenterConfig
 from ..core.scheme import LRCScheme, MLECScheme, SLECScheme
 from ..core.types import Level, Placement
+from ..runtime import TrialAggregate, TrialContext, TrialRunner
 from ..topology.datacenter import DatacenterTopology
 from ..topology.pools import summarize_mlec_damage
 
@@ -43,6 +44,7 @@ __all__ = [
     "SLECBurstEvaluator",
     "LRCBurstEvaluator",
     "burst_pdl",
+    "burst_pdl_stats",
     "burst_pdl_grid",
 ]
 
@@ -290,6 +292,42 @@ class LRCBurstEvaluator:
 # ----------------------------------------------------------------------
 # Drivers
 # ----------------------------------------------------------------------
+def _burst_trial(
+    ctx: TrialContext,
+    evaluator,
+    failures: int,
+    racks: int,
+    dc: DatacenterConfig,
+) -> float:
+    """One Monte Carlo trial: sample a burst, evaluate its PDL."""
+    gen = BurstGenerator(dc, ctx.rng())
+    return evaluator.pdl_of_burst(gen.sample(failures, racks))
+
+
+def burst_pdl_stats(
+    evaluator,
+    failures: int,
+    racks: int,
+    trials: int = 100,
+    seed: int = 0,
+    dc: DatacenterConfig | None = None,
+    runner: TrialRunner | None = None,
+) -> TrialAggregate:
+    """Monte-Carlo PDL with confidence interval, fanned out over a runner.
+
+    Trial ``i`` draws from the ``i``-th spawned child of
+    ``SeedSequence(seed)``, so the aggregate is bitwise identical for any
+    worker count.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    runner = runner if runner is not None else TrialRunner()
+    dc = dc if dc is not None else evaluator.scheme.dc
+    return runner.run(
+        _burst_trial, trials, seed=seed, args=(evaluator, failures, racks, dc)
+    )
+
+
 def burst_pdl(
     evaluator,
     failures: int,
@@ -297,12 +335,39 @@ def burst_pdl(
     trials: int = 100,
     rng: np.random.Generator | None = None,
     dc: DatacenterConfig | None = None,
+    seed: int = 0,
+    runner: TrialRunner | None = None,
 ) -> float:
-    """Monte-Carlo PDL for one burst scenario (one heatmap cell)."""
-    gen = BurstGenerator(
-        dc if dc is not None else evaluator.scheme.dc,
-        rng if rng is not None else np.random.default_rng(),
-    )
+    """Monte-Carlo PDL for one burst scenario (one heatmap cell).
+
+    With ``rng`` the trials consume the caller's shared stream serially
+    (the legacy path; lets one generator thread through a whole grid).
+    Without it, trials run through ``runner`` on spawned per-trial streams
+    -- deterministic for any worker count.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if rng is not None:
+        gen = BurstGenerator(dc if dc is not None else evaluator.scheme.dc, rng)
+        total = 0.0
+        for _ in range(trials):
+            total += evaluator.pdl_of_burst(gen.sample(failures, racks))
+        return total / trials
+    return burst_pdl_stats(
+        evaluator, failures, racks, trials, seed=seed, dc=dc, runner=runner
+    ).mean
+
+
+def _grid_cell_trial(
+    ctx: TrialContext,
+    cells: tuple,
+    evaluator,
+    trials: int,
+    dc: DatacenterConfig,
+) -> float:
+    """One heatmap cell: ``trials`` bursts on the cell's private stream."""
+    _i, _j, failures, racks = cells[ctx.index]
+    gen = BurstGenerator(dc, ctx.rng())
     total = 0.0
     for _ in range(trials):
         total += evaluator.pdl_of_burst(gen.sample(failures, racks))
@@ -315,15 +380,41 @@ def burst_pdl_grid(
     rack_counts: np.ndarray,
     trials: int = 100,
     seed: int = 0,
+    runner: TrialRunner | None = None,
 ) -> np.ndarray:
     """A full heatmap: PDL[i, j] for failures[i] x racks[j].
 
     Cells with fewer failures than affected racks are impossible and
-    reported as NaN (the paper's figures leave them blank).
+    reported as NaN (the paper's figures leave them blank).  With a
+    ``runner`` the feasible cells fan out in parallel, one spawned stream
+    per cell; without one the legacy serial path threads a single
+    generator through the grid (bitwise-stable with historical results).
     """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
     failure_counts = np.asarray(failure_counts)
     rack_counts = np.asarray(rack_counts)
     grid = np.full((len(failure_counts), len(rack_counts)), np.nan)
+
+    if runner is not None:
+        cells = tuple(
+            (i, j, int(y), int(x))
+            for j, x in enumerate(rack_counts)
+            for i, y in enumerate(failure_counts)
+            if y >= x
+        )
+        if not cells:
+            return grid
+        values = runner.map(
+            _grid_cell_trial,
+            len(cells),
+            seed=seed,
+            args=(cells, evaluator, trials, evaluator.scheme.dc),
+        )
+        for (i, j, _y, _x), value in zip(cells, values):
+            grid[i, j] = value
+        return grid
+
     rng = np.random.default_rng(seed)
     for j, x in enumerate(rack_counts):
         for i, y in enumerate(failure_counts):

@@ -151,6 +151,44 @@ class TestLRCEvaluator:
         assert u[-1] == 1.0  # losing everything is unrecoverable
 
 
+class TestParallelExecution:
+    """Runner-backed paths: worker-count-independent, validated inputs."""
+
+    def test_burst_pdl_stats_workers_identical(self):
+        from repro.runtime import TrialRunner
+        from repro.sim.burst import burst_pdl_stats
+
+        ev = evaluator("D/D")
+        serial = burst_pdl_stats(ev, 60, 3, trials=30, seed=7,
+                                 runner=TrialRunner(workers=1))
+        parallel = burst_pdl_stats(ev, 60, 3, trials=30, seed=7,
+                                   runner=TrialRunner(workers=4))
+        assert serial == parallel
+        assert serial.trials == 30
+        assert 0.0 <= serial.mean <= 1.0
+
+    def test_grid_workers_identical(self):
+        from repro.runtime import TrialRunner
+
+        ev = evaluator("D/D")
+        failures = np.array([12, 60])
+        racks = np.array([1, 3])
+        g1 = burst_pdl_grid(ev, failures, racks, trials=5, seed=3,
+                            runner=TrialRunner(workers=1))
+        g2 = burst_pdl_grid(ev, failures, racks, trials=5, seed=3,
+                            runner=TrialRunner(workers=2))
+        assert np.array_equal(g1, g2, equal_nan=True)
+
+    def test_non_positive_trials_rejected(self):
+        ev = evaluator("C/C")
+        with pytest.raises(ValueError, match="trials"):
+            burst_pdl(ev, 60, 3, trials=0)
+        with pytest.raises(ValueError, match="trials"):
+            burst_pdl(ev, 60, 3, trials=-1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="trials"):
+            burst_pdl_grid(ev, np.array([12]), np.array([1]), trials=0)
+
+
 class TestGridDriver:
     def test_grid_shape_and_nan_region(self):
         ev = evaluator("C/C")

@@ -46,6 +46,26 @@ class TestCommands:
         assert "Monte-Carlo" in out
         assert "guaranteed survivable: no" in out
 
+    def test_burst_workers_bitwise_identical(self, capsys):
+        """--workers 4 must print exactly what --workers 1 prints."""
+        base = ["burst", "D/D", "-y", "60", "-x", "3",
+                "--trials", "24", "--seed", "5"]
+        assert main(base + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--workers", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert "95% CI" in serial
+
+    def test_simulate_trials_fanout(self, capsys):
+        code = main([
+            "simulate", "C/D", "--months", "1", "--seed", "3",
+            "--trials", "2", "--workers", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trials with data loss: 0/2" in out
+
     def test_repair(self, capsys):
         assert main(["repair", "C/D"]) == 0
         out = capsys.readouterr().out

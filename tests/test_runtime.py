@@ -1,0 +1,180 @@
+"""TrialRunner: determinism across worker counts, failure surfacing."""
+
+import math
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    TrialAggregate,
+    TrialExecutionError,
+    TrialRunner,
+)
+from repro.runtime import runner as runner_module
+
+
+# ----------------------------------------------------------------------
+# Module-level trial functions (process pools must be able to pickle them)
+# ----------------------------------------------------------------------
+def _normal_trial(ctx):
+    return float(ctx.rng().normal())
+
+
+def _index_trial(ctx):
+    return ctx.index
+
+
+def _pair_trial(ctx, scale):
+    return (ctx.index, float(ctx.rng().uniform()) * scale)
+
+
+def _failing_trial(ctx):
+    if ctx.index == 3:
+        raise ValueError("trial 3 is cursed")
+    return float(ctx.index)
+
+
+def _crashing_trial(ctx):
+    if ctx.index == 2:
+        os._exit(17)  # simulates a segfaulting / OOM-killed worker
+    return float(ctx.index)
+
+
+def _sleeping_trial(ctx):
+    time.sleep(30.0)
+    return 0.0
+
+
+class TestDeterminism:
+    """The acceptance bar: any worker count, bitwise-identical results."""
+
+    def test_workers_1_vs_4_identical_aggregates(self):
+        serial = TrialRunner(workers=1).run(_normal_trial, 64, seed=123)
+        parallel = TrialRunner(workers=4).run(_normal_trial, 64, seed=123)
+        assert serial == parallel
+        assert serial.trials == 64
+
+    def test_chunk_size_does_not_change_results(self):
+        baseline = TrialRunner(workers=1).run(_normal_trial, 50, seed=9)
+        for chunk_size in (1, 3, 7, 50):
+            agg = TrialRunner(workers=2, chunk_size=chunk_size).run(
+                _normal_trial, 50, seed=9
+            )
+            assert agg == baseline
+
+    def test_map_preserves_trial_order(self):
+        results = TrialRunner(workers=4).map(_index_trial, 40, seed=0)
+        assert results == list(range(40))
+
+    def test_map_with_args_matches_serial(self):
+        serial = TrialRunner(workers=1).map(_pair_trial, 30, seed=4, args=(2.5,))
+        parallel = TrialRunner(workers=3).map(_pair_trial, 30, seed=4, args=(2.5,))
+        assert serial == parallel
+
+    def test_per_trial_streams_are_independent(self):
+        values = TrialRunner(workers=1).map(_normal_trial, 20, seed=1)
+        assert len(set(values)) == 20  # no stream reuse across trials
+
+    def test_seed_changes_results(self):
+        a = TrialRunner(workers=1).run(_normal_trial, 16, seed=0)
+        b = TrialRunner(workers=1).run(_normal_trial, 16, seed=1)
+        assert a != b
+
+
+class TestAggregate:
+    def test_statistics_of_known_values(self):
+        agg = TrialAggregate()
+        for v in (0.0, 1.0, 2.0, 3.0):
+            agg.add(v)
+        assert agg.trials == 4
+        assert agg.mean == pytest.approx(1.5)
+        assert agg.losses == 3  # strictly positive outcomes
+        assert agg.loss_fraction == pytest.approx(0.75)
+        assert agg.variance == pytest.approx(np.var([0, 1, 2, 3], ddof=1))
+        assert agg.ci95_halfwidth == pytest.approx(
+            1.96 * math.sqrt(agg.variance / 4),
+        )
+        assert agg.minimum == 0.0 and agg.maximum == 3.0
+
+    def test_merge_matches_single_pass(self):
+        left, right, full = TrialAggregate(), TrialAggregate(), TrialAggregate()
+        values = [0.5, -1.0, 2.0, 0.0, 3.5]
+        for v in values[:2]:
+            left.add(v)
+            full.add(v)
+        for v in values[2:]:
+            right.add(v)
+            full.add(v)
+        left.merge(right)
+        assert left == full
+
+    def test_empty_aggregate(self):
+        agg = TrialAggregate()
+        assert math.isnan(agg.mean)
+        assert agg.variance == 0.0
+
+
+class TestValidation:
+    def test_non_positive_trials_rejected(self):
+        runner = TrialRunner()
+        with pytest.raises(ValueError, match="trials"):
+            runner.run(_index_trial, 0)
+        with pytest.raises(ValueError, match="trials"):
+            runner.map(_index_trial, -5)
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            TrialRunner(workers=0)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            TrialRunner(chunk_size=0)
+
+
+class TestFailureSurfacing:
+    def test_trial_exception_serial(self):
+        with pytest.raises(TrialExecutionError, match="trial 3.*ValueError"):
+            TrialRunner(workers=1).run(_failing_trial, 8, seed=0)
+
+    def test_trial_exception_parallel_includes_worker_traceback(self):
+        with pytest.raises(TrialExecutionError) as excinfo:
+            TrialRunner(workers=2, chunk_size=2).run(_failing_trial, 8, seed=0)
+        message = str(excinfo.value)
+        assert "trial 3" in message
+        assert "ValueError: trial 3 is cursed" in message
+        assert "worker traceback" in message
+
+    def test_worker_crash_surfaces(self):
+        with pytest.raises(TrialExecutionError, match="crashed"):
+            TrialRunner(workers=2, chunk_size=2).run(_crashing_trial, 8, seed=0)
+
+    def test_timeout_surfaces(self):
+        runner = TrialRunner(workers=2, chunk_size=1)
+        start = time.monotonic()
+        with pytest.raises(TrialExecutionError, match="timed out"):
+            runner.run(_sleeping_trial, 4, seed=0, timeout=0.5)
+        # The stuck workers were terminated, not awaited.
+        assert time.monotonic() - start < 20.0
+
+
+class TestFallback:
+    def test_pool_unavailable_falls_back_in_process(self, monkeypatch):
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", ExplodingPool)
+        baseline = TrialRunner(workers=1).run(_normal_trial, 24, seed=5)
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            fallback = TrialRunner(workers=4).run(_normal_trial, 24, seed=5)
+        assert fallback == baseline
+
+    def test_single_chunk_never_opens_a_pool(self, monkeypatch):
+        def _forbidden(*args, **kwargs):
+            raise AssertionError("pool must not be created for one chunk")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _forbidden)
+        agg = TrialRunner(workers=8, chunk_size=100).run(_index_trial, 10, seed=0)
+        assert agg.trials == 10
