@@ -37,6 +37,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..core.arrays import AnyArray
 from ..core.scheme import MLECScheme, SLECScheme
 from ..core.types import Level, Placement
 from .combinatorics import exactly_j_cells_over_threshold_pmf
@@ -75,7 +76,7 @@ class CellCollisionDP:
         """Total surviving weight (callers keep it normalized)."""
         return float(sum(self.states.values()))
 
-    def add_rack(self, j_pmf: np.ndarray) -> None:
+    def add_rack(self, j_pmf: AnyArray) -> None:
         """Fold in one rack with ``P[j marks] = j_pmf[j]``.
 
         Marks hitting a level-``i`` cell promote it to level ``i+1``; a hit
@@ -102,18 +103,20 @@ class CellCollisionDP:
                     new[split] = new.get(split, 0.0) + w
         self.states = new
 
-    def _splits(self, state, n_free, j):
+    def _splits(
+        self, state: tuple[int, ...], n_free: int, j: int
+    ) -> list[tuple[tuple[int, ...], float]]:
         """Yield (new_state, ways) for surviving allocations of j marks."""
         if self.levels == 0:
             # threshold == 1: any mark is a loss; only j == 0 survives
             # (handled by caller), so nothing to yield here.
             return []
-        out = []
+        out: list[tuple[tuple[int, ...], float]] = []
         # a[i] = marks hitting level-(i+1) cells, i = 0..levels-1; the top
         # level cannot take any mark (that would reach the threshold).
         top = self.levels - 1
 
-        def rec(i, remaining, counts, ways):
+        def rec(i: int, remaining: int, counts: list[int], ways: float) -> None:
             if i == top:
                 # marks on the top level would cause loss -> must be 0
                 a_free = remaining
@@ -140,8 +143,8 @@ class CellCollisionDP:
 
 
 def _prune_states(
-    states: dict[tuple[int, ...], np.ndarray], rel_tol: float = 1e-16
-) -> dict[tuple[int, ...], np.ndarray]:
+    states: dict[tuple[int, ...], AnyArray], rel_tol: float = 1e-16
+) -> dict[tuple[int, ...], AnyArray]:
     """Drop DP states whose weight is negligible *at every failure count*.
 
     The weight vectors are indexed by total failures ``r`` and span many
@@ -159,7 +162,7 @@ def _prune_states(
     return {s: v for s, v in states.items() if bool(np.any(v > cutoff))}
 
 
-def _rack_failure_ways(disks_per_rack: int, max_f: int) -> np.ndarray:
+def _rack_failure_ways(disks_per_rack: int, max_f: int) -> AnyArray:
     """log C(disks_per_rack, f) for f = 0..max_f (layout-count weights)."""
     f = np.arange(max_f + 1)
     return np.array(
@@ -168,7 +171,7 @@ def _rack_failure_ways(disks_per_rack: int, max_f: int) -> np.ndarray:
     )
 
 
-def _scaled_rack_weights(disks_per_rack: int, max_f: int) -> np.ndarray:
+def _scaled_rack_weights(disks_per_rack: int, max_f: int) -> AnyArray:
     """Layout-count weights C(disks, f) scaled to stay in float range.
 
     Each weight is divided by ``exp(f * c)`` with a per-failure constant
@@ -194,7 +197,7 @@ def _cat_position_pmf(
 
 def _per_rack_j_distributions(
     cells: int, cell_size: int, max_f: int, p_l: int
-) -> list[np.ndarray]:
+) -> list[AnyArray]:
     """j-pmf of catastrophic positions for every per-rack failure count."""
     return [
         np.asarray(_cat_position_pmf(cells, cell_size, f, p_l))
@@ -264,7 +267,7 @@ def _netcp_group_tables(
     group_size: int,
     max_m: int,
     max_r: int,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[AnyArray, AnyArray]:
     """Per-group survival and total tables.
 
     Returns ``(survive, total)`` with shape ``(max_m+1, max_r+1)``:
@@ -293,21 +296,21 @@ def _netcp_group_tables(
 
     # survive[m] needs the collision DP; run it incrementally per failure
     # allocation.  State: {(occupancy-levels): weights indexed by r}.
-    # Implemented as dict state -> np.ndarray over r.
-    states: dict[tuple[int, ...], np.ndarray] = {}
+    # Implemented as dict state -> AnyArray over r.
+    states: dict[tuple[int, ...], AnyArray] = {}
     empty = (0,) * (loss_threshold - 1)
     init = np.zeros(max_r + 1)
     init[0] = 1.0
     states[empty] = init
     dp_proto = CellCollisionDP(cells, loss_threshold)
     for m in range(1, max_m + 1):
-        new_states: dict[tuple[int, ...], np.ndarray] = {}
+        new_states: dict[tuple[int, ...], AnyArray] = {}
         for state, vec in states.items():
             n_free = cells - sum(state)
             for f in range(1, max_f + 1):
                 j_pmf = j_dists[f]
                 shifted_src = vec[: max_r + 1 - f]
-                if shifted_src.sum() == 0.0:
+                if not shifted_src.any():
                     continue
                 for j, pj in enumerate(j_pmf):
                     if pj <= 1e-300:
@@ -451,7 +454,7 @@ def _netcp_pdl_positions(
     cells = disks_per_rack
     dp_proto = CellCollisionDP(cells, loss_threshold)
     empty = (0,) * (loss_threshold - 1)
-    states: dict[tuple[int, ...], np.ndarray] = {}
+    states: dict[tuple[int, ...], AnyArray] = {}
     init = np.zeros(failures + 1)
     init[0] = 1.0
     states[empty] = init
@@ -466,12 +469,12 @@ def _netcp_pdl_positions(
         conv = new_conv
         total[m] = conv
 
-        new_states: dict[tuple[int, ...], np.ndarray] = {}
+        new_states: dict[tuple[int, ...], AnyArray] = {}
         for state, vec in states.items():
             n_free = cells - sum(state)
             for f in range(1, max_f + 1):
                 src = vec[: failures + 1 - f]
-                if src.sum() == 0.0:
+                if not src.any():
                     continue
                 denom = math.comb(cells, f)
                 for split, ways in dp_proto._splits(state, n_free, f):
@@ -490,8 +493,8 @@ def _netcp_pdl_positions(
 
 
 def _fold_groups(
-    tables: np.ndarray,
-    choose: np.ndarray,
+    tables: AnyArray,
+    choose: AnyArray,
     n_groups: int,
     racks: int,
     failures: int,

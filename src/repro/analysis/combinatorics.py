@@ -15,6 +15,8 @@ Three small tools power every probability-of-data-loss computation:
 from __future__ import annotations
 
 import numpy as np
+
+from ..core.arrays import AnyArray
 from scipy import special, stats
 
 __all__ = [
@@ -45,8 +47,8 @@ def hypergeom_tail(pool: int, failed: int, width: int, p: int) -> float:
 
 
 def rack_selection_hits_pmf(
-    hit_probs: np.ndarray, width: int, max_hits: int
-) -> np.ndarray:
+    hit_probs: AnyArray, width: int, max_hits: int
+) -> AnyArray:
     """Hit-count pmf when a stripe picks ``width`` racks w/o replacement.
 
     A stripe selects ``width`` distinct racks uniformly from the ``R`` racks
@@ -108,7 +110,7 @@ def any_of_many(q: float, count: float) -> float:
     return float(-np.expm1(count * np.log1p(-q)))
 
 
-def poisson_binomial_pmf(probs: np.ndarray) -> np.ndarray:
+def poisson_binomial_pmf(probs: AnyArray) -> AnyArray:
     """Pmf of a sum of independent, non-identical Bernoulli variables.
 
     Used for "how many of a network stripe's rows in catastrophic pools are
@@ -126,7 +128,7 @@ def poisson_binomial_pmf(probs: np.ndarray) -> np.ndarray:
     return pmf
 
 
-def poisson_binomial_tail(probs: np.ndarray, threshold: int) -> float:
+def poisson_binomial_tail(probs: AnyArray, threshold: int) -> float:
     """P[sum of independent Bernoullis >= threshold]."""
     pmf = poisson_binomial_pmf(probs)
     if threshold >= len(pmf):
@@ -136,7 +138,7 @@ def poisson_binomial_tail(probs: np.ndarray, threshold: int) -> float:
 
 def exactly_j_cells_over_threshold_pmf(
     cells: int, cell_size: int, failures: int, threshold: int
-) -> np.ndarray:
+) -> AnyArray:
     """P[exactly j cells exceed a failure threshold], j = 0..cells.
 
     ``failures`` devices fail uniformly at random among ``cells`` equal

@@ -28,9 +28,10 @@ import dataclasses
 
 import numpy as np
 
+from ..core.arrays import AnyArray
 from ..core.config import BandwidthConfig, FailureConfig, YEAR
 from ..core.scheme import MLECScheme
-from ..core.types import Placement
+from ..core.types import Placement, Seconds
 from ..repair.bandwidth import BandwidthModel
 
 __all__ = [
@@ -42,8 +43,8 @@ __all__ = [
 
 
 def birth_death_mttdl(
-    up_rates: np.ndarray,
-    down_rates: np.ndarray,
+    up_rates: AnyArray,
+    down_rates: AnyArray,
     absorb_fraction: float = 1.0,
 ) -> float:
     """Mean time to absorption of a birth-death chain started at state 0.
@@ -122,7 +123,7 @@ class PoolReliabilityChain:
     disk_capacity_bytes: float
     chunk_size_bytes: float
     failure_rate: float
-    detection_time: float
+    detection_time: Seconds
     repair_rate: float
 
     @property
@@ -148,7 +149,7 @@ class PoolReliabilityChain:
         chunks = self.class_size(damage)
         return self.detection_time + chunks * self.chunk_size_bytes / self.repair_rate
 
-    def rates(self) -> tuple[np.ndarray, np.ndarray]:
+    def rates(self) -> tuple[AnyArray, AnyArray]:
         """(up, down) rates for states 0..p (absorption at p+1)."""
         t = self.parities + 1
         up = np.array(

@@ -27,7 +27,7 @@ def pdl_to_nines(pdl: float) -> float:
     """Number of nines of durability for a probability of data loss."""
     if not 0.0 <= pdl <= 1.0:
         raise ValueError(f"PDL must be in [0, 1], got {pdl}")
-    if pdl == 0.0:
+    if pdl <= 0.0:
         return MAX_NINES
     return -math.log10(pdl)
 
@@ -58,8 +58,8 @@ def per_pool_to_system_pdl(pool_pdl: float, n_pools: int) -> float:
     loses data for the system: ``1 - (1 - pdl)^n`` computed stably."""
     if not 0.0 <= pool_pdl <= 1.0:
         raise ValueError("pool_pdl must be in [0, 1]")
-    if pool_pdl == 0.0:
+    if pool_pdl <= 0.0:
         return 0.0
-    if pool_pdl == 1.0:
+    if pool_pdl >= 1.0:
         return 1.0
     return float(-math.expm1(n_pools * math.log1p(-pool_pdl)))

@@ -22,11 +22,16 @@ import argparse
 import math
 import re
 import sys
+from typing import TYPE_CHECKING
 
 from .core.config import MLECParams, YEAR
-from .core.scheme import MLEC_SCHEME_NAMES, mlec_scheme_from_name
+from .core.scheme import MLEC_SCHEME_NAMES, MLECScheme, mlec_scheme_from_name
 from .core.tolerance import mlec_tolerance
 from .core.types import RepairMethod
+
+if TYPE_CHECKING:
+    from .runtime import TrialContext
+    from .sim.simulator import SystemSimResult
 
 __all__ = ["main", "parse_mlec_code"]
 
@@ -57,7 +62,7 @@ def _add_scheme_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _scheme_from(args):
+def _scheme_from(args: argparse.Namespace) -> MLECScheme:
     return mlec_scheme_from_name(args.scheme, args.code)
 
 
@@ -72,7 +77,7 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
-def cmd_info(args) -> int:
+def cmd_info(args: argparse.Namespace) -> int:
     scheme = _scheme_from(args)
     report = mlec_tolerance(scheme)
     print(f"scheme            : {scheme}")
@@ -90,7 +95,7 @@ def cmd_info(args) -> int:
     return 0
 
 
-def cmd_burst(args) -> int:
+def cmd_burst(args: argparse.Namespace) -> int:
     scheme = _scheme_from(args)
     if args.exact:
         from .analysis.burst_dp import mlec_burst_pdl
@@ -117,7 +122,7 @@ def cmd_burst(args) -> int:
     return 0
 
 
-def cmd_repair(args) -> int:
+def cmd_repair(args: argparse.Namespace) -> int:
     from .repair.methods import CatastrophicRepairModel
     from .reporting import format_table
 
@@ -136,14 +141,15 @@ def cmd_repair(args) -> int:
     return 0
 
 
-def cmd_durability(args) -> int:
+def cmd_durability(args: argparse.Namespace) -> int:
     from .analysis.durability import mlec_durability_nines
     from .core.config import FailureConfig
+    from .core.types import Seconds
 
     scheme = _scheme_from(args)
     failures = FailureConfig(
         annual_failure_rate=args.afr,
-        detection_time=args.detection_minutes * 60.0,
+        detection_time=Seconds(args.detection_minutes * 60.0),
     )
     method = RepairMethod(args.method)
     nines = mlec_durability_nines(scheme, method, failures=failures)
@@ -152,7 +158,7 @@ def cmd_durability(args) -> int:
     return 0
 
 
-def cmd_tradeoff(args) -> int:
+def cmd_tradeoff(args: argparse.Namespace) -> int:
     from .analysis.tradeoff import mlec_tradeoff, pareto_front
     from .reporting import format_table
 
@@ -166,7 +172,14 @@ def cmd_tradeoff(args) -> int:
     return 0
 
 
-def _simulate_trial(ctx, scheme, method, afr, mission_time, base_seed):
+def _simulate_trial(
+    ctx: TrialContext,
+    scheme: MLECScheme,
+    method: RepairMethod,
+    afr: float,
+    mission_time: float,
+    base_seed: int,
+) -> SystemSimResult:
     """One full-system simulation trial (module-level for pickling)."""
     from .sim.failures import ExponentialFailures
     from .sim.simulator import MLECSystemSimulator
@@ -177,7 +190,7 @@ def _simulate_trial(ctx, scheme, method, afr, mission_time, base_seed):
     return sim.run(mission_time=mission_time, seed=base_seed + ctx.index)
 
 
-def cmd_simulate(args) -> int:
+def cmd_simulate(args: argparse.Namespace) -> int:
     from .runtime import TrialRunner
 
     scheme = _scheme_from(args)
@@ -220,7 +233,7 @@ def cmd_simulate(args) -> int:
     return 1 if losses else 0
 
 
-def cmd_traffic(args) -> int:
+def cmd_traffic(args: argparse.Namespace) -> int:
     from .analysis.markov import local_pool_catastrophic_rate
     from .core.config import LRCParams, SLECParams
     from .core.scheme import LRCScheme, SLECScheme
@@ -254,7 +267,7 @@ def cmd_traffic(args) -> int:
     return 0
 
 
-def cmd_chaos(args) -> int:
+def cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import ChaosCampaign, standard_scenarios
 
     schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
@@ -277,6 +290,17 @@ def cmd_chaos(args) -> int:
     report = campaign.run(seed=args.seed)
     print(report.to_text())
     return 1 if report.total_invariant_violations else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools.simlint.cli import main as simlint_main
+
+    argv = list(args.paths) + ["--format", args.format]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return simlint_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -363,6 +387,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_workers_arg(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis (simlint) over the source tree",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    p.add_argument("--format", choices=("human", "json"), default="human")
+    p.add_argument("--rules", metavar="IDS", default=None,
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the registered rules and exit")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

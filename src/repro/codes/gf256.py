@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.arrays import AnyArray
+
 __all__ = [
     "PRIMITIVE_POLY",
     "GF_ORDER",
@@ -48,7 +50,7 @@ PRIMITIVE_POLY: int = 0x11D
 GF_ORDER: int = 256
 
 
-def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+def _build_tables() -> tuple[AnyArray, AnyArray]:
     """Build exp/log tables for the field.
 
     ``EXP_TABLE`` has length 512 so that ``EXP_TABLE[log a + log b]`` never
@@ -83,7 +85,7 @@ MUL_TABLE[1:, 1:] = EXP_TABLE[(LOG_TABLE[_a[1:, None]] + LOG_TABLE[_a[None, 1:]]
 del _a
 
 
-def gf_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def gf_add(a: AnyArray, b: AnyArray) -> AnyArray:
     """Field addition (XOR).  Identical to subtraction in GF(2^m)."""
     return np.bitwise_xor(a, b)
 
@@ -92,14 +94,14 @@ def gf_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 gf_sub = gf_add
 
 
-def gf_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def gf_mul(a: AnyArray, b: AnyArray) -> AnyArray:
     """Element-wise field multiplication with NumPy broadcasting."""
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)
     return MUL_TABLE[a, b]
 
 
-def gf_inv(a: np.ndarray) -> np.ndarray:
+def gf_inv(a: AnyArray) -> AnyArray:
     """Element-wise multiplicative inverse.
 
     Raises
@@ -113,7 +115,7 @@ def gf_inv(a: np.ndarray) -> np.ndarray:
     return INV_TABLE[a]
 
 
-def gf_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def gf_div(a: AnyArray, b: AnyArray) -> AnyArray:
     """Element-wise field division ``a / b``.
 
     Raises
@@ -124,7 +126,7 @@ def gf_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return gf_mul(a, gf_inv(b))
 
 
-def gf_pow(a: np.ndarray, n: int) -> np.ndarray:
+def gf_pow(a: AnyArray, n: int) -> AnyArray:
     """Element-wise field exponentiation ``a ** n`` for integer ``n >= 0``.
 
     ``0 ** 0`` is defined as 1, matching the usual polynomial-evaluation
@@ -141,7 +143,7 @@ def gf_pow(a: np.ndarray, n: int) -> np.ndarray:
     return out
 
 
-def gf_poly_eval(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
+def gf_poly_eval(coeffs: AnyArray, x: AnyArray) -> AnyArray:
     """Evaluate a polynomial with ``coeffs`` (highest degree first) at ``x``.
 
     Horner's rule, vectorized over ``x``.
@@ -154,7 +156,7 @@ def gf_poly_eval(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
     return acc
 
 
-def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def gf_matmul(a: AnyArray, b: AnyArray) -> AnyArray:
     """Matrix multiplication over GF(2^8).
 
     ``a`` has shape (m, k), ``b`` has shape (k, n); the result has shape
@@ -175,7 +177,7 @@ def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
-def gf_mat_inv(mat: np.ndarray) -> np.ndarray:
+def gf_mat_inv(mat: AnyArray) -> AnyArray:
     """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination.
 
     Raises
@@ -203,7 +205,7 @@ def gf_mat_inv(mat: np.ndarray) -> np.ndarray:
     return aug[:, n:]
 
 
-def gf_mat_rank(mat: np.ndarray) -> int:
+def gf_mat_rank(mat: AnyArray) -> int:
     """Rank of a matrix over GF(2^8) by Gaussian elimination."""
     mat = np.asarray(mat, dtype=np.uint8).copy()
     if mat.ndim != 2:
@@ -227,7 +229,7 @@ def gf_mat_rank(mat: np.ndarray) -> int:
     return rank
 
 
-def gf_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def gf_solve(a: AnyArray, b: AnyArray) -> AnyArray:
     """Solve ``a @ x = b`` over GF(2^8) for square non-singular ``a``.
 
     ``b`` may be a vector or a matrix of right-hand sides.
@@ -240,7 +242,7 @@ def gf_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return x[:, 0] if squeeze else x
 
 
-def vandermonde_matrix(rows: int, cols: int) -> np.ndarray:
+def vandermonde_matrix(rows: int, cols: int) -> AnyArray:
     """Vandermonde matrix V[i, j] = alpha_i ** j with alpha_i = i + 1.
 
     Using distinct non-zero evaluation points 1..rows keeps every square
@@ -259,7 +261,7 @@ def vandermonde_matrix(rows: int, cols: int) -> np.ndarray:
     return out
 
 
-def cauchy_matrix(rows: int, cols: int) -> np.ndarray:
+def cauchy_matrix(rows: int, cols: int) -> AnyArray:
     """Cauchy matrix C[i, j] = 1 / (x_i + y_j) with disjoint x, y sets.
 
     Every square submatrix of a Cauchy matrix is non-singular, which makes
@@ -273,7 +275,7 @@ def cauchy_matrix(rows: int, cols: int) -> np.ndarray:
     return INV_TABLE[np.bitwise_xor(x[:, None], y[None, :])]
 
 
-def rs_generator_matrix(k: int, p: int) -> np.ndarray:
+def rs_generator_matrix(k: int, p: int) -> AnyArray:
     """Systematic MDS generator matrix ``[I_k ; P]`` of shape (k+p, k).
 
     The parity block ``P`` is a (p, k) Cauchy matrix, so any k rows of the

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.arrays import AnyArray
+
 __all__ = [
     "PRIMITIVE_POLY_16",
     "ORDER",
@@ -43,7 +45,7 @@ ORDER = 1 << 16
 _MASK = ORDER - 1  # 65535: the multiplicative group order
 
 
-def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+def _build_tables() -> tuple[AnyArray, AnyArray]:
     exp = np.zeros(2 * _MASK, dtype=np.uint16)
     log = np.zeros(ORDER, dtype=np.int32)
     x = 1
@@ -60,7 +62,7 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray]:
 EXP16, LOG16 = _build_tables()
 
 
-def gf16_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def gf16_mul(a: AnyArray, b: AnyArray) -> AnyArray:
     """Element-wise GF(2^16) multiplication with broadcasting."""
     a = np.asarray(a, dtype=np.uint16)
     b = np.asarray(b, dtype=np.uint16)
@@ -69,7 +71,7 @@ def gf16_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.where((a == 0) | (b == 0), np.uint16(0), out)
 
 
-def gf16_inv(a: np.ndarray) -> np.ndarray:
+def gf16_inv(a: AnyArray) -> AnyArray:
     """Element-wise multiplicative inverse."""
     a = np.asarray(a, dtype=np.uint16)
     if np.any(a == 0):
@@ -77,7 +79,7 @@ def gf16_inv(a: np.ndarray) -> np.ndarray:
     return EXP16[_MASK - LOG16[a]]
 
 
-def gf16_pow(a: np.ndarray, n: int) -> np.ndarray:
+def gf16_pow(a: AnyArray, n: int) -> AnyArray:
     """Element-wise power ``a ** n`` for ``n >= 0`` (``0**0 == 1``)."""
     a = np.asarray(a, dtype=np.uint16)
     if n < 0:
@@ -90,7 +92,7 @@ def gf16_pow(a: np.ndarray, n: int) -> np.ndarray:
     return out
 
 
-def gf16_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def gf16_matmul(a: AnyArray, b: AnyArray) -> AnyArray:
     """Matrix product over GF(2^16); shapes (m, k) @ (k, n)."""
     a = np.asarray(a, dtype=np.uint16)
     b = np.asarray(b, dtype=np.uint16)
@@ -109,7 +111,7 @@ def gf16_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
-def gf16_mat_inv(mat: np.ndarray) -> np.ndarray:
+def gf16_mat_inv(mat: AnyArray) -> AnyArray:
     """Gauss-Jordan inverse over GF(2^16)."""
     mat = np.asarray(mat, dtype=np.uint16)
     if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
@@ -131,7 +133,7 @@ def gf16_mat_inv(mat: np.ndarray) -> np.ndarray:
     return aug[:, n:]
 
 
-def gf16_mat_rank(mat: np.ndarray) -> int:
+def gf16_mat_rank(mat: AnyArray) -> int:
     """Rank over GF(2^16) by elimination."""
     mat = np.asarray(mat, dtype=np.uint16).copy()
     rows, cols = mat.shape
@@ -153,7 +155,7 @@ def gf16_mat_rank(mat: np.ndarray) -> int:
     return rank
 
 
-def cauchy_matrix_16(rows: int, cols: int) -> np.ndarray:
+def cauchy_matrix_16(rows: int, cols: int) -> AnyArray:
     """Cauchy matrix over GF(2^16): every square submatrix invertible."""
     if rows + cols > ORDER:
         raise ValueError(f"rows + cols must be <= {ORDER}")
@@ -162,7 +164,7 @@ def cauchy_matrix_16(rows: int, cols: int) -> np.ndarray:
     return gf16_inv(np.bitwise_xor(x[:, None], y[None, :]))
 
 
-def rs16_generator_matrix(k: int, p: int) -> np.ndarray:
+def rs16_generator_matrix(k: int, p: int) -> AnyArray:
     """Systematic MDS generator ``[I_k ; Cauchy]`` over GF(2^16)."""
     if k <= 0 or p < 0:
         raise ValueError("k must be positive and p non-negative")

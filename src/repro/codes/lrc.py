@@ -27,6 +27,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from ..core.arrays import AnyArray
+
 from .gf256 import cauchy_matrix, gf_matmul, gf_solve
 
 __all__ = ["AzureLRC"]
@@ -70,7 +72,7 @@ class AzureLRC:
         self.group_size = k // l
         self.generator = self._build_generator()
 
-    def _build_generator(self) -> np.ndarray:
+    def _build_generator(self) -> AnyArray:
         """Generator matrix of shape (n, k): stripe = G @ data."""
         gen = np.zeros((self.n, self.k), dtype=np.uint8)
         gen[: self.k] = np.eye(self.k, dtype=np.uint8)
@@ -109,7 +111,7 @@ class AzureLRC:
     # ------------------------------------------------------------------
     # Encoding / decoding
     # ------------------------------------------------------------------
-    def encode(self, data: np.ndarray) -> np.ndarray:
+    def encode(self, data: AnyArray) -> AnyArray:
         """Encode ``(k, chunk_len)`` data into an ``(n, chunk_len)`` stripe."""
         data = np.asarray(data, dtype=np.uint8)
         if data.ndim != 2 or data.shape[0] != self.k:
@@ -146,7 +148,7 @@ class AzureLRC:
                 remaining -= 1
         return remaining <= self.r
 
-    def decode(self, stripe: np.ndarray, erasures: Iterable[int]) -> np.ndarray:
+    def decode(self, stripe: AnyArray, erasures: Iterable[int]) -> AnyArray:
         """Reconstruct a stripe, peeling local groups before global decode.
 
         The two-phase structure mirrors production LRC repair: single

@@ -35,6 +35,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from ..core.arrays import AnyArray
+
 from .reed_solomon import ReedSolomon
 
 __all__ = ["MLECCodec", "DecodeReport"]
@@ -112,7 +114,7 @@ class MLECCodec:
     # ------------------------------------------------------------------
     # Encoding
     # ------------------------------------------------------------------
-    def encode(self, data: np.ndarray) -> np.ndarray:
+    def encode(self, data: AnyArray) -> AnyArray:
         """Encode user data into the full product grid.
 
         Parameters
@@ -145,7 +147,7 @@ class MLECCodec:
             grid[row] = self.local_code.encode(grid[row, : self.k_l, :])
         return grid
 
-    def extract_data(self, grid: np.ndarray) -> np.ndarray:
+    def extract_data(self, grid: AnyArray) -> AnyArray:
         """Pull the user data back out of a (fully repaired) grid."""
         grid = self._check_grid(grid)
         return grid[: self.k_n, : self.k_l, :].reshape(self.data_chunks, -1)
@@ -169,10 +171,10 @@ class MLECCodec:
     # ------------------------------------------------------------------
     def decode(
         self,
-        grid: np.ndarray,
+        grid: AnyArray,
         erasures: Iterable[tuple[int, int]],
         report: DecodeReport | None = None,
-    ) -> np.ndarray:
+    ) -> AnyArray:
         """Iteratively repair a grid with erased ``(row, col)`` cells.
 
         Alternates local (row) and network (column) repair sweeps until
@@ -218,7 +220,7 @@ class MLECCodec:
         return grid
 
     # ------------------------------------------------------------------
-    def _check_grid(self, grid: np.ndarray) -> np.ndarray:
+    def _check_grid(self, grid: AnyArray) -> AnyArray:
         grid = np.asarray(grid, dtype=np.uint8)
         if grid.ndim != 3 or grid.shape[:2] != (self.n_rows, self.n_cols):
             raise ValueError(

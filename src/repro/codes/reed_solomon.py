@@ -17,6 +17,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from ..core.arrays import AnyArray
+
 from .gf256 import gf_mat_inv, gf_matmul, rs_generator_matrix
 
 __all__ = ["ReedSolomon"]
@@ -59,7 +61,7 @@ class ReedSolomon:
     # ------------------------------------------------------------------
     # Encoding
     # ------------------------------------------------------------------
-    def encode(self, data: np.ndarray) -> np.ndarray:
+    def encode(self, data: AnyArray) -> AnyArray:
         """Encode ``k`` data chunks into a full ``k+p`` stripe.
 
         Parameters
@@ -81,7 +83,7 @@ class ReedSolomon:
         stripe[self.k :] = gf_matmul(self.generator[self.k :], data)
         return stripe
 
-    def parity(self, data: np.ndarray) -> np.ndarray:
+    def parity(self, data: AnyArray) -> AnyArray:
         """Compute only the ``p`` parity chunks for ``data``."""
         data = self._check_data(data)
         if self.p == 0:
@@ -100,7 +102,7 @@ class ReedSolomon:
         erased = self._check_erasures(erasures)
         return len(erased) <= self.p
 
-    def decode(self, stripe: np.ndarray, erasures: Iterable[int]) -> np.ndarray:
+    def decode(self, stripe: AnyArray, erasures: Iterable[int]) -> AnyArray:
         """Reconstruct a full stripe given erased chunk indices.
 
         Parameters
@@ -140,8 +142,8 @@ class ReedSolomon:
         return self.encode(data)
 
     def reconstruct_chunks(
-        self, stripe: np.ndarray, erasures: Iterable[int]
-    ) -> dict[int, np.ndarray]:
+        self, stripe: AnyArray, erasures: Iterable[int]
+    ) -> dict[int, AnyArray]:
         """Rebuild and return only the erased chunks, keyed by index.
 
         This mirrors the "repair failed chunks only" network repair: the
@@ -155,7 +157,7 @@ class ReedSolomon:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _check_data(self, data: np.ndarray) -> np.ndarray:
+    def _check_data(self, data: AnyArray) -> AnyArray:
         data = np.asarray(data, dtype=np.uint8)
         if data.ndim != 2 or data.shape[0] != self.k:
             raise ValueError(

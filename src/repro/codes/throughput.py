@@ -35,6 +35,7 @@ import time
 
 import numpy as np
 
+from ..core.arrays import AnyArray
 from ..core.config import GB, LRCParams, MLECParams, SLECParams
 from .reed_solomon import ReedSolomon
 
@@ -130,8 +131,8 @@ class IsalThroughputModel:
         return self._to_rate(self.lrc_cost(params))
 
     def heatmap(
-        self, k_values: np.ndarray, p_values: np.ndarray
-    ) -> np.ndarray:
+        self, k_values: AnyArray, p_values: AnyArray
+    ) -> AnyArray:
         """Figure 11's grid: throughput[p_idx, k_idx] in bytes/s."""
         out = np.empty((len(p_values), len(k_values)))
         for i, p in enumerate(p_values):

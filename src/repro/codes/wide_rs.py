@@ -14,6 +14,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from ..core.arrays import AnyArray
+
 from .gf65536 import gf16_mat_inv, gf16_matmul, rs16_generator_matrix
 
 __all__ = ["WideReedSolomon"]
@@ -46,7 +48,7 @@ class WideReedSolomon:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _as_symbols(data: np.ndarray) -> np.ndarray:
+    def _as_symbols(data: AnyArray) -> AnyArray:
         """View byte chunks as uint16 symbol rows (validates even length)."""
         data = np.asarray(data)
         if data.dtype == np.uint16:
@@ -56,7 +58,7 @@ class WideReedSolomon:
             raise ValueError("chunk length must be even for 16-bit symbols")
         return data.view(np.uint16)
 
-    def encode(self, data: np.ndarray) -> np.ndarray:
+    def encode(self, data: AnyArray) -> AnyArray:
         """Encode ``(k, chunk_len)`` data into a ``(k+p, chunk_len)`` stripe.
 
         ``data`` may be uint8 (even-length chunks) or uint16; the result
@@ -76,7 +78,7 @@ class WideReedSolomon:
         erased = self._check_erasures(erasures)
         return len(erased) <= self.p
 
-    def decode(self, stripe: np.ndarray, erasures: Iterable[int]) -> np.ndarray:
+    def decode(self, stripe: AnyArray, erasures: Iterable[int]) -> AnyArray:
         """Rebuild a stripe with the rows in ``erasures`` lost."""
         stripe = np.asarray(stripe, dtype=np.uint16)
         if stripe.ndim != 2 or stripe.shape[0] != self.n:

@@ -1,0 +1,23 @@
+"""Shared numpy array type aliases.
+
+``mypy --strict`` (``disallow_any_generics``) rejects bare ``np.ndarray``
+annotations; these aliases give every module one vocabulary for the
+parameterised forms.  ``FloatArray`` / ``IntArray`` / ``UInt8Array`` name
+the dtype when an API guarantees it; ``AnyArray`` is for arrays whose
+dtype is data-dependent or intentionally unconstrained (still an explicit
+annotation -- the ``Any`` is the dtype parameter, not the array type).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["FloatArray", "IntArray", "UInt8Array", "AnyArray"]
+
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+UInt8Array = npt.NDArray[np.uint8]
+AnyArray = npt.NDArray[Any]

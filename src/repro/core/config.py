@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import dataclasses
 
+from .types import Seconds
+
 __all__ = [
     "TB",
     "GB",
@@ -137,7 +139,7 @@ class FailureConfig:
     """
 
     annual_failure_rate: float = 0.01
-    detection_time: float = 30 * 60.0
+    detection_time: Seconds = Seconds(30 * 60.0)
 
     def __post_init__(self) -> None:
         if not 0 < self.annual_failure_rate < 1:

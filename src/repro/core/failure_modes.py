@@ -22,6 +22,8 @@ import dataclasses
 import enum
 
 import numpy as np
+
+from .arrays import AnyArray
 from scipy import stats
 
 from .types import RepairMethod
@@ -139,7 +141,7 @@ class LocalPoolDamage:
         """Stripes in the (full) pool."""
         return self.pool_disks * self.chunks_per_disk // self.stripe_width
 
-    def stripe_damage_pmf(self) -> np.ndarray:
+    def stripe_damage_pmf(self) -> AnyArray:
         """P[one stripe has j failed chunks], j = 0..min(n_l, failed).
 
         Hypergeometric for declustered pools; a point mass for clustered.
@@ -180,7 +182,7 @@ class LocalPoolDamage:
         """All chunks resident on the failed disks."""
         return self.failed_disks * self.chunks_per_disk
 
-    def expected_chunks_by_damage(self) -> np.ndarray:
+    def expected_chunks_by_damage(self) -> AnyArray:
         """E[# failed chunks residing in stripes with j failed chunks].
 
         Index j runs 0..min(n_l, failed).  Derived from the damage pmf:
@@ -231,7 +233,7 @@ class LocalPoolDamage:
     # ------------------------------------------------------------------
     def sample_stripe_damage(
         self, rng: np.random.Generator, n_stripes: int | None = None
-    ) -> np.ndarray:
+    ) -> AnyArray:
         """Sample per-stripe failed-chunk counts for the whole pool.
 
         Returns an integer array of length ``n_stripes`` (default: all

@@ -19,6 +19,8 @@ import dataclasses
 
 import numpy as np
 
+from ..core.arrays import AnyArray
+
 __all__ = [
     "ScalingSeries",
     "backblaze_disks",
@@ -36,8 +38,8 @@ class ScalingSeries:
     """One line of Figure 1."""
 
     name: str
-    years: np.ndarray
-    values: np.ndarray
+    years: AnyArray
+    values: AnyArray
     unit: str
 
     def at(self, year: int) -> float:
@@ -50,7 +52,7 @@ class ScalingSeries:
         return float(self.values[-1] / self.values[0])
 
 
-def _geometric(anchors: dict[int, float]) -> np.ndarray:
+def _geometric(anchors: dict[int, float]) -> AnyArray:
     """Geometric interpolation through annotated (year, value) anchors."""
     xs = sorted(anchors)
     out = np.empty(len(YEARS))

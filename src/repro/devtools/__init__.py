@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the library.
+
+Currently one tool: :mod:`repro.devtools.simlint`, the domain-aware static
+analysis suite that enforces the simulation contracts (determinism, unit
+safety, event-handler exhaustiveness) before code runs.
+"""

@@ -1,0 +1,34 @@
+"""simlint: domain-aware static analysis for the MLEC simulator.
+
+An AST-based lint suite (stdlib only) enforcing the simulation contracts
+ordinary linters cannot see: seeded and plumbed randomness (SL001/SL002),
+exhaustive event dispatch (SL003), no float equality in the numerical
+core (SL004), unit discipline at annotated call sites (SL005), and
+picklable trial callables (SL006).
+
+Run it as ``mlec-sim lint <paths>`` or ``python -m repro.devtools.simlint``.
+See ``docs/static-analysis.md`` for the rule catalogue, suppression
+syntax, and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    RULE_REGISTRY,
+    FileContext,
+    Finding,
+    LintError,
+    Linter,
+    Rule,
+    register_rule,
+)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "Linter",
+    "LintError",
+]

@@ -1,0 +1,84 @@
+"""Shared AST helpers: import resolution and expression-root extraction."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportMap", "dotted_name", "root_name", "attribute_chain"]
+
+
+class ImportMap:
+    """Maps local aliases to the dotted module paths they were imported as.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``from numpy import
+    random as npr`` binds ``npr -> numpy.random``.  :meth:`resolve` expands
+    an alias-rooted dotted path to its canonical form, so ``np.random.seed``
+    and ``npr.seed`` both resolve to ``numpy.random.seed``.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[name] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    name = alias.asname or alias.name
+                    self.aliases[name] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        expanded = self.aliases.get(head)
+        if expanded is None:
+            return dotted
+        return f"{expanded}.{rest}" if rest else expanded
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string for pure Name/Attribute chains, else None."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def attribute_chain(node: ast.expr) -> list[str]:
+    """Name segments along an attribute/call chain, outermost root first.
+
+    Unlike :func:`dotted_name` this tolerates interleaved calls and
+    subscripts: ``ctx.rng().random`` yields ``["ctx", "rng", "random"]``.
+    """
+    parts: list[str] = []
+    cur: ast.expr | None = node
+    rooted = False
+    while cur is not None:
+        if isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        elif isinstance(cur, ast.Call):
+            cur = cur.func
+        elif isinstance(cur, ast.Subscript):
+            cur = cur.value
+        elif isinstance(cur, ast.Name):
+            parts.append(cur.id)
+            rooted = True
+            cur = None
+        else:
+            cur = None
+    return list(reversed(parts)) if rooted else []
+
+
+def root_name(node: ast.expr) -> str | None:
+    """The Name at the root of an attribute/call/subscript chain, if any."""
+    chain = attribute_chain(node)
+    return chain[0] if chain else None

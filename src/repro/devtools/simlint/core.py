@@ -1,0 +1,224 @@
+"""simlint core: findings, suppressions, the rule registry, the driver.
+
+simlint is an AST-based static-analysis tool for *this* codebase: its rules
+encode the simulation contracts (seeded randomness, unit discipline,
+exhaustive event dispatch, picklable trial functions) that ordinary linters
+cannot know about.  Everything is stdlib-only (``ast`` + ``tokenize``-free
+line scanning), so the tool adds no runtime dependency.
+
+Rules are classes registered by id (``SL001`` ...).  Each rule sees every
+file (:meth:`Rule.visit_file`) and may emit more findings once the whole
+project has been scanned (:meth:`Rule.finalize`) -- the hook cross-file
+rules like event-handler exhaustiveness use.
+
+Suppression is per line and per rule::
+
+    risky_call()  # simlint: disable=SL001
+    other()       # simlint: disable=SL001,SL004
+
+or for a whole file (anywhere in the file, conventionally at the top)::
+
+    # simlint: disable-file=SL003
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "Linter",
+    "LintError",
+]
+
+_DISABLE_LINE = re.compile(r"#\s*simlint:\s*disable=([A-Z0-9, ]+)")
+_DISABLE_FILE = re.compile(r"#\s*simlint:\s*disable-file=([A-Z0-9, ]+)")
+
+
+class LintError(Exception):
+    """A target could not be linted at all (missing path, syntax error)."""
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """One parsed source file handed to every rule."""
+
+    def __init__(self, path: Path, display_path: str, source: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        self.lines = source.splitlines()
+        self._file_disabled: frozenset[str] | None = None
+
+    # ------------------------------------------------------------------
+    def _rules_disabled_for_file(self) -> frozenset[str]:
+        if self._file_disabled is None:
+            disabled: set[str] = set()
+            for line in self.lines:
+                match = _DISABLE_FILE.search(line)
+                if match:
+                    disabled.update(
+                        r.strip() for r in match.group(1).split(",") if r.strip()
+                    )
+            self._file_disabled = frozenset(disabled)
+        return self._file_disabled
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True if ``rule_id`` is disabled on ``line`` or file-wide."""
+        if rule_id in self._rules_disabled_for_file():
+            return True
+        if 1 <= line <= len(self.lines):
+            match = _DISABLE_LINE.search(self.lines[line - 1])
+            if match:
+                ids = {r.strip() for r in match.group(1).split(",")}
+                return rule_id in ids
+        return False
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule_id,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`title` and :attr:`rationale`,
+    and implement :meth:`visit_file`; cross-file rules also implement
+    :meth:`finalize`, which runs after every file has been visited.  One
+    rule instance lives for one :class:`Linter` run, so instance state is
+    the natural place to accumulate cross-file facts.
+    """
+
+    rule_id: str = "SL000"
+    title: str = ""
+    rationale: str = ""
+
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        del ctx
+        return []
+
+    def finalize(self) -> list[Finding]:
+        return []
+
+
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not re.fullmatch(r"SL\d{3}", cls.rule_id):
+        raise ValueError(f"bad rule id {cls.rule_id!r} (expected SLnnn)")
+    if cls.rule_id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+class Linter:
+    """Runs a set of rules over a set of paths.
+
+    Parameters
+    ----------
+    rules:
+        Rule ids to run (default: every registered rule).
+    """
+
+    def __init__(self, rules: set[str] | None = None) -> None:
+        # Import for the registration side effect; cheap and idempotent.
+        from . import rules as _rules  # noqa: F401
+
+        selected = rules if rules is not None else set(RULE_REGISTRY)
+        unknown = selected - set(RULE_REGISTRY)
+        if unknown:
+            raise LintError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        self.rule_ids = sorted(selected)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def collect_files(paths: list[str]) -> list[Path]:
+        """Expand files/directories into a sorted list of ``.py`` files."""
+        files: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if not path.exists():
+                raise LintError(f"no such file or directory: {raw}")
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            else:
+                files.append(path)
+        # De-duplicate while preserving order.
+        seen: set[Path] = set()
+        unique = []
+        for f in files:
+            resolved = f.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                unique.append(f)
+        return unique
+
+    def run(self, paths: list[str]) -> list[Finding]:
+        """Lint ``paths`` (files or directory trees); returns findings."""
+        # Fresh rule instances per run: cross-file rules accumulate state.
+        rules = [RULE_REGISTRY[rule_id]() for rule_id in self.rule_ids]
+        contexts: list[FileContext] = []
+        for path in self.collect_files(paths):
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise LintError(f"cannot read {path}: {exc}") from exc
+            try:
+                contexts.append(FileContext(path, str(path), source))
+            except SyntaxError as exc:
+                raise LintError(f"cannot parse {path}: {exc}") from exc
+
+        findings: list[Finding] = []
+        context_by_path: dict[str, FileContext] = {}
+        for ctx in contexts:
+            context_by_path[ctx.display_path] = ctx
+            for rule in rules:
+                for finding in rule.visit_file(ctx):
+                    if not ctx.is_suppressed(finding.rule, finding.line):
+                        findings.append(finding)
+        for rule in rules:
+            for finding in rule.finalize():
+                ctx_for = context_by_path.get(finding.path)
+                if ctx_for is None or not ctx_for.is_suppressed(
+                    finding.rule, finding.line
+                ):
+                    findings.append(finding)
+        return sorted(findings)

@@ -1,0 +1,12 @@
+"""simlint rule modules.
+
+Importing this package registers every built-in rule.  To add a rule,
+create a module here with a :class:`~repro.devtools.simlint.core.Rule`
+subclass decorated with ``@register_rule``, and import it below.
+"""
+
+from __future__ import annotations
+
+from . import events, floats, pickling, rng, units
+
+__all__ = ["rng", "events", "floats", "units", "pickling"]

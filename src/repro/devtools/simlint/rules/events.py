@@ -1,0 +1,162 @@
+"""SL003 event-exhaustiveness: every event enum member needs a handler.
+
+The discrete-event simulators dispatch on ``EventType`` with ``if/elif``
+identity chains (or ``match`` statements).  Adding an enum member without
+teaching a dispatch about it produces events that fall through to a
+runtime ``ValueError`` at best -- or are silently dropped in handlers
+that pre-filter -- long after the bug was introduced.  This rule makes
+the cross-check static: for every enum class whose name marks it as an
+event kind (``*EventType`` / ``*EventKind``), every member must appear in
+at least one dispatch comparison (``x is Enum.MEMBER``, ``x == Enum.MEMBER``
+or a ``match`` case) somewhere in the linted tree.
+
+A member that is never referenced at all is also an error: dead enum
+members are exactly how unhandled events are born.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+from .._ast_utils import dotted_name
+from ..core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["EventExhaustiveness"]
+
+_ENUM_BASES = frozenset({
+    "Enum", "IntEnum", "StrEnum", "Flag", "IntFlag",
+    "enum.Enum", "enum.IntEnum", "enum.StrEnum", "enum.Flag", "enum.IntFlag",
+})
+_EVENT_CLASS_SUFFIXES = ("EventType", "EventKind")
+
+
+@dataclasses.dataclass
+class _EnumInfo:
+    path: str
+    members: dict[str, tuple[int, int]]  # name -> (line, col)
+    handled: set[str] = dataclasses.field(default_factory=set)
+    referenced: set[str] = dataclasses.field(default_factory=set)
+
+
+@register_rule
+class EventExhaustiveness(Rule):
+    """SL003: cross-check event enums against their dispatch sites."""
+
+    rule_id = "SL003"
+    title = "event-exhaustiveness"
+    rationale = (
+        "A new event kind with no handler either crashes the simulator "
+        "mid-mission or is silently ignored; the dispatch must be "
+        "exhaustive over the enum."
+    )
+
+    def __init__(self) -> None:
+        self._enums: dict[str, _EnumInfo] = {}
+        # References seen before (or without) the enum definition:
+        # (class name, member, handled?).
+        self._pending: list[tuple[str, str, bool]] = []
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_event_enum(node: ast.ClassDef) -> bool:
+        if not node.name.endswith(_EVENT_CLASS_SUFFIXES):
+            return False
+        for base in node.bases:
+            name = dotted_name(base)
+            if name in _ENUM_BASES:
+                return True
+        return False
+
+    @staticmethod
+    def _enum_members(node: ast.ClassDef) -> dict[str, tuple[int, int]]:
+        members: dict[str, tuple[int, int]] = {}
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                        members[target.id] = (stmt.lineno, stmt.col_offset)
+        return members
+
+    def _record_reference(self, cls: str, member: str, handled: bool) -> None:
+        info = self._enums.get(cls)
+        if info is None:
+            self._pending.append((cls, member, handled))
+            return
+        info.referenced.add(member)
+        if handled:
+            info.handled.add(member)
+
+    # ------------------------------------------------------------------
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and self._is_event_enum(node):
+                self._enums.setdefault(
+                    node.name,
+                    _EnumInfo(ctx.display_path, self._enum_members(node)),
+                )
+            elif isinstance(node, ast.Compare):
+                if any(isinstance(op, (ast.Is, ast.IsNot, ast.Eq, ast.NotEq))
+                       for op in node.ops):
+                    for side in (node.left, *node.comparators):
+                        ref = self._event_attribute(side)
+                        if ref is not None:
+                            self._record_reference(*ref, handled=True)
+            elif isinstance(node, ast.Match):
+                for case in node.cases:
+                    for pattern in ast.walk(case.pattern):
+                        if isinstance(pattern, ast.MatchValue):
+                            ref = self._event_attribute(pattern.value)
+                            if ref is not None:
+                                self._record_reference(*ref, handled=True)
+            elif isinstance(node, ast.Attribute):
+                ref = self._event_attribute(node)
+                if ref is not None:
+                    self._record_reference(*ref, handled=False)
+        return []
+
+    @staticmethod
+    def _event_attribute(node: ast.expr) -> tuple[str, str] | None:
+        """(class name, member) for ``SomethingEventType.MEMBER`` exprs."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id.endswith(_EVENT_CLASS_SUFFIXES)
+            and node.attr.isupper()
+        ):
+            return node.value.id, node.attr
+        return None
+
+    def finalize(self) -> list[Finding]:
+        for cls, member, handled in self._pending:
+            info = self._enums.get(cls)
+            if info is not None:
+                info.referenced.add(member)
+                if handled:
+                    info.handled.add(member)
+        findings: list[Finding] = []
+        for cls, info in self._enums.items():
+            if not info.handled:
+                # No dispatch in the scanned set: a partial lint (single
+                # file) cannot judge exhaustiveness.
+                continue
+            for member, (line, col) in sorted(info.members.items()):
+                if member in info.handled:
+                    continue
+                if member in info.referenced:
+                    message = (
+                        f"{cls}.{member} is emitted but no dispatch "
+                        "handles it (no `is`/`==` comparison or `match` "
+                        "case anywhere in the linted tree)"
+                    )
+                else:
+                    message = (
+                        f"{cls}.{member} is defined but never emitted nor "
+                        "handled; dead event kinds hide unhandled-event "
+                        "bugs -- remove it or wire a handler"
+                    )
+                findings.append(Finding(
+                    path=info.path, line=line, col=col + 1,
+                    rule=self.rule_id, message=message,
+                ))
+        return sorted(findings)

@@ -1,0 +1,84 @@
+"""SL004 float-equality: no ``==`` / ``!=`` on float-typed expressions.
+
+Scoped to the numerical core (``analysis/`` and ``sim/`` directories):
+exact equality on floats that went through arithmetic is almost always a
+model bug (a probability that is 0.9999999999 is not 1.0).  The rule
+flags comparisons where either side is statically float-like -- a float
+literal, a ``float(...)`` conversion, a ``math.*`` call, or arithmetic
+over those -- and points at ``math.isclose`` or an order comparison
+(``<=`` / ``>=``), which are exact at the boundary without relying on
+bit-identical rounding.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .._ast_utils import ImportMap, dotted_name
+from ..core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["FloatEquality"]
+
+_SCOPE_DIRS = frozenset({"analysis", "sim"})
+
+
+@register_rule
+class FloatEquality(Rule):
+    """SL004: flag float equality in the numerical core."""
+
+    rule_id = "SL004"
+    title = "float-equality"
+    rationale = (
+        "Floating-point equality after arithmetic depends on rounding "
+        "order; use math.isclose for closeness or <= / >= for exact "
+        "boundary sentinels."
+    )
+
+    @staticmethod
+    def _in_scope(ctx: FileContext) -> bool:
+        return bool(_SCOPE_DIRS.intersection(ctx.path.parts))
+
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        if not self._in_scope(ctx):
+            return []
+        imports = ImportMap(ctx.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            eq_ops = [op for op in node.ops if isinstance(op, (ast.Eq, ast.NotEq))]
+            if not eq_ops:
+                continue
+            sides = (node.left, *node.comparators)
+            if any(self._is_floatlike(side, imports) for side in sides):
+                findings.append(ctx.finding(
+                    self.rule_id, node,
+                    "float equality comparison; use math.isclose (or an "
+                    "order comparison for exact boundary sentinels)",
+                ))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _is_floatlike(self, node: ast.expr, imports: ImportMap) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return self._is_floatlike(node.operand, imports)
+        if isinstance(node, ast.BinOp):
+            return (
+                self._is_floatlike(node.left, imports)
+                or self._is_floatlike(node.right, imports)
+            )
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                return False
+            resolved = imports.resolve(dotted)
+            if resolved == "float":
+                return True
+            if resolved.startswith("math.") and resolved not in (
+                "math.floor", "math.ceil", "math.trunc", "math.comb",
+                "math.perm", "math.gcd", "math.isqrt", "math.factorial",
+            ):
+                return True
+        return False

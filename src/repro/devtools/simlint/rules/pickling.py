@@ -1,0 +1,120 @@
+"""SL006 pool-picklability: trial callables must survive pickling.
+
+:class:`~repro.runtime.runner.TrialRunner` ships trial functions to
+``ProcessPoolExecutor`` workers, which pickles them by qualified name.
+Lambdas and functions defined inside another function cannot be pickled:
+the failure surfaces as an opaque ``PicklingError`` from pool internals,
+and only when ``workers > 1`` -- single-process tests pass.  This rule
+rejects such callables at the submission site, statically.
+
+A callable is flagged when it is handed to a runner dispatch call
+(``<runner>.run(...)`` / ``<runner>.map(...)`` where the receiver looks
+like a trial runner) and it is either a ``lambda`` expression or a name
+bound by a ``def`` nested inside the enclosing function.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .._ast_utils import attribute_chain
+from ..core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["PoolPicklability"]
+
+_DISPATCH_METHODS = frozenset({"run", "map"})
+_RUNNER_CTORS = frozenset({"TrialRunner"})
+
+
+def _is_runner_receiver(receiver: ast.expr) -> bool:
+    """True if the expression plausibly evaluates to a trial runner."""
+    if isinstance(receiver, ast.Call):
+        func = receiver.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        return name in _RUNNER_CTORS
+    chain = attribute_chain(receiver)
+    return any("runner" in segment.lower() for segment in chain)
+
+
+def _trial_callable(node: ast.Call) -> ast.expr | None:
+    """The trial-function argument of a dispatch call, if present."""
+    if node.args and not isinstance(node.args[0], ast.Starred):
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "fn":
+            return keyword.value
+    return None
+
+
+@register_rule
+class PoolPicklability(Rule):
+    """SL006: no lambdas or nested functions handed to trial runners."""
+
+    rule_id = "SL006"
+    title = "pool-picklability"
+    rationale = (
+        "ProcessPoolExecutor pickles trial callables by qualified name; "
+        "lambdas and nested functions fail only at workers > 1, with an "
+        "opaque PicklingError from pool internals."
+    )
+
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for stmt in ctx.tree.body:
+            self._walk(ctx, stmt, frozenset(), findings)
+        return findings
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        nested_fns: frozenset[str],
+        findings: list[Finding],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Names bound by a def inside *this* function are closures
+            # from the point of view of any call in its body.
+            inner = nested_fns | {
+                child.name for child in ast.walk(node)
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child is not node
+            }
+            for child in node.body:
+                self._walk(ctx, child, inner, findings)
+            return
+        if isinstance(node, ast.Call):
+            self._check_dispatch(ctx, node, nested_fns, findings)
+        for child in ast.iter_child_nodes(node):
+            self._walk(ctx, child, nested_fns, findings)
+
+    def _check_dispatch(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        nested_fns: frozenset[str],
+        findings: list[Finding],
+    ) -> None:
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DISPATCH_METHODS
+            and _is_runner_receiver(node.func.value)
+        ):
+            return
+        fn = _trial_callable(node)
+        if fn is None:
+            return
+        if isinstance(fn, ast.Lambda):
+            findings.append(ctx.finding(
+                self.rule_id, fn,
+                "lambda handed to a trial runner cannot be pickled for "
+                "worker processes; define a module-level function",
+            ))
+        elif isinstance(fn, ast.Name) and fn.id in nested_fns:
+            findings.append(ctx.finding(
+                self.rule_id, fn,
+                f"`{fn.id}` is defined inside the enclosing function and "
+                "cannot be pickled for worker processes; move it to "
+                "module level",
+            ))

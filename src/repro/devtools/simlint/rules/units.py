@@ -1,0 +1,245 @@
+"""SL005 unit-discipline: don't mix annotated physical units.
+
+``core/types.py`` defines ``NewType`` unit aliases (``Seconds``, ``Hours``,
+``Years``, ``Bytes``, ``GiB``, ``MiBps``).  At runtime they are plain
+floats -- which is exactly why Table 2-style models that mix hours with
+years or chunks with bytes fail silently.  This rule statically checks
+unit-annotated call sites:
+
+* a call to a function whose parameter is annotated with one unit must
+  not pass an expression whose unit is known to be a *different* unit
+  (a ``Hours(...)`` constructor result, or a variable annotated with a
+  unit);
+* a unit constructor must not be applied directly to a value of another
+  unit (``Hours(x)`` where ``x: Seconds``) -- that relabels without
+  converting; use the explicit conversion helpers.
+
+Expressions whose unit cannot be determined statically pass unchecked:
+the rule is sound on what it knows and silent on what it does not.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+from ..core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["UnitDiscipline", "UNIT_NAMES"]
+
+#: The unit aliases defined in ``repro.core.types``.
+UNIT_NAMES = frozenset({"Seconds", "Hours", "Years", "Bytes", "GiB", "MiBps"})
+
+
+def _annotation_unit(annotation: ast.expr | None) -> str | None:
+    """The unit name an annotation refers to, if any."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Name) and annotation.id in UNIT_NAMES:
+        return annotation.id
+    if isinstance(annotation, ast.Attribute) and annotation.attr in UNIT_NAMES:
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and annotation.value in UNIT_NAMES:
+        return str(annotation.value)
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class _UnitParam:
+    index: int  # positional index with self/cls stripped; -1 if kw-only
+    name: str
+    unit: str
+
+
+@dataclasses.dataclass(frozen=True)
+class _CallRecord:
+    path: str
+    line: int
+    col: int
+    callee: str
+    #: (positional index, keyword name, inferred unit) per determinable arg.
+    args: tuple[tuple[int | None, str | None, str], ...]
+
+
+@register_rule
+class UnitDiscipline(Rule):
+    """SL005: unit-annotated call sites must agree on the unit."""
+
+    rule_id = "SL005"
+    title = "unit-discipline"
+    rationale = (
+        "Hours-vs-years and chunks-vs-bytes mixups change durability "
+        "results by orders of magnitude without crashing; unit-annotated "
+        "APIs make the contract explicit and this rule enforces it at "
+        "call sites."
+    )
+
+    def __init__(self) -> None:
+        # Callee simple name -> unit-annotated params.  None marks a name
+        # with conflicting signatures across the project (ambiguous).
+        self._defs: dict[str, tuple[_UnitParam, ...] | None] = {}
+        self._calls: list[_CallRecord] = []
+
+    # ------------------------------------------------------------------
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        self._collect_defs(ctx.tree)
+        module_scope = self._annotated_names(ctx.tree.body)
+        for stmt in ctx.tree.body:
+            self._walk(ctx, stmt, module_scope, findings)
+        return findings
+
+    @staticmethod
+    def _annotated_names(body: list[ast.stmt]) -> dict[str, str]:
+        names: dict[str, str] = {}
+        for stmt in body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                unit = _annotation_unit(stmt.annotation)
+                if unit is not None:
+                    names[stmt.target.id] = unit
+        return names
+
+    def _collect_defs(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params: list[_UnitParam] = []
+            positional = node.args.posonlyargs + node.args.args
+            if positional and positional[0].arg in ("self", "cls"):
+                positional = positional[1:]
+            for index, arg in enumerate(positional):
+                unit = _annotation_unit(arg.annotation)
+                if unit is not None:
+                    params.append(_UnitParam(index, arg.arg, unit))
+            for arg in node.args.kwonlyargs:
+                unit = _annotation_unit(arg.annotation)
+                if unit is not None:
+                    params.append(_UnitParam(-1, arg.arg, unit))
+            if not params:
+                continue
+            signature = tuple(params)
+            if node.name in self._defs and self._defs[node.name] != signature:
+                self._defs[node.name] = None  # ambiguous across the project
+            else:
+                self._defs[node.name] = signature
+
+    # ------------------------------------------------------------------
+    def _walk(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        scope: dict[str, str],
+        findings: list[Finding],
+    ) -> None:
+        """Scope-aware traversal: function bodies get their own bindings."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = dict(scope)
+            for arg in (
+                node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+            ):
+                unit = _annotation_unit(arg.annotation)
+                if unit is not None:
+                    inner[arg.arg] = unit
+            inner.update(self._annotated_names(node.body))
+            for child in node.body:
+                self._walk(ctx, child, inner, findings)
+            return
+        if isinstance(node, ast.Call):
+            self._handle_call(ctx, node, scope, findings)
+        for child in ast.iter_child_nodes(node):
+            self._walk(ctx, child, scope, findings)
+
+    def _infer_unit(self, node: ast.expr, scope: dict[str, str]) -> str | None:
+        if isinstance(node, ast.Name):
+            return scope.get(node.id)
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in UNIT_NAMES
+        ):
+            return node.func.id
+        return None
+
+    def _handle_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        scope: dict[str, str],
+        findings: list[Finding],
+    ) -> None:
+        # Direct relabeling: Hours(x) where x carries another unit.
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in UNIT_NAMES
+            and len(node.args) == 1
+            and not node.keywords
+        ):
+            inner = self._infer_unit(node.args[0], scope)
+            if inner is not None and inner != node.func.id:
+                findings.append(ctx.finding(
+                    self.rule_id, node,
+                    f"{node.func.id}(...) applied to a {inner} value "
+                    "relabels the unit without converting; use an "
+                    "explicit conversion helper",
+                ))
+            return
+        callee = self._callee_name(node.func)
+        if callee is None:
+            return
+        records: list[tuple[int | None, str | None, str]] = []
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            unit = self._infer_unit(arg, scope)
+            if unit is not None:
+                records.append((index, None, unit))
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            unit = self._infer_unit(keyword.value, scope)
+            if unit is not None:
+                records.append((None, keyword.arg, unit))
+        if records:
+            self._calls.append(_CallRecord(
+                path=ctx.display_path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                callee=callee,
+                args=tuple(records),
+            ))
+
+    @staticmethod
+    def _callee_name(func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> list[Finding]:
+        findings: list[Finding] = []
+        for call in self._calls:
+            params = self._defs.get(call.callee)
+            if not params:  # unknown or ambiguous callee
+                continue
+            by_index = {p.index: p for p in params if p.index >= 0}
+            by_name = {p.name: p for p in params}
+            for index, keyword, unit in call.args:
+                param = None
+                if keyword is not None:
+                    param = by_name.get(keyword)
+                elif index is not None:
+                    param = by_index.get(index)
+                if param is not None and unit != param.unit:
+                    label = keyword if keyword is not None else param.name
+                    findings.append(Finding(
+                        path=call.path, line=call.line, col=call.col,
+                        rule=self.rule_id,
+                        message=(
+                            f"argument `{label}` of `{call.callee}` is "
+                            f"annotated {param.unit} but receives a {unit} "
+                            "value; convert explicitly"
+                        ),
+                    ))
+        return sorted(findings)

@@ -22,6 +22,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..core.arrays import AnyArray
 from ..core.config import (
     DAY,
     HOUR,
@@ -31,7 +32,7 @@ from ..core.config import (
     FailureConfig,
     MLECParams,
 )
-from ..core.scheme import MLEC_SCHEME_NAMES, mlec_scheme_from_name
+from ..core.scheme import MLEC_SCHEME_NAMES, MLECScheme, mlec_scheme_from_name
 from ..core.types import RepairMethod
 from ..reporting import format_matrix, format_table
 from ..runtime import TrialContext, TrialRunner
@@ -212,7 +213,7 @@ class RobustnessReport:
     def total_events_checked(self) -> int:
         return sum(c.events_checked for c in self.cells.values())
 
-    def pdl_matrix(self) -> np.ndarray:
+    def pdl_matrix(self) -> AnyArray:
         return np.array([
             [self.cell(sc, s).pdl for s in self.schemes] for sc in self.scenarios
         ])
@@ -267,9 +268,9 @@ class _TrialOutcome:
 
 def _campaign_trial(
     ctx: TrialContext,
-    tasks: tuple,
-    scenarios: tuple,
-    schemes: tuple,
+    tasks: tuple[tuple[int, int, int], ...],
+    scenarios: tuple[ChaosScenario, ...],
+    schemes: tuple[MLECScheme, ...],
     trials: int,
     dc: DatacenterConfig,
     method: RepairMethod,
@@ -361,6 +362,11 @@ class ChaosCampaign:
     ) -> None:
         if trials <= 0:
             raise ValueError(f"trials must be positive, got {trials}")
+        if workers < 1:
+            raise ValueError(
+                f"workers must be >= 1, got {workers}; use workers=1 for "
+                "the serial in-process path"
+            )
         self.dc = dc if dc is not None else chaos_datacenter()
         self.schemes = tuple(
             mlec_scheme_from_name(name, params, self.dc) for name in schemes

@@ -136,7 +136,7 @@ class FaultInjector:
             if fault.time > mission_time:
                 continue
             if isinstance(fault, (RackOutage, EnclosureOutage)):
-                if fault.permanent:
+                if fault.duration is None:  # permanent
                     continue  # merged into time_to_failure instead
                 disks = tuple(range(*self._disk_range(fault)))
                 queue.push(fault.time, EventType.TRANSIENT_OFFLINE, disks)

@@ -26,7 +26,7 @@ the default) or is recorded in :attr:`InvariantChecker.violations`.
 from __future__ import annotations
 
 from ..sim.events import Event, EventType
-from ..sim.simulator import MLECSystemSimulator
+from ..sim.simulator import MLECSystemSimulator, _RunState
 
 __all__ = ["InvariantViolation", "InvariantChecker"]
 
@@ -64,7 +64,7 @@ class InvariantChecker:
             raise InvariantViolation(message)
         self.violations.append(message)
 
-    def __call__(self, event: Event, st) -> None:
+    def __call__(self, event: Event, st: _RunState) -> None:
         """Observer entry point (``observer(event, state)``)."""
         self.events_checked += 1
         t = event.time
@@ -80,7 +80,7 @@ class InvariantChecker:
         self._check_pool_table(event, st)
 
     # ------------------------------------------------------------------
-    def _check_non_negative(self, event: Event, st) -> None:
+    def _check_non_negative(self, event: Event, st: _RunState) -> None:
         for pool_id, state in st.pools.items():
             if state.failed < 0 or state.offline < 0:
                 self._fail(
@@ -109,7 +109,7 @@ class InvariantChecker:
             if getattr(st, name) < 0:
                 self._fail(f"{name} went negative after {event.kind}")
 
-    def _check_byte_conservation(self, event: Event, st) -> None:
+    def _check_byte_conservation(self, event: Event, st: _RunState) -> None:
         dc = self.sim.scheme.dc
         expected_local = st.n_failures * dc.disk_capacity_bytes
         if st.local_bytes != expected_local:
@@ -146,7 +146,7 @@ class InvariantChecker:
                 f"{expected_scrub} detected latent chunks x chunk size"
             )
 
-    def _check_latent_conservation(self, event: Event, st) -> None:
+    def _check_latent_conservation(self, event: Event, st: _RunState) -> None:
         outstanding = sum(st.latent.values())
         if outstanding + st.n_latent_detected != st.n_sector_errors:
             self._fail(
@@ -155,7 +155,7 @@ class InvariantChecker:
                 f"!= {st.n_sector_errors} injected"
             )
 
-    def _check_pool_table(self, event: Event, st) -> None:
+    def _check_pool_table(self, event: Event, st: _RunState) -> None:
         for pool_id, state in st.pools.items():
             if not 0 <= pool_id < self._total_pools:
                 self._fail(f"pool id {pool_id} outside topology")

@@ -29,7 +29,7 @@ import dataclasses
 
 from ..core.config import BandwidthConfig
 from ..core.scheme import MLECScheme
-from ..core.types import Placement
+from ..core.types import Placement, Seconds
 
 __all__ = ["RateBreakdown", "BandwidthModel"]
 
@@ -75,7 +75,7 @@ class BandwidthModel:
         Raw bandwidths and the repair-traffic cap.
     """
 
-    def __init__(self, scheme: MLECScheme, bw: BandwidthConfig | None = None):
+    def __init__(self, scheme: MLECScheme, bw: BandwidthConfig | None = None) -> None:
         self.scheme = scheme
         self.bw = bw if bw is not None else BandwidthConfig()
 
@@ -107,9 +107,11 @@ class BandwidthModel:
             read_write_shared=survivors * d / (k_l + 1),
         )
 
-    def single_disk_repair_time(self, detection_time: float = 0.0) -> float:
+    def single_disk_repair_time(
+        self, detection_time: Seconds = Seconds(0.0)
+    ) -> Seconds:
         """Seconds to repair one failed disk (optionally + detection lag)."""
-        return (
+        return Seconds(
             detection_time
             + self.scheme.dc.disk_capacity_bytes / self.single_disk_repair_rate().rate
         )

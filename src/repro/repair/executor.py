@@ -25,6 +25,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from ..core.arrays import AnyArray
 from ..codes.mlec_codec import MLECCodec
 from ..core.types import RepairMethod
 from .planner import RepairPlan, plan_repair
@@ -70,10 +71,10 @@ class RepairExecutor:
     # ------------------------------------------------------------------
     def execute(
         self,
-        grid: np.ndarray,
+        grid: AnyArray,
         erasures: Iterable[tuple[int, int]],
         method: RepairMethod,
-    ) -> tuple[np.ndarray, RepairExecution]:
+    ) -> tuple[AnyArray, RepairExecution]:
         """Repair erased cells with the given method's staging.
 
         Returns the repaired grid and the traffic accounting.  Raises

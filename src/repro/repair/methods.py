@@ -27,7 +27,7 @@ import dataclasses
 from ..core.config import BandwidthConfig
 from ..core.failure_modes import LocalPoolDamage
 from ..core.scheme import MLECScheme
-from ..core.types import RepairMethod
+from ..core.types import RepairMethod, Seconds
 from .bandwidth import BandwidthModel
 
 __all__ = ["RepairStageTimes", "CatastrophicRepairModel"]
@@ -135,14 +135,14 @@ class CatastrophicRepairModel:
         return RepairStageTimes(network_time=net_time, local_time=local_bytes / rate)
 
     def total_repair_time(
-        self, method: RepairMethod, detection_time: float = 0.0
-    ) -> float:
+        self, method: RepairMethod, detection_time: Seconds = Seconds(0.0)
+    ) -> Seconds:
         """End-to-end catastrophic repair time in seconds."""
-        return detection_time + self.stage_times(method).total
+        return Seconds(detection_time + self.stage_times(method).total)
 
     def exit_catastrophic_time(
-        self, method: RepairMethod, detection_time: float = 0.0
-    ) -> float:
+        self, method: RepairMethod, detection_time: Seconds = Seconds(0.0)
+    ) -> Seconds:
         """Seconds until the pool is no longer catastrophic.
 
         For R_HYB/R_MIN this is the *network stage* alone: once the lost
@@ -150,7 +150,7 @@ class CatastrophicRepairModel:
         no longer exposes the network stripe to data loss -- the durability
         advantage of R_MIN the paper highlights in §4.2.2 Finding 3.
         """
-        return detection_time + self.stage_times(method).network_time
+        return Seconds(detection_time + self.stage_times(method).network_time)
 
     # ------------------------------------------------------------------
     def summary(self, method: RepairMethod) -> dict[str, float]:

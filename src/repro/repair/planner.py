@@ -15,6 +15,7 @@ import dataclasses
 
 import numpy as np
 
+from ..core.arrays import AnyArray
 from ..core.types import RepairMethod
 
 __all__ = ["RepairPlan", "plan_repair"]
@@ -40,10 +41,10 @@ class RepairPlan:
     """
 
     method: RepairMethod
-    damage: np.ndarray
-    network_chunks: np.ndarray
-    local_chunks: np.ndarray
-    extra_chunks: np.ndarray
+    damage: AnyArray
+    network_chunks: AnyArray
+    local_chunks: AnyArray
+    extra_chunks: AnyArray
 
     @property
     def total_network_chunks(self) -> int:
@@ -76,7 +77,7 @@ class RepairPlan:
 
 def plan_repair(
     method: RepairMethod,
-    damage: np.ndarray,
+    damage: AnyArray,
     p_l: int,
     stripe_width: int,
 ) -> RepairPlan:

@@ -13,6 +13,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from .core.arrays import AnyArray
+
 __all__ = ["format_table", "format_matrix", "format_heatmap", "format_bar_chart"]
 
 
@@ -53,7 +55,7 @@ def format_table(
 def format_matrix(
     row_labels: Sequence[object],
     col_labels: Sequence[object],
-    values: np.ndarray,
+    values: AnyArray,
     title: str | None = None,
     corner: str = "",
 ) -> str:
@@ -77,7 +79,7 @@ _RAMP = ".123456#"
 
 
 def format_heatmap(
-    grid: np.ndarray,
+    grid: AnyArray,
     row_labels: Sequence[object],
     col_labels: Sequence[object],
     title: str | None = None,

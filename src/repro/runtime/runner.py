@@ -37,8 +37,10 @@ import time
 import traceback
 import warnings
 from collections.abc import Callable, Iterator, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from multiprocessing.context import BaseContext
+from typing import Any
 
 import numpy as np
 
@@ -144,13 +146,13 @@ class _ChunkError:
 
 
 def _run_chunk(
-    fn: Callable,
+    fn: Callable[..., Any],
     start: int,
     children: Sequence[np.random.SeedSequence],
-    args: tuple,
-):
+    args: tuple[Any, ...],
+) -> list[Any] | _ChunkError:
     """Run one contiguous chunk of trials; runs in the worker process."""
-    out = []
+    out: list[Any] = []
     for offset, child in enumerate(children):
         ctx = TrialContext(index=start + offset, seed_sequence=child)
         try:
@@ -185,7 +187,7 @@ class TrialRunner:
         self,
         workers: int | None = 1,
         chunk_size: int | None = None,
-        mp_context=None,
+        mp_context: BaseContext | None = None,
     ) -> None:
         if workers is None:
             import os
@@ -202,10 +204,10 @@ class TrialRunner:
     # ------------------------------------------------------------------
     def run(
         self,
-        fn: Callable,
+        fn: Callable[..., Any],
         trials: int,
         seed: int = 0,
-        args: tuple = (),
+        args: tuple[Any, ...] = (),
         timeout: float | None = None,
     ) -> TrialAggregate:
         """Run ``trials`` trials of ``fn`` and reduce to a TrialAggregate.
@@ -222,18 +224,18 @@ class TrialRunner:
 
     def map(
         self,
-        fn: Callable,
+        fn: Callable[..., Any],
         trials: int,
         seed: int = 0,
-        args: tuple = (),
+        args: tuple[Any, ...] = (),
         timeout: float | None = None,
-    ) -> list:
+    ) -> list[Any]:
         """Run ``trials`` trials and return their results in trial order.
 
         Use this when trials produce structured payloads (simulation
         results, per-trial statistics) that need a custom reduction.
         """
-        results: list = []
+        results: list[Any] = []
         for chunk in self._iter_chunks(fn, trials, seed, args, timeout):
             results.extend(chunk)
         return results
@@ -249,18 +251,18 @@ class TrialRunner:
 
     def _iter_chunks(
         self,
-        fn: Callable,
+        fn: Callable[..., Any],
         trials: int,
         seed: int,
-        args: tuple,
+        args: tuple[Any, ...],
         timeout: float | None,
-    ) -> Iterator[list]:
+    ) -> Iterator[list[Any]]:
         if trials <= 0:
             raise ValueError(f"trials must be positive, got {trials}")
         children = np.random.SeedSequence(seed).spawn(trials)
         bounds = self._chunk_bounds(trials)
 
-        executor = None
+        executor: ProcessPoolExecutor | None = None
         if self.workers > 1 and len(bounds) > 1:
             try:
                 executor = ProcessPoolExecutor(
@@ -313,7 +315,7 @@ class TrialRunner:
                 executor.shutdown(wait=True, cancel_futures=True)
 
     @staticmethod
-    def _check_chunk(chunk) -> list:
+    def _check_chunk(chunk: list[Any] | _ChunkError) -> list[Any]:
         if isinstance(chunk, _ChunkError):
             raise TrialExecutionError(
                 f"trial {chunk.index} raised {chunk.message}\n"
@@ -322,7 +324,9 @@ class TrialRunner:
         return chunk
 
     @staticmethod
-    def _kill_pool(executor: ProcessPoolExecutor, futures) -> None:
+    def _kill_pool(
+        executor: ProcessPoolExecutor, futures: Sequence[Future[Any]]
+    ) -> None:
         """Tear down a pool whose workers may be stuck mid-trial."""
         for future in futures:
             future.cancel()

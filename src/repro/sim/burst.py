@@ -22,9 +22,11 @@ Averaging evaluator outputs over generator samples gives the heatmap cell.
 
 from __future__ import annotations
 
+from typing import Any, Protocol
 
 import numpy as np
 
+from ..core.arrays import AnyArray
 from ..analysis.combinatorics import (
     any_of_many,
     hypergeom_tail,
@@ -39,6 +41,7 @@ from ..topology.datacenter import DatacenterTopology
 from ..topology.pools import summarize_mlec_damage
 
 __all__ = [
+    "BurstEvaluator",
     "BurstGenerator",
     "MLECBurstEvaluator",
     "SLECBurstEvaluator",
@@ -49,17 +52,30 @@ __all__ = [
 ]
 
 
+class BurstEvaluator(Protocol):
+    """Structural type of the three burst evaluators (MLEC, SLEC, LRC)."""
+
+    scheme: Any
+
+    def pdl_of_burst(self, failed_disk_ids: AnyArray) -> float:
+        """PDL of one concrete failed-disk set."""
+        ...
+
+
 class BurstGenerator:
     """Samples failure bursts: ``y`` failed disks across ``x`` racks."""
 
     def __init__(
-        self, dc: DatacenterConfig | None = None, rng: np.random.Generator | None = None
+        self,
+        dc: DatacenterConfig | None = None,
+        rng: np.random.Generator | None = None,
+        seed: int = 0,
     ) -> None:
         self.dc = dc if dc is not None else DatacenterConfig()
         self.topo = DatacenterTopology(self.dc)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
-    def sample(self, failures: int, racks: int) -> np.ndarray:
+    def sample(self, failures: int, racks: int) -> AnyArray:
         """One burst: global disk ids of the failed disks.
 
         Every affected rack receives at least one failure (otherwise it
@@ -114,7 +130,7 @@ class MLECBurstEvaluator:
             s.local_pool_disks, failed_in_pool, s.params.n_l, s.params.p_l
         )
 
-    def pdl_of_burst(self, failed_disk_ids: np.ndarray) -> float:
+    def pdl_of_burst(self, failed_disk_ids: AnyArray) -> float:
         """Probability this burst loses data, integrating over placement."""
         s = self.scheme
         damage = summarize_mlec_damage(s, failed_disk_ids, self.topo)
@@ -167,7 +183,7 @@ class SLECBurstEvaluator:
         dc = scheme.dc
         self._total_stripes = dc.total_disks * dc.chunks_per_disk // scheme.params.n
 
-    def pdl_of_burst(self, failed_disk_ids: np.ndarray) -> float:
+    def pdl_of_burst(self, failed_disk_ids: AnyArray) -> float:
         s = self.scheme
         p = s.params.p
         failed = np.asarray(failed_disk_ids)
@@ -232,7 +248,7 @@ class LRCBurstEvaluator:
         self._total_stripes = dc.total_disks * dc.chunks_per_disk // scheme.params.n
         self._unrec_fraction = self._unrecoverable_fraction_by_size()
 
-    def _unrecoverable_fraction_by_size(self) -> np.ndarray:
+    def _unrecoverable_fraction_by_size(self) -> AnyArray:
         """U[m] = fraction of m-subsets of stripe positions unrecoverable."""
         from math import comb
 
@@ -277,7 +293,7 @@ class LRCBurstEvaluator:
         totals = np.array([comb(n, m) for m in range(n + 1)], dtype=float)
         return bad / totals
 
-    def pdl_of_burst(self, failed_disk_ids: np.ndarray) -> float:
+    def pdl_of_burst(self, failed_disk_ids: AnyArray) -> float:
         s = self.scheme
         failed = np.asarray(failed_disk_ids)
         racks = self.topo.rack_of(failed)
@@ -294,7 +310,7 @@ class LRCBurstEvaluator:
 # ----------------------------------------------------------------------
 def _burst_trial(
     ctx: TrialContext,
-    evaluator,
+    evaluator: BurstEvaluator,
     failures: int,
     racks: int,
     dc: DatacenterConfig,
@@ -305,7 +321,7 @@ def _burst_trial(
 
 
 def burst_pdl_stats(
-    evaluator,
+    evaluator: BurstEvaluator,
     failures: int,
     racks: int,
     trials: int = 100,
@@ -329,7 +345,7 @@ def burst_pdl_stats(
 
 
 def burst_pdl(
-    evaluator,
+    evaluator: BurstEvaluator,
     failures: int,
     racks: int,
     trials: int = 100,
@@ -360,8 +376,8 @@ def burst_pdl(
 
 def _grid_cell_trial(
     ctx: TrialContext,
-    cells: tuple,
-    evaluator,
+    cells: tuple[tuple[int, int, int, int], ...],
+    evaluator: BurstEvaluator,
     trials: int,
     dc: DatacenterConfig,
 ) -> float:
@@ -375,23 +391,32 @@ def _grid_cell_trial(
 
 
 def burst_pdl_grid(
-    evaluator,
-    failure_counts: np.ndarray,
-    rack_counts: np.ndarray,
+    evaluator: BurstEvaluator,
+    failure_counts: AnyArray,
+    rack_counts: AnyArray,
     trials: int = 100,
     seed: int = 0,
     runner: TrialRunner | None = None,
-) -> np.ndarray:
+    workers: int = 1,
+) -> AnyArray:
     """A full heatmap: PDL[i, j] for failures[i] x racks[j].
 
     Cells with fewer failures than affected racks are impossible and
     reported as NaN (the paper's figures leave them blank).  With a
-    ``runner`` the feasible cells fan out in parallel, one spawned stream
-    per cell; without one the legacy serial path threads a single
-    generator through the grid (bitwise-stable with historical results).
+    ``runner`` (or ``workers > 1``, which constructs one) the feasible
+    cells fan out in parallel, one spawned stream per cell; otherwise the
+    legacy serial path threads a single generator through the grid
+    (bitwise-stable with historical results).
     """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
+    if workers < 1:
+        raise ValueError(
+            f"workers must be >= 1, got {workers}; use workers=1 for "
+            "the serial in-process path"
+        )
+    if runner is None and workers > 1:
+        runner = TrialRunner(workers=workers)
     failure_counts = np.asarray(failure_counts)
     rack_counts = np.asarray(rack_counts)
     grid = np.full((len(failure_counts), len(rack_counts)), np.nan)

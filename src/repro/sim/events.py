@@ -22,8 +22,6 @@ class EventType(enum.Enum):
     DISK_FAILURE = "disk-failure"
     FAILURE_DETECTED = "failure-detected"
     REPAIR_COMPLETE = "repair-complete"
-    POOL_CATASTROPHIC = "pool-catastrophic"
-    POOL_RESTORED = "pool-restored"
     TRANSIENT_OFFLINE = "transient-offline"
     TRANSIENT_ONLINE = "transient-online"
     SECTOR_ERROR = "sector-error"

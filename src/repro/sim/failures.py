@@ -24,6 +24,7 @@ from typing import Protocol
 import numpy as np
 
 from ..core.config import YEAR
+from ..core.types import Years
 
 __all__ = [
     "FailureModel",
@@ -73,7 +74,9 @@ class WeibullFailures:
     ``scale_years`` is the characteristic life (the 63.2th percentile).
     """
 
-    def __init__(self, shape: float = 1.2, scale_years: float = 80.0) -> None:
+    def __init__(
+        self, shape: float = 1.2, scale_years: Years = Years(80.0)
+    ) -> None:
         if shape <= 0 or scale_years <= 0:
             raise ValueError("shape and scale must be positive")
         self.shape = shape
@@ -100,8 +103,8 @@ class BathtubFailures:
         early_afr: float = 0.03,
         steady_afr: float = 0.01,
         wearout_afr: float = 0.06,
-        burn_in_years: float = 0.25,
-        wearout_years: float = 5.0,
+        burn_in_years: Years = Years(0.25),
+        wearout_years: Years = Years(5.0),
     ) -> None:
         for name, v in [("early_afr", early_afr), ("steady_afr", steady_afr),
                         ("wearout_afr", wearout_afr)]:

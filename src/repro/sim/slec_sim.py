@@ -26,6 +26,7 @@ import dataclasses
 
 import numpy as np
 
+from ..core.arrays import AnyArray
 from ..core.config import BandwidthConfig, FailureConfig, YEAR
 from ..core.scheme import LRCScheme, SLECScheme
 from ..core.types import Level, Placement
@@ -168,7 +169,7 @@ class SLECSystemSimulator:
         # Per-pool state: clustered -> count of unrepaired disks;
         # declustered -> damage-class work vector.
         counts: dict[int, int] = {}
-        work: dict[int, np.ndarray] = {}
+        work: dict[int, AnyArray] = {}
         t_cap = self.tolerance
         n_failures = 0
         losses = 0

@@ -14,6 +14,7 @@ import csv
 import dataclasses
 import io
 from pathlib import Path
+from typing import TextIO
 
 import numpy as np
 
@@ -60,7 +61,7 @@ class FailureTrace:
         self._write(buf)
         return buf.getvalue()
 
-    def _write(self, fh) -> None:
+    def _write(self, fh: TextIO) -> None:
         writer = csv.writer(fh)
         writer.writerow(["time_seconds", "disk_id"])
         writer.writerow(["#duration", self.duration])
@@ -79,7 +80,7 @@ class FailureTrace:
         return cls._read(io.StringIO(text))
 
     @classmethod
-    def _read(cls, fh) -> "FailureTrace":
+    def _read(cls, fh: TextIO) -> "FailureTrace":
         reader = csv.reader(fh)
         header = next(reader)
         if header[:2] != ["time_seconds", "disk_id"]:

@@ -13,6 +13,7 @@ import dataclasses
 
 import numpy as np
 
+from ..core.arrays import AnyArray
 from ..core.config import DatacenterConfig
 
 __all__ = ["DiskAddress", "DatacenterTopology"]
@@ -61,23 +62,23 @@ class DatacenterTopology:
     # ------------------------------------------------------------------
     # Vectorized locators.  All accept scalar or array disk ids.
     # ------------------------------------------------------------------
-    def rack_of(self, disk_ids: np.ndarray) -> np.ndarray:
+    def rack_of(self, disk_ids: AnyArray) -> AnyArray:
         """Rack index of each disk id."""
         return np.asarray(disk_ids) // self.disks_per_rack
 
-    def enclosure_of(self, disk_ids: np.ndarray) -> np.ndarray:
+    def enclosure_of(self, disk_ids: AnyArray) -> AnyArray:
         """Global enclosure index (rack-major) of each disk id."""
         return np.asarray(disk_ids) // self.disks_per_enclosure
 
-    def enclosure_in_rack_of(self, disk_ids: np.ndarray) -> np.ndarray:
+    def enclosure_in_rack_of(self, disk_ids: AnyArray) -> AnyArray:
         """Enclosure position within its rack (0..enclosures_per_rack-1)."""
         return self.enclosure_of(disk_ids) % self.dc.enclosures_per_rack
 
-    def slot_of(self, disk_ids: np.ndarray) -> np.ndarray:
+    def slot_of(self, disk_ids: AnyArray) -> AnyArray:
         """Slot within the enclosure (0..disks_per_enclosure-1)."""
         return np.asarray(disk_ids) % self.disks_per_enclosure
 
-    def position_in_rack_of(self, disk_ids: np.ndarray) -> np.ndarray:
+    def position_in_rack_of(self, disk_ids: AnyArray) -> AnyArray:
         """Disk position within its rack (0..disks_per_rack-1).
 
         Network-Cp SLEC pools are formed by disks at the same in-rack
@@ -85,7 +86,7 @@ class DatacenterTopology:
         """
         return np.asarray(disk_ids) % self.disks_per_rack
 
-    def clustered_pool_of(self, disk_ids: np.ndarray, pool_size: int) -> np.ndarray:
+    def clustered_pool_of(self, disk_ids: AnyArray, pool_size: int) -> AnyArray:
         """Global clustered-pool index for pools of ``pool_size`` disks.
 
         Clustered pools are consecutive disk runs; because enclosures are
@@ -122,14 +123,14 @@ class DatacenterTopology:
             slot=int(self.slot_of(disk_id)),
         )
 
-    def rack_disk_ids(self, rack: int) -> np.ndarray:
+    def rack_disk_ids(self, rack: int) -> AnyArray:
         """All disk ids in one rack."""
         if not 0 <= rack < self.dc.racks:
             raise ValueError(f"rack {rack} out of range")
         start = rack * self.disks_per_rack
         return np.arange(start, start + self.disks_per_rack)
 
-    def enclosure_disk_ids(self, rack: int, enclosure: int) -> np.ndarray:
+    def enclosure_disk_ids(self, rack: int, enclosure: int) -> AnyArray:
         """All disk ids in one enclosure."""
         start = self.disk_id(rack, enclosure, 0)
         return np.arange(start, start + self.disks_per_enclosure)

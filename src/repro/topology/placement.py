@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.arrays import AnyArray
 from ..core.scheme import MLECScheme
 from ..core.types import Placement
 from .datacenter import DatacenterTopology
@@ -39,7 +40,7 @@ class ClusteredStripePlacement:
     occupies chunk row ``i`` on every device.
     """
 
-    def __init__(self, pool_devices: np.ndarray, width: int) -> None:
+    def __init__(self, pool_devices: AnyArray, width: int) -> None:
         self.pool_devices = np.asarray(pool_devices)
         if self.pool_devices.ndim != 1:
             raise ValueError("pool_devices must be a 1-D id array")
@@ -50,13 +51,13 @@ class ClusteredStripePlacement:
             )
         self.width = width
 
-    def stripe_devices(self, stripe_id: int) -> np.ndarray:
+    def stripe_devices(self, stripe_id: int) -> AnyArray:
         """Devices hosting the chunks of ``stripe_id`` (all of them)."""
         if stripe_id < 0:
             raise ValueError("stripe_id must be non-negative")
         return self.pool_devices.copy()
 
-    def stripes_touching(self, device: int, n_stripes: int) -> np.ndarray:
+    def stripes_touching(self, device: int, n_stripes: int) -> AnyArray:
         """Stripe ids with a chunk on ``device`` -- every stripe."""
         if device not in self.pool_devices:
             return np.empty(0, dtype=np.int64)
@@ -73,7 +74,7 @@ class DeclusteredStripePlacement:
     """
 
     def __init__(
-        self, pool_devices: np.ndarray, width: int, seed: int = 0
+        self, pool_devices: AnyArray, width: int, seed: int = 0
     ) -> None:
         self.pool_devices = np.asarray(pool_devices)
         if self.pool_devices.ndim != 1:
@@ -83,7 +84,7 @@ class DeclusteredStripePlacement:
         self.width = width
         self.seed = seed
 
-    def stripe_devices(self, stripe_id: int) -> np.ndarray:
+    def stripe_devices(self, stripe_id: int) -> AnyArray:
         """Devices hosting the chunks of ``stripe_id`` (width distinct)."""
         if stripe_id < 0:
             raise ValueError("stripe_id must be non-negative")
@@ -115,7 +116,7 @@ class NetworkStripePlacement:
         self.seed = seed
 
     # ------------------------------------------------------------------
-    def _pool_disks(self, rack: int, position: int) -> np.ndarray:
+    def _pool_disks(self, rack: int, position: int) -> AnyArray:
         """Disk ids of the local pool at ``position`` in ``rack``."""
         s = self.scheme
         per_enc = s.local_pools_per_enclosure
@@ -157,7 +158,7 @@ class NetworkStripePlacement:
         positions = rng.integers(s.local_pools_per_rack, size=n_rows)
         return [(int(r), int(q)) for r, q in zip(racks, positions)]
 
-    def stripe_grid(self, stripe_id: int) -> np.ndarray:
+    def stripe_grid(self, stripe_id: int) -> AnyArray:
         """Disk ids of every chunk: shape ``(k_n+p_n, k_l+p_l)``.
 
         Invariants (asserted by the test suite): chunks of one row share an

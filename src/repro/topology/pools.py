@@ -12,6 +12,7 @@ import dataclasses
 
 import numpy as np
 
+from ..core.arrays import AnyArray
 from ..core.scheme import MLECScheme
 from ..core.types import Placement
 from .datacenter import DatacenterTopology
@@ -20,8 +21,8 @@ __all__ = ["PoolDamageSummary", "summarize_mlec_damage", "pool_failure_counts"]
 
 
 def pool_failure_counts(
-    pool_ids: np.ndarray, n_pools: int | None = None
-) -> tuple[np.ndarray, np.ndarray]:
+    pool_ids: AnyArray, n_pools: int | None = None
+) -> tuple[AnyArray, AnyArray]:
     """Aggregate per-pool failure counts from per-disk pool ids.
 
     Returns ``(pools, counts)`` for pools with at least one failure.
@@ -55,26 +56,26 @@ class PoolDamageSummary:
         Boolean mask over ``pools``: more than ``p_l`` failed disks.
     """
 
-    pools: np.ndarray
-    counts: np.ndarray
-    racks: np.ndarray
-    positions: np.ndarray
-    catastrophic: np.ndarray
+    pools: AnyArray
+    counts: AnyArray
+    racks: AnyArray
+    positions: AnyArray
+    catastrophic: AnyArray
 
     @property
-    def catastrophic_pools(self) -> np.ndarray:
+    def catastrophic_pools(self) -> AnyArray:
         return self.pools[self.catastrophic]
 
     @property
-    def catastrophic_counts(self) -> np.ndarray:
+    def catastrophic_counts(self) -> AnyArray:
         return self.counts[self.catastrophic]
 
     @property
-    def catastrophic_racks(self) -> np.ndarray:
+    def catastrophic_racks(self) -> AnyArray:
         return self.racks[self.catastrophic]
 
     @property
-    def catastrophic_positions(self) -> np.ndarray:
+    def catastrophic_positions(self) -> AnyArray:
         return self.positions[self.catastrophic]
 
     @property
@@ -84,7 +85,7 @@ class PoolDamageSummary:
 
 def summarize_mlec_damage(
     scheme: MLECScheme,
-    failed_disk_ids: np.ndarray,
+    failed_disk_ids: AnyArray,
     topo: DatacenterTopology | None = None,
 ) -> PoolDamageSummary:
     """Aggregate a failed-disk set into per-local-pool damage for a scheme.

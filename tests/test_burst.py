@@ -179,6 +179,31 @@ class TestParallelExecution:
                             runner=TrialRunner(workers=2))
         assert np.array_equal(g1, g2, equal_nan=True)
 
+    def test_grid_workers_param_constructs_runner(self):
+        ev = evaluator("D/D")
+        failures = np.array([12, 60])
+        racks = np.array([1, 3])
+        serial = burst_pdl_grid(ev, failures, racks, trials=5, seed=3,
+                                workers=1)
+        from repro.runtime import TrialRunner
+
+        parallel = burst_pdl_grid(ev, failures, racks, trials=5, seed=3,
+                                  runner=TrialRunner(workers=2))
+        # workers=1 keeps the legacy serial path; the parallel path is a
+        # different (documented) stream layout, so only shape/NaN-mask and
+        # range are comparable.
+        assert serial.shape == parallel.shape
+        assert np.array_equal(np.isnan(serial), np.isnan(parallel))
+
+    def test_grid_invalid_workers_rejected(self):
+        ev = evaluator("C/C")
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            burst_pdl_grid(ev, np.array([12]), np.array([1]), trials=5,
+                           workers=0)
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            burst_pdl_grid(ev, np.array([12]), np.array([1]), trials=5,
+                           workers=-3)
+
     def test_non_positive_trials_rejected(self):
         ev = evaluator("C/C")
         with pytest.raises(ValueError, match="trials"):

@@ -113,6 +113,12 @@ class TestCampaign:
         with pytest.raises(ValueError):
             ChaosCampaign(trials=0)
 
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ChaosCampaign(workers=0)
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ChaosCampaign(workers=-2)
+
 
 class TestChaosCLI:
     def test_end_to_end_over_all_fault_classes(self, capsys):

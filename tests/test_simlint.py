@@ -1,0 +1,518 @@
+"""simlint: per-rule fixtures (positive / negative / suppressed), the
+driver, the CLI entry points, and the clean-tree smoke check."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.simlint import RULE_REGISTRY, LintError, Linter
+from repro.devtools.simlint.cli import main as simlint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_TREE = REPO_ROOT / "src" / "repro"
+
+
+def lint_source(tmp_path, source, *, rules=None, relpath="snippet.py"):
+    """Lint one snippet written under ``tmp_path``; returns findings."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return Linter(rules=rules).run([str(target)])
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        Linter()  # triggers rule-module import
+        assert set(RULE_REGISTRY) == {
+            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
+        }
+
+    def test_rules_carry_title_and_rationale(self):
+        Linter()
+        for rule in RULE_REGISTRY.values():
+            assert rule.title
+            assert rule.rationale
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(LintError, match="SL999"):
+            Linter(rules={"SL999"})
+
+
+class TestSL001UnseededRng:
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import numpy as np
+            rng = np.random.default_rng()
+        """, rules={"SL001"})
+        assert rule_ids(findings) == ["SL001"]
+        assert findings[0].line == 3
+
+    def test_global_state_call_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import numpy as np
+            np.random.seed(0)
+            x = np.random.normal(0.0, 1.0)
+        """, rules={"SL001"})
+        assert rule_ids(findings) == ["SL001", "SL001"]
+
+    def test_stdlib_random_import_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import random
+            from random import choice
+        """, rules={"SL001"})
+        assert rule_ids(findings) == ["SL001", "SL001"]
+
+    def test_seeded_generator_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import numpy as np
+            a = np.random.default_rng(7)
+            b = np.random.default_rng(seed=7)
+            c = np.random.default_rng(np.random.SeedSequence(7))
+        """, rules={"SL001"})
+        assert findings == []
+
+    def test_line_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import numpy as np
+            rng = np.random.default_rng()  # simlint: disable=SL001
+        """, rules={"SL001"})
+        assert findings == []
+
+
+class TestSL002RngPlumbing:
+    def test_fixed_seed_private_generator_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import numpy as np
+
+            def trial(n):
+                rng = np.random.default_rng(42)
+                return rng.random(n)
+        """, rules={"SL002"})
+        assert rule_ids(findings) == ["SL002"]
+
+    def test_module_level_generator_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import numpy as np
+
+            _RNG = np.random.default_rng(0)
+
+            def trial(n):
+                return _RNG.random(n)
+        """, rules={"SL002"})
+        assert rule_ids(findings) == ["SL002"]
+
+    def test_parameter_generator_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def trial(rng, n):
+                return rng.random(n)
+
+            def method_style(self, n):
+                return self.rng.integers(n)
+
+            def seed_plumbed(seed, n):
+                import numpy as np
+                rng = np.random.default_rng(seed)
+                return rng.random(n)
+
+            def transitive_alias(self, stripe):
+                rngs = self.rng_children(stripe)
+                rng = rngs[0]
+                return rng.choice(4)
+        """, rules={"SL002"})
+        assert findings == []
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import numpy as np
+
+            def trial(n):
+                rng = np.random.default_rng(42)
+                return rng.random(n)  # simlint: disable=SL002
+        """, rules={"SL002"})
+        assert findings == []
+
+
+class TestSL003EventExhaustiveness:
+    def test_unreferenced_member_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import enum
+
+            class SimEventType(enum.Enum):
+                TICK = "tick"
+                BOOM = "boom"
+
+            def dispatch(kind):
+                if kind is SimEventType.TICK:
+                    return 1
+                raise ValueError(kind)
+        """, rules={"SL003"})
+        assert rule_ids(findings) == ["SL003"]
+        assert "BOOM" in findings[0].message
+
+    def test_emitted_but_unhandled_member_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import enum
+
+            class SimEventType(enum.Enum):
+                TICK = "tick"
+                BOOM = "boom"
+
+            def emit(queue):
+                queue.push(0.0, SimEventType.BOOM)
+
+            def dispatch(kind):
+                if kind is SimEventType.TICK:
+                    return 1
+                raise ValueError(kind)
+        """, rules={"SL003"})
+        assert rule_ids(findings) == ["SL003"]
+        assert "BOOM" in findings[0].message
+        assert "emitted" in findings[0].message
+
+    def test_exhaustive_dispatch_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import enum
+
+            class SimEventType(enum.Enum):
+                TICK = "tick"
+                BOOM = "boom"
+
+            def dispatch(kind):
+                if kind is SimEventType.TICK:
+                    return 1
+                elif kind is SimEventType.BOOM:
+                    return 2
+                raise ValueError(kind)
+        """, rules={"SL003"})
+        assert findings == []
+
+    def test_match_statement_counts_as_handling(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import enum
+
+            class SimEventType(enum.Enum):
+                TICK = "tick"
+                BOOM = "boom"
+
+            def dispatch(kind):
+                match kind:
+                    case SimEventType.TICK:
+                        return 1
+                    case SimEventType.BOOM:
+                        return 2
+        """, rules={"SL003"})
+        assert findings == []
+
+    def test_enum_without_any_dispatch_is_not_judged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import enum
+
+            class SimEventType(enum.Enum):
+                TICK = "tick"
+                BOOM = "boom"
+        """, rules={"SL003"})
+        assert findings == []
+
+    def test_non_event_enum_ignored(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import enum
+
+            class Placement(enum.Enum):
+                CLUSTERED = "C"
+                DECLUSTERED = "D"
+
+            def pick(p):
+                if p is Placement.CLUSTERED:
+                    return 1
+                return 2
+        """, rules={"SL003"})
+        assert findings == []
+
+    def test_file_level_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            # simlint: disable-file=SL003
+            import enum
+
+            class SimEventType(enum.Enum):
+                TICK = "tick"
+                BOOM = "boom"
+
+            def dispatch(kind):
+                if kind is SimEventType.TICK:
+                    return 1
+        """, rules={"SL003"})
+        assert findings == []
+
+
+class TestSL004FloatEquality:
+    def test_float_equality_in_analysis_dir_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def f(pdl):
+                return pdl == 0.0
+        """, rules={"SL004"}, relpath="analysis/snippet.py")
+        assert rule_ids(findings) == ["SL004"]
+
+    def test_math_call_comparison_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import math
+
+            def f(x, y):
+                return math.exp(x) != y
+        """, rules={"SL004"}, relpath="sim/snippet.py")
+        assert rule_ids(findings) == ["SL004"]
+
+    def test_out_of_scope_directory_not_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def f(pdl):
+                return pdl == 0.0
+        """, rules={"SL004"}, relpath="repair/snippet.py")
+        assert findings == []
+
+    def test_int_and_order_comparisons_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def f(n, pdl):
+                return n == 3 and pdl <= 0.0 and pdl >= 1.0
+        """, rules={"SL004"}, relpath="analysis/snippet.py")
+        assert findings == []
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def f(pdl):
+                return pdl == 0.0  # simlint: disable=SL004
+        """, rules={"SL004"}, relpath="analysis/snippet.py")
+        assert findings == []
+
+
+class TestSL005UnitDiscipline:
+    def test_cross_unit_call_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from repro.core.types import Hours, Seconds
+
+            def repair_time(detection: Seconds) -> Seconds:
+                return detection
+
+            lag: Hours = Hours(0.5)
+            repair_time(lag)
+            repair_time(detection=lag)
+        """, rules={"SL005"})
+        assert rule_ids(findings) == ["SL005", "SL005"]
+        assert "annotated Seconds" in findings[0].message
+
+    def test_direct_relabel_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from repro.core.types import Hours, Seconds
+
+            lag: Hours = Hours(0.5)
+            wrong = Seconds(lag)
+        """, rules={"SL005"})
+        assert rule_ids(findings) == ["SL005"]
+        assert "relabels" in findings[0].message
+
+    def test_matching_units_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from repro.core.types import Seconds, seconds_to_hours
+
+            def repair_time(detection: Seconds) -> Seconds:
+                return detection
+
+            lag: Seconds = Seconds(1800.0)
+            repair_time(lag)
+            repair_time(detection=Seconds(0.0))
+            hours = seconds_to_hours(lag)
+        """, rules={"SL005"})
+        assert findings == []
+
+    def test_unknown_unit_passes_unchecked(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from repro.core.types import Seconds
+
+            def repair_time(detection: Seconds) -> Seconds:
+                return detection
+
+            def caller(opaque):
+                repair_time(opaque)
+        """, rules={"SL005"})
+        assert findings == []
+
+    def test_parameter_units_tracked_inside_functions(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from repro.core.types import Hours, Seconds
+
+            def repair_time(detection: Seconds) -> Seconds:
+                return detection
+
+            def caller(lag: Hours):
+                repair_time(lag)
+        """, rules={"SL005"})
+        assert rule_ids(findings) == ["SL005"]
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from repro.core.types import Hours, Seconds
+
+            lag: Hours = Hours(0.5)
+            wrong = Seconds(lag)  # simlint: disable=SL005
+        """, rules={"SL005"})
+        assert findings == []
+
+
+class TestSL006PoolPicklability:
+    def test_lambda_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def sweep(runner, trials):
+                return runner.run(lambda ctx: ctx.index, trials, seed=0)
+        """, rules={"SL006"})
+        assert rule_ids(findings) == ["SL006"]
+
+    def test_nested_function_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def sweep(runner, trials):
+                def trial(ctx):
+                    return ctx.index
+                return runner.map(trial, trials, seed=0)
+        """, rules={"SL006"})
+        assert rule_ids(findings) == ["SL006"]
+
+    def test_trial_runner_ctor_receiver_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from repro.runtime import TrialRunner
+
+            def sweep(trials):
+                return TrialRunner(workers=2).run(lambda ctx: 0, trials)
+        """, rules={"SL006"})
+        assert rule_ids(findings) == ["SL006"]
+
+    def test_module_level_function_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def _trial(ctx):
+                return ctx.index
+
+            def sweep(runner, trials):
+                return runner.run(_trial, trials, seed=0)
+        """, rules={"SL006"})
+        assert findings == []
+
+    def test_unrelated_run_method_ignored(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def go(simulator, trials):
+                return simulator.run(lambda: None, trials)
+        """, rules={"SL006"})
+        assert findings == []
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def sweep(runner, trials):
+                return runner.run(
+                    lambda ctx: ctx.index,  # simlint: disable=SL006
+                    trials,
+                )
+        """, rules={"SL006"})
+        assert findings == []
+
+
+class TestDriver:
+    def test_findings_sorted_and_formatted(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import random
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert findings == sorted(findings)
+        formatted = findings[0].format()
+        assert "snippet.py:2:1: SL001" in formatted
+
+    def test_missing_path_raises(self):
+        with pytest.raises(LintError, match="no such file"):
+            Linter().run(["/nonexistent/simlint-target"])
+
+    def test_syntax_error_raises(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        with pytest.raises(LintError, match="cannot parse"):
+            Linter().run([str(bad)])
+
+    def test_linter_runs_are_independent(self, tmp_path):
+        """Cross-file rule state must not leak between run() calls."""
+        source = """
+            import enum
+
+            class SimEventType(enum.Enum):
+                TICK = "tick"
+                BOOM = "boom"
+
+            def dispatch(kind):
+                if kind is SimEventType.TICK:
+                    return 1
+        """
+        linter = Linter(rules={"SL003"})
+        target = tmp_path / "snippet.py"
+        target.write_text(textwrap.dedent(source))
+        first = linter.run([str(target)])
+        second = linter.run([str(target)])
+        assert rule_ids(first) == rule_ids(second) == ["SL003"]
+
+
+class TestCli:
+    def test_exit_zero_on_clean_file(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert simlint_main([str(clean)]) == 0
+
+    def test_exit_one_with_rule_id_and_location(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import numpy as np\nr = np.random.default_rng()\n")
+        assert simlint_main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "SL001" in out
+        assert f"{dirty}:2:" in out
+
+    def test_exit_two_on_missing_path(self, capsys):
+        assert simlint_main(["/nonexistent/simlint-target"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert simlint_main([str(clean), "--rules", "SL999"]) == 2
+
+    def test_json_output(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert simlint_main([str(dirty), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "SL001"
+        assert payload["findings"][0]["line"] == 1
+
+    def test_list_rules(self, capsys):
+        assert simlint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006"):
+            assert rule_id in out
+
+    def test_rules_filter(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = 1.0 == 2.0\n")
+        assert simlint_main([str(dirty), "--rules", "SL006"]) == 0
+
+    def test_mlec_sim_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main as mlec_main
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert mlec_main(["lint", str(dirty)]) == 1
+        assert "SL001" in capsys.readouterr().out
+        assert mlec_main(["lint", "--list-rules"]) == 0
+
+
+class TestCleanTree:
+    def test_src_repro_lints_clean(self):
+        """The acceptance gate: the shipped tree has zero findings."""
+        assert SRC_TREE.is_dir()
+        findings = Linter().run([str(SRC_TREE)])
+        assert findings == []
