@@ -7,10 +7,13 @@ to ``benchmarks/results/<name>.txt`` so that a plain
 reproduced tables on disk for EXPERIMENTS.md-style comparison.
 
 Alongside the text artifact, every :func:`once` run emits a
-machine-readable ``benchmarks/results/BENCH_<name>.json`` record --
-wall-clock seconds, trial throughput, worker count, and the git SHA -- so
-the performance trajectory accumulates across commits (CI uploads these as
-workflow artifacts).
+machine-readable ``BENCH_<name>.json`` record -- wall-clock seconds, trial
+throughput, worker count, the git SHA, and (when the benchmark collects
+one) the merged :class:`repro.obs.MetricsRegistry` snapshot.  The record
+is written twice: under ``benchmarks/results/`` (gitignored scratch, CI
+uploads it as a workflow artifact) and at the repository root, which *is*
+tracked -- that copy is how the perf trajectory accumulates across
+commits.
 
 Environment knobs for CI smoke runs:
 
@@ -29,7 +32,12 @@ import subprocess
 import time
 from pathlib import Path
 
+from repro.obs import MetricsRegistry
+
 RESULTS_DIR = Path(__file__).parent / "results"
+#: Repository root: BENCH_*.json copies written here are git-tracked
+#: (benchmarks/results/ is ignored), so the perf trajectory survives.
+ROOT_DIR = Path(__file__).parent.parent
 
 
 def emit(name: str, text: str) -> None:
@@ -71,8 +79,14 @@ def emit_bench(
     seconds: float,
     trials: int | None = None,
     workers: int = 1,
+    metrics: MetricsRegistry | None = None,
 ) -> None:
-    """Persist one machine-readable benchmark telemetry record."""
+    """Persist one machine-readable benchmark telemetry record.
+
+    The record lands both in ``benchmarks/results/`` and at the repo root
+    (the tracked copy); ``metrics``, if given, is folded in as its
+    deterministic snapshot.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     record = {
         "name": name,
@@ -85,23 +99,36 @@ def emit_bench(
         "git_sha": _git_sha(),
         "unix_time": time.time(),
     }
-    path = RESULTS_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(record, indent=2) + "\n")
+    if metrics is not None and metrics:
+        record["metrics"] = metrics.snapshot()
+    payload = json.dumps(record, indent=2) + "\n"
+    for directory in (RESULTS_DIR, ROOT_DIR):
+        (directory / f"BENCH_{name}.json").write_text(payload)
 
 
-def once(benchmark, fn, *, trials: int | None = None, workers: int = 1):
+def once(
+    benchmark,
+    fn,
+    *,
+    trials: int | None = None,
+    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+):
     """Run an expensive experiment exactly once under pytest-benchmark.
 
     The interesting output of these benchmarks is the regenerated figure,
     not a statistically tight timing distribution; one round keeps the
     whole harness fast while still recording wall-clock cost.  The timing
-    (plus ``trials``/``workers`` metadata when the caller supplies them)
-    lands in ``BENCH_<name>.json`` for the CI perf trajectory.
+    (plus ``trials``/``workers``/``metrics`` metadata when the caller
+    supplies them) lands in ``BENCH_<name>.json`` for the CI perf
+    trajectory.
     """
     start = time.perf_counter()
     result = benchmark.pedantic(fn, rounds=1, iterations=1)
     elapsed = time.perf_counter() - start
     name = getattr(benchmark, "name", None) or getattr(fn, "__name__", "bench")
     name = name.removeprefix("test_")
-    emit_bench(name, seconds=elapsed, trials=trials, workers=workers)
+    emit_bench(
+        name, seconds=elapsed, trials=trials, workers=workers, metrics=metrics
+    )
     return result

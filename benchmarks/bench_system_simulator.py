@@ -10,18 +10,21 @@ from _harness import once
 
 from repro import PAPER_MLEC, RepairMethod, mlec_scheme_from_name
 from repro.core.config import YEAR
+from repro.obs import MetricsRegistry
 from repro.reporting import format_table
 from repro.sim.simulator import MLECSystemSimulator
+
+METRICS = MetricsRegistry()
 
 
 def run_quarter():
     scheme = mlec_scheme_from_name("C/D", PAPER_MLEC)
     sim = MLECSystemSimulator(scheme, RepairMethod.R_MIN)
-    return sim.run(mission_time=YEAR / 4, seed=99)
+    return sim.run(mission_time=YEAR / 4, seed=99, metrics=METRICS)
 
 
 def test_system_simulator_quarter(benchmark):
-    result = once(benchmark, run_quarter, trials=1)
+    result = once(benchmark, run_quarter, trials=1, metrics=METRICS)
     text = format_table(
         ["metric", "value"],
         [

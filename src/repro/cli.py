@@ -28,6 +28,7 @@ from .core.config import MLECParams, YEAR
 from .core.scheme import MLEC_SCHEME_NAMES, MLECScheme, mlec_scheme_from_name
 from .core.tolerance import mlec_tolerance
 from .core.types import RepairMethod
+from .obs import MetricsRegistry, Stopwatch, TraceRecorder
 
 if TYPE_CHECKING:
     from .runtime import TrialContext
@@ -74,6 +75,40 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a JSONL event trace of every trial (deterministic: "
+             "byte-identical for any --workers)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write merged run metrics (counters/histograms) as JSON",
+    )
+
+
+def _make_obs(
+    args: argparse.Namespace,
+) -> tuple[TraceRecorder | None, MetricsRegistry | None]:
+    """Build the telemetry sinks requested via --trace / --metrics."""
+    trace = TraceRecorder() if args.trace else None
+    metrics = MetricsRegistry() if args.metrics else None
+    return trace, metrics
+
+
+def _write_obs(
+    args: argparse.Namespace,
+    trace: TraceRecorder | None,
+    metrics: MetricsRegistry | None,
+) -> None:
+    if trace is not None:
+        trace.write_jsonl(args.trace)
+        print(f"wrote {len(trace)} trace records to {args.trace}")
+    if metrics is not None:
+        metrics.write_json(args.metrics)
+        print(f"wrote metrics snapshot to {args.metrics}")
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -98,6 +133,11 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_burst(args: argparse.Namespace) -> int:
     scheme = _scheme_from(args)
     if args.exact:
+        if args.trace or args.metrics:
+            raise ValueError(
+                "--trace/--metrics need Monte-Carlo trials; "
+                "drop --exact to collect telemetry"
+            )
         from .analysis.burst_dp import mlec_burst_pdl
 
         pdl = mlec_burst_pdl(scheme, args.failures, args.racks)
@@ -107,11 +147,14 @@ def cmd_burst(args: argparse.Namespace) -> int:
         from .runtime import TrialRunner
         from .sim.burst import MLECBurstEvaluator, burst_pdl_stats
 
+        trace, metrics = _make_obs(args)
         stats = burst_pdl_stats(
             MLECBurstEvaluator(scheme), args.failures, args.racks,
             trials=args.trials, seed=args.seed,
             runner=TrialRunner(workers=args.workers),
+            metrics=metrics, trace=trace,
         )
+        _write_obs(args, trace, metrics)
         pdl = stats.mean
         kind = f"Monte-Carlo ({args.trials} trials)"
         detail = f"  95% CI +/- {stats.ci95_halfwidth:.3e}"
@@ -187,7 +230,12 @@ def _simulate_trial(
     sim = MLECSystemSimulator(
         scheme, method, failure_model=ExponentialFailures(afr)
     )
-    return sim.run(mission_time=mission_time, seed=base_seed + ctx.index)
+    return sim.run(
+        mission_time=mission_time,
+        seed=base_seed + ctx.index,
+        recorder=ctx.trace,
+        metrics=ctx.metrics,
+    )
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -201,11 +249,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"mission_time must be a positive number of seconds, "
             f"got {mission_time!r} ({args.months!r} months)"
         )
+    trace, metrics = _make_obs(args)
     runner = TrialRunner(workers=args.workers)
+    watch = Stopwatch()
     results = runner.map(
         _simulate_trial, args.trials, seed=args.seed,
         args=(scheme, method, args.afr, mission_time, args.seed),
+        metrics=metrics, trace=trace,
     )
+    watch.stop()
+    _write_obs(args, trace, metrics)
     if args.trials == 1:
         result = results[0]
         print(f"simulated {args.months} months of {scheme} + {method} "
@@ -217,6 +270,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
               f"{result.cross_rack_repair_bytes / 1e12:.3f} TB")
         print(f"  local repair         : "
               f"{result.local_repair_bytes / 1e15:.3f} PB")
+        print(f"  elapsed              : {watch.summary(1)}")
         return 1 if result.lost_data else 0
 
     trials = len(results)
@@ -230,6 +284,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  mean disk failures   : {mean_failures:.1f}")
     print(f"  mean catastrophic    : {mean_catastrophic:.2f}")
     print(f"  mean cross-rack      : {mean_cross_tb:.3f} TB")
+    print(f"  elapsed              : {watch.summary(trials)}")
     return 1 if losses else 0
 
 
@@ -287,9 +342,23 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         schemes=schemes, params=args.code, trials=args.trials,
         scenarios=scenarios, workers=args.workers,
     )
-    report = campaign.run(seed=args.seed)
+    trace, metrics = _make_obs(args)
+    watch = Stopwatch()
+    report = campaign.run(seed=args.seed, trace=trace, metrics=metrics)
+    watch.stop()
+    _write_obs(args, trace, metrics)
     print(report.to_text())
+    total_trials = len(report.scenarios) * len(report.schemes) * report.trials
+    print(f"elapsed: {watch.summary(total_trials)}")
     return 1 if report.total_invariant_violations else 0
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    from .obs import read_jsonl, summarize_trace
+
+    records = read_jsonl(args.file)
+    print(summarize_trace(records, top=args.top))
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -324,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     _add_workers_arg(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_burst)
 
     p = sub.add_parser("repair", help="catastrophic-pool repair comparison")
@@ -365,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent missions to simulate (seeds seed..seed+trials-1)",
     )
     _add_workers_arg(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser(
@@ -386,7 +457,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
     _add_workers_arg(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "trace-report",
+        help="summarize a JSONL trace written via --trace",
+    )
+    p.add_argument("file", help="trace file (JSONL, schema v1)")
+    p.add_argument("--top", type=int, default=10,
+                   help="event kinds / pools to show (default 10)")
+    p.set_defaults(func=cmd_trace_report)
 
     p = sub.add_parser(
         "lint",

@@ -1,0 +1,63 @@
+"""SL007 no-print-in-library: library code reports through repro.obs.
+
+``print()`` inside the library proper bypasses every observability
+surface this repository has: it cannot be captured in a trace, merged
+into a metrics snapshot, or silenced by a worker process -- and under a
+``TrialRunner`` fan-out it interleaves nondeterministically across
+workers.  Library code should emit trace records / metrics via
+:mod:`repro.obs` or return data for the CLI layer to format.
+
+The rule scopes itself to ``repro`` library modules and exempts the
+designated presentation surfaces: ``cli.py``, ``reporting.py``, and the
+``devtools`` tree (whose linters and reporters print by design).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["NoPrintInLibrary"]
+
+_EXEMPT_FILES = frozenset({"cli.py", "reporting.py"})
+_EXEMPT_DIRS = frozenset({"devtools"})
+
+
+@register_rule
+class NoPrintInLibrary(Rule):
+    """SL007: bare ``print()`` calls are banned outside presentation code."""
+
+    rule_id = "SL007"
+    title = "no-print-in-library"
+    rationale = (
+        "print() in library code bypasses tracing/metrics and interleaves "
+        "nondeterministically across TrialRunner workers; emit repro.obs "
+        "telemetry or return data for the CLI/reporting layer to format."
+    )
+
+    @staticmethod
+    def _in_scope(ctx: FileContext) -> bool:
+        parts = ctx.path.parts
+        if "repro" not in parts:
+            return False
+        if _EXEMPT_DIRS.intersection(parts):
+            return False
+        return ctx.path.name not in _EXEMPT_FILES
+
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        if not self._in_scope(ctx):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                findings.append(ctx.finding(
+                    self.rule_id, node,
+                    "print() in library code; emit repro.obs telemetry or "
+                    "return data for the CLI/reporting layer to format",
+                ))
+        return findings

@@ -34,6 +34,7 @@ from ..core.config import (
 )
 from ..core.scheme import MLEC_SCHEME_NAMES, MLECScheme, mlec_scheme_from_name
 from ..core.types import RepairMethod
+from ..obs import MetricsRegistry, TraceRecorder
 from ..reporting import format_matrix, format_table
 from ..runtime import TrialContext, TrialRunner
 from ..sim.failures import ExponentialFailures
@@ -294,14 +295,30 @@ def _campaign_trial(
         faults=scenario.faults,
         dc=dc,
         scrub_period=scenario.scrub_period,
+        recorder=ctx.trace,
     )
     sim = MLECSystemSimulator(
         scheme, method, bw=bw, failures=failures, failure_model=injector
     )
     checker = InvariantChecker(sim, strict=False) if check_invariants else None
     result = sim.run(
-        mission_time=scenario.mission_time, seed=seed + trial, observer=checker
+        mission_time=scenario.mission_time,
+        seed=seed + trial,
+        observer=checker,
+        recorder=ctx.trace,
+        metrics=ctx.metrics,
     )
+    if ctx.trace is not None:
+        ctx.trace.event(
+            scenario.mission_time,
+            "chaos.trial",
+            scenario=scenario.name,
+            scheme=scheme.name,
+            lost=bool(result.lost_data),
+        )
+    if ctx.metrics is not None:
+        ctx.metrics.counter("chaos.trials").inc()
+        ctx.metrics.counter("chaos.loss_trials").inc(int(result.lost_data))
     return _TrialOutcome(
         lost=bool(result.lost_data),
         stats=(
@@ -384,12 +401,18 @@ class ChaosCampaign:
         self.runner = runner if runner is not None else TrialRunner(workers=workers)
 
     # ------------------------------------------------------------------
-    def run(self, seed: int = 0) -> RobustnessReport:
+    def run(
+        self,
+        seed: int = 0,
+        trace: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> RobustnessReport:
         """Run the full sweep; returns the structured robustness report.
 
         Every (scenario, scheme, trial) combination is one task of the
         trial runner, so parallelism spans the whole campaign rather than
-        one cell at a time.
+        one cell at a time.  ``trace``/``metrics`` collect per-trial
+        telemetry through the runner (deterministic for any worker count).
         """
         tasks = tuple(
             (si, ci, trial)
@@ -406,6 +429,8 @@ class ChaosCampaign:
                 self.method, self.bw, self.failures, self.check_invariants,
                 seed,
             ),
+            trace=trace,
+            metrics=metrics,
         )
         cells: dict[tuple[str, str], CampaignCell] = {}
         cursor = 0

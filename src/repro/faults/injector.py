@@ -19,6 +19,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..core.config import DatacenterConfig
+from ..obs import TraceRecorder
 from ..sim.events import EventQueue, EventType
 from ..sim.failures import ExponentialFailures, FailureModel
 from .events import (
@@ -48,6 +49,10 @@ class FaultInjector:
         If set, a full-system scrub pass runs every ``scrub_period``
         seconds, detecting (and repairing) accumulated latent sector
         errors.
+    recorder:
+        Optional :class:`repro.obs.TraceRecorder`; :meth:`schedule` emits
+        one ``fault.scheduled`` record per injected fault plus a
+        ``fault.scrub_schedule`` summary.
     """
 
     def __init__(
@@ -56,9 +61,11 @@ class FaultInjector:
         faults: Sequence[FaultEvent] = (),
         dc: DatacenterConfig | None = None,
         scrub_period: float | None = None,
+        recorder: TraceRecorder | None = None,
     ) -> None:
         self.base = base if base is not None else ExponentialFailures()
         self.dc = dc if dc is not None else DatacenterConfig()
+        self.recorder = recorder
         if scrub_period is not None and not scrub_period > 0:
             raise ValueError(f"scrub_period must be positive, got {scrub_period}")
         self.scrub_period = scrub_period
@@ -132,9 +139,20 @@ class FaultInjector:
         """
         if math.isnan(mission_time) or mission_time <= 0:
             raise ValueError(f"mission_time must be positive, got {mission_time}")
+        recorder = self.recorder
         for fault in self.faults:
             if fault.time > mission_time:
                 continue
+            if recorder is not None:
+                duration = getattr(fault, "duration", None)
+                recorder.event(
+                    fault.time,
+                    "fault.scheduled",
+                    fault=type(fault).__name__,
+                    permanent=duration is None
+                    and isinstance(fault, (RackOutage, EnclosureOutage)),
+                    duration=duration,
+                )
             if isinstance(fault, (RackOutage, EnclosureOutage)):
                 if fault.duration is None:  # permanent
                     continue  # merged into time_to_failure instead
@@ -160,6 +178,15 @@ class FaultInjector:
                 )
         if self.scrub_period is not None:
             t = self.scrub_period
+            count = 0
             while t <= mission_time:
                 queue.push(t, EventType.SCRUB)
                 t += self.scrub_period
+                count += 1
+            if recorder is not None:
+                recorder.event(
+                    0.0,
+                    "fault.scrub_schedule",
+                    period=self.scrub_period,
+                    passes=count,
+                )

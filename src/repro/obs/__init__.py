@@ -1,0 +1,52 @@
+"""repro.obs: structured observability for the simulation stack.
+
+Every layer of the simulator can explain *why* it produced a number --
+which failure burst opened a network repair, how many bytes crossed racks,
+where the wall-clock went -- through three stdlib-only primitives:
+
+* :class:`MetricsRegistry` -- named counters, gauges, and fixed-bucket
+  histograms.  Registries are picklable and mergeable, and merging per-chunk
+  registries in trial order reproduces the single-process result exactly,
+  so metrics inherit the runtime's any-worker-count determinism.
+* :class:`TraceRecorder` -- an append-only stream of schema-versioned
+  span/event records (disk failure -> repair plan -> network stage ->
+  completion) serialized to JSONL.  Records are plain dicts with a fixed
+  key order, so a trial's trace bytes are identical for any worker count.
+* :class:`Timers` / :class:`Stopwatch` -- wall-clock accounting for hot
+  paths and whole runs.  A disabled :class:`Timers` costs one attribute
+  read and one branch per guarded section; :class:`Stopwatch` is the single
+  source of elapsed/throughput numbers for the CLI and the benchmark
+  harness, so the two can never drift apart.
+
+See ``docs/observability.md`` for the record schema, the metric naming
+conventions, and measured overhead.
+"""
+
+from __future__ import annotations
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import summarize_trace
+from .timing import DISABLED_TIMERS, Stopwatch, Timers
+from .trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    read_jsonl,
+    validate_record,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "TRACE_SCHEMA_VERSION",
+    "read_jsonl",
+    "write_jsonl",
+    "validate_record",
+    "Timers",
+    "DISABLED_TIMERS",
+    "Stopwatch",
+    "summarize_trace",
+]

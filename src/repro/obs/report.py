@@ -1,0 +1,140 @@
+"""Trace summarization: the engine behind ``mlec-sim trace-report``.
+
+Turns a validated record stream into the three questions a PDL
+discrepancy investigation asks first:
+
+* *what happened* -- record counts by kind (top-N table);
+* *how long did repairs take* -- a histogram of network-stage repair
+  durations (``sim.net_repair_complete`` records), split by whether the
+  repair ran degraded;
+* *who lost data* -- per-pool attribution of ``sim.data_loss`` /
+  ``slec.data_loss`` records, plus the byte totals that crossed racks.
+
+Everything here is stdlib-only string formatting so traces can be
+inspected on machines without the numeric stack installed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from .metrics import Histogram
+
+__all__ = ["summarize_trace", "REPAIR_HOURS_BUCKETS"]
+
+#: Bucket upper bounds (hours) for repair-duration histograms -- shared by
+#: the simulator's metrics instrumentation and this report so the two views
+#: of the same run always bin identically.
+REPAIR_HOURS_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+_HOUR = 3600.0
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _bar(count: int, peak: int, width: int = 30) -> str:
+    if peak <= 0:
+        return ""
+    return "#" * max(1 if count else 0, round(width * count / peak))
+
+
+def _histogram_lines(hist: Histogram, unit: str) -> list[str]:
+    peak = max(hist.counts)
+    lines = []
+    lower = 0.0
+    for bound, count in zip(hist.bounds, hist.counts):
+        lines.append(
+            f"  {lower:>7.1f} - {bound:>7.1f} {unit} | "
+            f"{count:>6d} {_bar(count, peak)}"
+        )
+        lower = bound
+    overflow = hist.counts[-1]
+    lines.append(
+        f"  {'>':>7} {hist.bounds[-1]:>9.1f} {unit} | "
+        f"{overflow:>6d} {_bar(overflow, peak)}"
+    )
+    return lines
+
+
+def summarize_trace(
+    records: Sequence[Mapping[str, Any]], top: int = 10
+) -> str:
+    """Human-readable summary of a validated trace record stream."""
+    sections: list[str] = []
+    trials = {r["trial"] for r in records if r["trial"] is not None}
+    header = f"trace summary: {len(records)} records"
+    if trials:
+        header += f" from {len(trials)} trial(s)"
+    sections.append(header)
+
+    # ------------------------------------------------------------- kinds
+    by_kind = TallyCounter(str(r["kind"]) for r in records)
+    rows = [[kind, count] for kind, count in by_kind.most_common(top)]
+    remainder = len(by_kind) - len(rows)
+    sections.append(
+        f"top event kinds ({len(by_kind)} distinct"
+        + (f", showing {top}" if remainder > 0 else "")
+        + "):\n"
+        + _table(["kind", "records"], rows)
+    )
+
+    # ----------------------------------------------------- repair timing
+    repairs = [r for r in records if r["kind"] == "sim.net_repair_complete"]
+    if repairs:
+        hist = Histogram("sim.net_repair_hours", REPAIR_HOURS_BUCKETS)
+        degraded = 0
+        for r in repairs:
+            hist.observe(float(r["data"].get("seconds", 0.0)) / _HOUR)
+            degraded += bool(r["data"].get("degraded", False))
+        mean_h = hist.total / hist.count if hist.count else 0.0
+        lines = [
+            f"network-stage repair times ({hist.count} repairs, "
+            f"mean {mean_h:.1f} h, {degraded} finished degraded):"
+        ]
+        lines.extend(_histogram_lines(hist, "h"))
+        sections.append("\n".join(lines))
+
+    # ----------------------------------------------------- loss attribution
+    loss_by_pool: TallyCounter[int] = TallyCounter()
+    n_losses = 0
+    for r in records:
+        if r["kind"] == "sim.data_loss":
+            n_losses += 1
+            for pool in r["data"].get("pools", ()):
+                loss_by_pool[int(pool)] += 1
+        elif r["kind"] == "slec.data_loss":
+            n_losses += 1
+            if r["pool"] is not None:
+                loss_by_pool[int(r["pool"])] += 1
+    if n_losses:
+        rows = [
+            [pool, count] for pool, count in loss_by_pool.most_common(top)
+        ]
+        sections.append(
+            f"data loss attribution ({n_losses} loss events):\n"
+            + _table(["pool", "loss events"], rows)
+        )
+    else:
+        sections.append("data loss attribution: no loss events recorded")
+
+    # ----------------------------------------------------------- traffic
+    cross = sum(
+        float(r["data"].get("cross_rack_bytes", 0.0))
+        for r in records
+        if r["kind"] == "sim.catastrophe"
+    )
+    if cross:
+        sections.append(f"cross-rack repair traffic: {cross / 1e12:.3f} TB")
+
+    return "\n\n".join(sections)

@@ -1,0 +1,157 @@
+"""Typed trace records: schema, recorder, JSONL round-trip.
+
+A trace is a stream of flat JSON objects, one per line, every one shaped::
+
+    {"v": 1, "ts": <seconds>, "kind": "<layer>.<event>",
+     "trial": <int|null>, "pool": <int|null>, "data": {...}}
+
+* ``v`` -- schema version (:data:`TRACE_SCHEMA_VERSION`).
+* ``ts`` -- simulation time in seconds (not wall clock), ``>= 0``.
+* ``kind`` -- dotted event type, same namespace convention as metrics
+  (``sim.disk_failure``, ``sim.net_repair_complete``, ``repair.plan``, ...).
+* ``trial`` -- Monte-Carlo trial index when the record was produced inside
+  a :class:`~repro.runtime.TrialRunner` sweep, else ``null``.
+* ``pool`` -- local-pool id the event concerns, else ``null``.
+* ``data`` -- free-form but JSON-primitive payload (bytes moved, degraded
+  flags, method names...).
+
+Records are built with a fixed key order and serialized with stable
+separators, so the JSONL bytes of a trial are identical for any worker
+count -- the property ``tests/test_runtime.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
+    "validate_record",
+    "read_jsonl",
+    "write_jsonl",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+_RECORD_KEYS = ("v", "ts", "kind", "trial", "pool", "data")
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def validate_record(obj: object) -> dict[str, Any]:
+    """Check one parsed record against the schema; returns it, or raises.
+
+    Raises :class:`ValueError` naming the first violated constraint, so a
+    corrupt trace fails loudly in CI rather than skewing a report.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"trace record must be an object, got {type(obj).__name__}")
+    if set(obj) != set(_RECORD_KEYS):
+        raise ValueError(
+            f"trace record keys must be {sorted(_RECORD_KEYS)}, "
+            f"got {sorted(obj)}"
+        )
+    if obj["v"] != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema version {obj['v']!r} "
+            f"(this reader understands {TRACE_SCHEMA_VERSION})"
+        )
+    ts = obj["ts"]
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        raise ValueError(f"trace ts must be a non-negative number, got {ts!r}")
+    kind = obj["kind"]
+    if not isinstance(kind, str) or "." not in kind:
+        raise ValueError(
+            f"trace kind must be a dotted string like 'sim.disk_failure', "
+            f"got {kind!r}"
+        )
+    for field in ("trial", "pool"):
+        value = obj[field]
+        bad_int = not isinstance(value, int) or isinstance(value, bool)
+        if value is not None and bad_int:
+            raise ValueError(f"trace {field} must be an int or null, got {value!r}")
+    data = obj["data"]
+    if not isinstance(data, dict):
+        raise ValueError(f"trace data must be an object, got {data!r}")
+    for key, value in data.items():
+        if not isinstance(key, str):
+            raise ValueError(f"trace data keys must be strings, got {key!r}")
+        if isinstance(value, (list, tuple)):
+            if not all(isinstance(v, _PRIMITIVES) for v in value):
+                raise ValueError(
+                    f"trace data[{key!r}] list entries must be JSON primitives"
+                )
+        elif not isinstance(value, _PRIMITIVES):
+            raise ValueError(
+                f"trace data[{key!r}] must be a JSON primitive or flat list, "
+                f"got {type(value).__name__}"
+            )
+    return obj
+
+
+class TraceRecorder:
+    """Collects trace records in memory; writing JSONL is a separate step.
+
+    One recorder per producer: simulators and trial functions append to a
+    private recorder, and the parent process concatenates per-trial record
+    lists in trial order (see :class:`~repro.runtime.TrialRunner`), which
+    keeps the stream deterministic for any worker count.
+    """
+
+    __slots__ = ("trial", "records")
+
+    def __init__(self, trial: int | None = None) -> None:
+        self.trial = trial
+        self.records: list[dict[str, Any]] = []
+
+    def event(
+        self, ts: float, kind: str, pool: int | None = None, **data: object
+    ) -> None:
+        """Append one record; ``data`` values must be JSON primitives."""
+        self.records.append({
+            "v": TRACE_SCHEMA_VERSION,
+            "ts": float(ts),
+            "kind": kind,
+            "trial": self.trial,
+            "pool": pool,
+            "data": data,
+        })
+
+    def extend(self, records: Iterable[Mapping[str, Any]]) -> None:
+        """Append already-built records (merging worker chunks in order)."""
+        self.records.extend(dict(r) for r in records)
+
+    def write_jsonl(self, path: str | Path) -> None:
+        write_jsonl(path, self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def write_jsonl(path: str | Path, records: Iterable[Mapping[str, Any]]) -> None:
+    """Serialize records to JSONL with deterministic byte layout."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Read and schema-validate a JSONL trace; raises ValueError on corruption."""
+    records: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            try:
+                records.append(validate_record(parsed))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+    return records

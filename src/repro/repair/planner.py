@@ -17,6 +17,7 @@ import numpy as np
 
 from ..core.arrays import AnyArray
 from ..core.types import RepairMethod
+from ..obs import TraceRecorder
 
 __all__ = ["RepairPlan", "plan_repair"]
 
@@ -80,6 +81,8 @@ def plan_repair(
     damage: AnyArray,
     p_l: int,
     stripe_width: int,
+    recorder: TraceRecorder | None = None,
+    now: float = 0.0,
 ) -> RepairPlan:
     """Build a :class:`RepairPlan` for a damaged pool.
 
@@ -93,6 +96,9 @@ def plan_repair(
         Local parity count -- stripes with more failures than this are lost.
     stripe_width:
         ``k_l + p_l``; needed to size R_ALL's whole-pool rebuild.
+    recorder, now:
+        Optional :class:`repro.obs.TraceRecorder` (plus the simulation
+        time to stamp) -- emits one ``repair.plan`` record per plan.
 
     Notes
     -----
@@ -142,4 +148,16 @@ def plan_repair(
         extra_chunks=extra,
     )
     plan.validate(p_l)
+    if recorder is not None:
+        recorder.event(
+            now,
+            "repair.plan",
+            method=method.name,
+            stripes=int(damage.size),
+            damaged_stripes=int(np.count_nonzero(damage)),
+            lost_stripes=int(np.count_nonzero(lost)),
+            network_chunks=plan.total_network_chunks,
+            local_chunks=plan.total_local_chunks,
+            extra_chunks=int(extra.sum()),
+        )
     return plan

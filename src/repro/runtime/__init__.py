@@ -5,9 +5,16 @@ the shared trial engine (:class:`TrialRunner`) that the burst grids,
 durability campaigns, and chaos sweeps all fan out through.
 """
 
-from .runner import TrialAggregate, TrialContext, TrialExecutionError, TrialRunner
+from .runner import (
+    RunTelemetry,
+    TrialAggregate,
+    TrialContext,
+    TrialExecutionError,
+    TrialRunner,
+)
 
 __all__ = [
+    "RunTelemetry",
     "TrialAggregate",
     "TrialContext",
     "TrialExecutionError",

@@ -25,8 +25,18 @@ as infrastructure:
   returning partial data.
 
 Trial functions receive a :class:`TrialContext` (trial index + spawned
-``SeedSequence``) followed by the ``args`` tuple, and must be defined at
-module top level so the process pool can pickle them.
+``SeedSequence``, plus optional per-trial telemetry sinks) followed by the
+``args`` tuple, and must be defined at module top level so the process
+pool can pickle them.
+
+**Telemetry.**  Passing ``metrics=``/``trace=`` to :meth:`TrialRunner.run`
+or :meth:`TrialRunner.map` hands every trial a private
+:class:`~repro.obs.MetricsRegistry` slice and
+:class:`~repro.obs.TraceRecorder` via its context; workers ship these back
+with the chunk results and the parent folds them *in trial order*, so the
+merged metrics snapshot and the concatenated trace stream are identical
+for any worker count.  Wall-clock facts (which are *not* deterministic)
+are kept apart in :attr:`TrialRunner.last_telemetry`.
 """
 
 from __future__ import annotations
@@ -44,11 +54,14 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs import MetricsRegistry, TraceRecorder
+
 __all__ = [
     "TrialContext",
     "TrialAggregate",
     "TrialExecutionError",
     "TrialRunner",
+    "RunTelemetry",
 ]
 
 
@@ -69,6 +82,14 @@ class TrialContext:
 
     index: int
     seed_sequence: np.random.SeedSequence
+    #: Registry for this trial's worker chunk, or ``None`` when the sweep
+    #: was started without ``metrics=``.  Counters/histograms sum and
+    #: gauges keep the last written value, so chunk boundaries are
+    #: invisible in the merged snapshot.
+    metrics: MetricsRegistry | None = None
+    #: Per-trial recorder (``trial`` preset to :attr:`index`), or ``None``
+    #: when the sweep was started without ``trace=``.
+    trace: TraceRecorder | None = None
 
     def rng(self) -> np.random.Generator:
         """A fresh generator on this trial's private stream."""
@@ -137,6 +158,27 @@ class TrialAggregate:
 
 
 @dataclasses.dataclass(frozen=True)
+class RunTelemetry:
+    """Wall-clock facts about the last sweep (not part of the results).
+
+    ``worker_seconds`` is the sum of in-chunk execution time across all
+    workers; comparing it to ``wall_seconds`` shows the achieved overlap.
+    """
+
+    trials: int
+    chunks: int
+    workers: int
+    wall_seconds: float
+    worker_seconds: float
+
+    @property
+    def trials_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.trials / self.wall_seconds
+
+
+@dataclasses.dataclass(frozen=True)
 class _ChunkError:
     """Worker-side trial failure, shipped back as data (always picklable)."""
 
@@ -145,16 +187,37 @@ class _ChunkError:
     worker_traceback: str
 
 
+@dataclasses.dataclass(frozen=True)
+class _ChunkPayload:
+    """One chunk's results plus its telemetry, shipped back from a worker."""
+
+    values: list[Any]
+    seconds: float
+    metrics: MetricsRegistry | None
+    records: list[dict[str, Any]]
+
+
 def _run_chunk(
     fn: Callable[..., Any],
     start: int,
     children: Sequence[np.random.SeedSequence],
     args: tuple[Any, ...],
-) -> list[Any] | _ChunkError:
+    collect_metrics: bool = False,
+    collect_trace: bool = False,
+) -> _ChunkPayload | _ChunkError:
     """Run one contiguous chunk of trials; runs in the worker process."""
+    began = time.perf_counter()
+    metrics = MetricsRegistry() if collect_metrics else None
+    records: list[dict[str, Any]] = []
     out: list[Any] = []
     for offset, child in enumerate(children):
-        ctx = TrialContext(index=start + offset, seed_sequence=child)
+        trace = TraceRecorder(trial=start + offset) if collect_trace else None
+        ctx = TrialContext(
+            index=start + offset,
+            seed_sequence=child,
+            metrics=metrics,
+            trace=trace,
+        )
         try:
             out.append(fn(ctx, *args))
         except Exception as exc:  # surfaced as TrialExecutionError upstream
@@ -163,7 +226,14 @@ def _run_chunk(
                 message=f"{type(exc).__name__}: {exc}",
                 worker_traceback=traceback.format_exc(),
             )
-    return out
+        if trace is not None:
+            records.extend(trace.records)
+    return _ChunkPayload(
+        values=out,
+        seconds=time.perf_counter() - began,
+        metrics=metrics,
+        records=records,
+    )
 
 
 class TrialRunner:
@@ -200,6 +270,8 @@ class TrialRunner:
         self.workers = int(workers)
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        #: Wall-clock facts about the most recent ``run``/``map`` call.
+        self.last_telemetry: RunTelemetry | None = None
 
     # ------------------------------------------------------------------
     def run(
@@ -209,15 +281,21 @@ class TrialRunner:
         seed: int = 0,
         args: tuple[Any, ...] = (),
         timeout: float | None = None,
+        metrics: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
     ) -> TrialAggregate:
         """Run ``trials`` trials of ``fn`` and reduce to a TrialAggregate.
 
         ``fn(ctx, *args)`` must return a scalar.  The fold happens in
         trial order as chunks stream in, so the aggregate is bitwise
-        independent of ``workers`` and ``chunk_size``.
+        independent of ``workers`` and ``chunk_size``.  When ``metrics``
+        or ``trace`` is given, per-chunk telemetry is folded into it in
+        the same order (same invariance).
         """
         agg = TrialAggregate()
-        for chunk in self._iter_chunks(fn, trials, seed, args, timeout):
+        for chunk in self._iter_chunks(
+            fn, trials, seed, args, timeout, metrics, trace
+        ):
             for value in chunk:
                 agg.add(value)
         return agg
@@ -229,6 +307,8 @@ class TrialRunner:
         seed: int = 0,
         args: tuple[Any, ...] = (),
         timeout: float | None = None,
+        metrics: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
     ) -> list[Any]:
         """Run ``trials`` trials and return their results in trial order.
 
@@ -236,7 +316,9 @@ class TrialRunner:
         results, per-trial statistics) that need a custom reduction.
         """
         results: list[Any] = []
-        for chunk in self._iter_chunks(fn, trials, seed, args, timeout):
+        for chunk in self._iter_chunks(
+            fn, trials, seed, args, timeout, metrics, trace
+        ):
             results.extend(chunk)
         return results
 
@@ -256,11 +338,35 @@ class TrialRunner:
         seed: int,
         args: tuple[Any, ...],
         timeout: float | None,
+        metrics: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
     ) -> Iterator[list[Any]]:
         if trials <= 0:
             raise ValueError(f"trials must be positive, got {trials}")
         children = np.random.SeedSequence(seed).spawn(trials)
         bounds = self._chunk_bounds(trials)
+        collect = (metrics is not None, trace is not None)
+        began = time.perf_counter()
+        worker_seconds = 0.0
+
+        def absorb(result: _ChunkPayload | _ChunkError) -> list[Any]:
+            nonlocal worker_seconds
+            payload = self._check_chunk(result)
+            worker_seconds += payload.seconds
+            if metrics is not None and payload.metrics is not None:
+                metrics.merge(payload.metrics)
+            if trace is not None:
+                trace.extend(payload.records)
+            return payload.values
+
+        def finish() -> None:
+            self.last_telemetry = RunTelemetry(
+                trials=trials,
+                chunks=len(bounds),
+                workers=self.workers,
+                wall_seconds=time.perf_counter() - began,
+                worker_seconds=worker_seconds,
+            )
 
         executor: ProcessPoolExecutor | None = None
         if self.workers > 1 and len(bounds) > 1:
@@ -280,13 +386,16 @@ class TrialRunner:
 
         if executor is None:
             for lo, hi in bounds:
-                yield self._check_chunk(_run_chunk(fn, lo, children[lo:hi], args))
+                yield absorb(_run_chunk(fn, lo, children[lo:hi], args, *collect))
+            finish()
             return
 
         deadline = None if timeout is None else time.monotonic() + timeout
         try:
             futures = [
-                executor.submit(_run_chunk, fn, lo, children[lo:hi], args)
+                executor.submit(
+                    _run_chunk, fn, lo, children[lo:hi], args, *collect
+                )
                 for lo, hi in bounds
             ]
             # Consume in index order: buffering out-of-order completions in
@@ -309,13 +418,14 @@ class TrialRunner:
                         f"worker process crashed while running trials "
                         f"[{lo}, {hi}); the pool is no longer usable"
                     ) from exc
-                yield self._check_chunk(chunk)
+                yield absorb(chunk)
+            finish()
         finally:
             if executor is not None:
                 executor.shutdown(wait=True, cancel_futures=True)
 
     @staticmethod
-    def _check_chunk(chunk: list[Any] | _ChunkError) -> list[Any]:
+    def _check_chunk(chunk: _ChunkPayload | _ChunkError) -> _ChunkPayload:
         if isinstance(chunk, _ChunkError):
             raise TrialExecutionError(
                 f"trial {chunk.index} raised {chunk.message}\n"

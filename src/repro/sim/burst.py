@@ -36,6 +36,7 @@ from ..analysis.combinatorics import (
 from ..core.config import DatacenterConfig
 from ..core.scheme import LRCScheme, MLECScheme, SLECScheme
 from ..core.types import Level, Placement
+from ..obs import MetricsRegistry, TraceRecorder
 from ..runtime import TrialAggregate, TrialContext, TrialRunner
 from ..topology.datacenter import DatacenterTopology
 from ..topology.pools import summarize_mlec_damage
@@ -317,7 +318,15 @@ def _burst_trial(
 ) -> float:
     """One Monte Carlo trial: sample a burst, evaluate its PDL."""
     gen = BurstGenerator(dc, ctx.rng())
-    return evaluator.pdl_of_burst(gen.sample(failures, racks))
+    pdl = evaluator.pdl_of_burst(gen.sample(failures, racks))
+    if ctx.metrics is not None:
+        ctx.metrics.counter("burst.trials").inc()
+        ctx.metrics.counter("burst.loss_trials").inc(int(pdl > 0.0))
+    if ctx.trace is not None:
+        ctx.trace.event(
+            0.0, "burst.trial", failures=failures, racks=racks, pdl=float(pdl)
+        )
+    return pdl
 
 
 def burst_pdl_stats(
@@ -328,19 +337,26 @@ def burst_pdl_stats(
     seed: int = 0,
     dc: DatacenterConfig | None = None,
     runner: TrialRunner | None = None,
+    metrics: MetricsRegistry | None = None,
+    trace: TraceRecorder | None = None,
 ) -> TrialAggregate:
     """Monte-Carlo PDL with confidence interval, fanned out over a runner.
 
     Trial ``i`` draws from the ``i``-th spawned child of
-    ``SeedSequence(seed)``, so the aggregate is bitwise identical for any
-    worker count.
+    ``SeedSequence(seed)``, so the aggregate -- and any ``metrics``/
+    ``trace`` telemetry -- is bitwise identical for any worker count.
     """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
     runner = runner if runner is not None else TrialRunner()
     dc = dc if dc is not None else evaluator.scheme.dc
     return runner.run(
-        _burst_trial, trials, seed=seed, args=(evaluator, failures, racks, dc)
+        _burst_trial,
+        trials,
+        seed=seed,
+        args=(evaluator, failures, racks, dc),
+        metrics=metrics,
+        trace=trace,
     )
 
 

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import time
 from typing import Callable
 
 import numpy as np
@@ -50,6 +51,8 @@ from ..analysis.combinatorics import any_of_many
 from ..core.config import BandwidthConfig, FailureConfig, YEAR
 from ..core.scheme import MLECScheme
 from ..core.types import Placement, RepairMethod
+from ..obs import DISABLED_TIMERS, MetricsRegistry, Timers, TraceRecorder
+from ..obs.report import REPAIR_HOURS_BUCKETS
 from ..repair.bandwidth import BandwidthModel
 from ..topology.datacenter import DatacenterTopology
 from .events import Event, EventQueue, EventType
@@ -120,14 +123,18 @@ class _NetRepair:
     ``remaining`` bytes still to rebuild; ``clock`` is the last time the
     repair's progress was banked (starts at ``ready_at``, the end of the
     detection window, so no progress accrues before detection).
+    ``started``/``total`` exist for tracing only: when the catastrophe was
+    registered and the largest byte window it ever covered.
     """
 
-    __slots__ = ("ready_at", "remaining", "clock")
+    __slots__ = ("ready_at", "remaining", "clock", "started", "total")
 
-    def __init__(self, ready_at: float, remaining: float) -> None:
+    def __init__(self, ready_at: float, remaining: float, started: float) -> None:
         self.ready_at = ready_at
         self.remaining = remaining
         self.clock = ready_at
+        self.started = started
+        self.total = remaining
 
 
 class _RunState:
@@ -148,10 +155,18 @@ class _RunState:
         "n_latent_induced_chunks", "scrub_repair_bytes", "n_scrubs",
         "n_bandwidth_changes", "n_repair_replans",
         "net_repair_seconds", "degraded_repair_seconds",
+        "recorder", "metrics",
     )
 
-    def __init__(self, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        recorder: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.rng = rng
+        self.recorder = recorder
+        self.metrics = metrics
         self.pools: dict[int, _PoolState] = {}
         self.net_repairs: dict[int, _NetRepair] = {}
         self.latent: dict[int, int] = {}  # pool id -> latent corrupt chunks
@@ -200,6 +215,10 @@ class MLECSystemSimulator:
         A :class:`repro.faults.FaultInjector` (anything exposing a
         ``schedule(queue, mission_time)`` hook) additionally injects
         correlated fault events at run start.
+    timers:
+        Optional :class:`repro.obs.Timers` profiling the hot handlers
+        (``sim.on_disk_failure``, ``sim.advance_net_repairs``).  Defaults
+        to the shared disabled sink, which costs one branch per call.
     """
 
     def __init__(
@@ -209,9 +228,11 @@ class MLECSystemSimulator:
         bw: BandwidthConfig | None = None,
         failures: FailureConfig | None = None,
         failure_model: FailureModel | None = None,
+        timers: Timers | None = None,
     ) -> None:
         self.scheme = scheme
         self.method = method
+        self.timers = timers if timers is not None else DISABLED_TIMERS
         self.bw = bw if bw is not None else BandwidthConfig()
         self.failures = failures if failures is not None else FailureConfig()
         self.failure_model = (
@@ -290,12 +311,24 @@ class MLECSystemSimulator:
         called (and is) before every rate change; completed repairs leave
         the catastrophic set.
         """
+        timers = self.timers
+        if not timers.enabled:
+            self._advance_net_repairs_impl(st, now)
+            return
+        start = time.perf_counter()
+        try:
+            self._advance_net_repairs_impl(st, now)
+        finally:
+            timers.add("sim.advance_net_repairs", time.perf_counter() - start)
+
+    def _advance_net_repairs_impl(self, st: _RunState, now: float) -> None:
         rate = self._network_rate * st.net_factor
         done = []
         for pool_id, rep in st.net_repairs.items():
             if now > rep.clock:
                 capacity = (now - rep.clock) * rate
                 progress = min(rep.remaining, capacity)
+                done_at = rep.clock + progress / rate if progress > 0 else rep.clock
                 if progress > 0:
                     active = progress / rate
                     st.net_repair_seconds += active
@@ -303,10 +336,27 @@ class MLECSystemSimulator:
                         st.degraded_repair_seconds += active
                 rep.remaining -= progress
                 rep.clock = now
+            else:
+                done_at = rep.clock
             if rep.remaining <= 1e-6:
-                done.append(pool_id)
-        for pool_id in done:
-            del st.net_repairs[pool_id]
+                done.append((pool_id, done_at))
+        degraded = st.net_factor < 1.0
+        for pool_id, done_at in done:
+            rep = st.net_repairs.pop(pool_id)
+            seconds = done_at - rep.started
+            if st.recorder is not None:
+                st.recorder.event(
+                    done_at,
+                    "sim.net_repair_complete",
+                    pool=pool_id,
+                    bytes=rep.total,
+                    seconds=seconds,
+                    degraded=degraded,
+                )
+            if st.metrics is not None:
+                st.metrics.histogram(
+                    "sim.net_repair_hours", REPAIR_HOURS_BUCKETS
+                ).observe(seconds / 3600.0)
 
     def _check_data_loss(
         self, st: _RunState, now: float, pool_id: int, rho: float
@@ -324,9 +374,15 @@ class MLECSystemSimulator:
         st.max_concurrent = max(st.max_concurrent, len(concurrent))
         if len(racks) >= s.params.p_n + 1:
             if st.rng.random() < self._share_probability(len(racks), rho):
-                st.losses.append(
-                    DataLossEvent(time=now, pools=tuple(sorted(concurrent)))
-                )
+                loss = DataLossEvent(time=now, pools=tuple(sorted(concurrent)))
+                st.losses.append(loss)
+                if st.recorder is not None:
+                    st.recorder.event(
+                        now,
+                        "sim.data_loss",
+                        pools=list(loss.pools),
+                        racks=len(racks),
+                    )
 
     def _register_catastrophe(
         self,
@@ -343,21 +399,57 @@ class MLECSystemSimulator:
         rho = lost_stripes / self._stripes_per_pool
         rebuild = self._network_stage_bytes(lost_stripes)
         st.cross_rack_bytes += rebuild * (s.params.k_n + 1)
+        if st.recorder is not None:
+            st.recorder.event(
+                now,
+                "sim.catastrophe",
+                pool=pool_id,
+                method=self.method.name,
+                lost_stripes=lost_stripes,
+                rebuild_bytes=rebuild,
+                cross_rack_bytes=rebuild * (s.params.k_n + 1),
+                latent_induced=latent_induced,
+            )
         self._check_data_loss(st, now, pool_id, rho)
         rep = st.net_repairs.get(pool_id)
         if rep is None:
-            st.net_repairs[pool_id] = _NetRepair(
-                now + self.failures.detection_time, rebuild
-            )
+            ready_at = now + self.failures.detection_time
+            st.net_repairs[pool_id] = _NetRepair(ready_at, rebuild, started=now)
+            if st.recorder is not None:
+                st.recorder.event(
+                    now,
+                    "sim.net_repair_start",
+                    pool=pool_id,
+                    bytes=rebuild,
+                    ready_at=ready_at,
+                )
         else:
             # Window extension (not accumulation): matches the previous
             # "max(old window end, new window end)" semantics.
             rep.remaining = max(rep.remaining, rebuild)
+            rep.total = max(rep.total, rebuild)
+            if st.recorder is not None:
+                st.recorder.event(
+                    now, "sim.net_repair_extend", pool=pool_id, bytes=rebuild
+                )
 
     # ------------------------------------------------------------------
     # Event handlers
     # ------------------------------------------------------------------
     def _on_disk_failure(
+        self, st: _RunState, event: Event, queue: EventQueue, mission_time: float
+    ) -> None:
+        timers = self.timers
+        if not timers.enabled:
+            self._on_disk_failure_impl(st, event, queue, mission_time)
+            return
+        start = time.perf_counter()
+        try:
+            self._on_disk_failure_impl(st, event, queue, mission_time)
+        finally:
+            timers.add("sim.on_disk_failure", time.perf_counter() - start)
+
+    def _on_disk_failure_impl(
         self, st: _RunState, event: Event, queue: EventQueue, mission_time: float
     ) -> None:
         s = self.scheme
@@ -368,6 +460,15 @@ class MLECSystemSimulator:
         pool_id = self._pool_of_disk(disk)
         state = st.pools.setdefault(pool_id, _PoolState(p_l))
         latent = st.latent.get(pool_id, 0)
+        if st.recorder is not None:
+            st.recorder.event(
+                now,
+                "sim.disk_failure",
+                pool=pool_id,
+                disk=int(disk),
+                pool_failed=min(state.failed + 1, p_l),
+                degraded=st.net_factor < 1.0 or st.local_factor < 1.0,
+            )
 
         # Catastrophe test: does the new failure hit outstanding
         # damage-p_l stripes (or, with latent sector errors present, push
@@ -456,6 +557,14 @@ class MLECSystemSimulator:
         if latent:
             st.n_latent_detected += latent
             st.scrub_repair_bytes += latent * s.dc.chunk_size_bytes
+        if st.recorder is not None:
+            st.recorder.event(
+                event.time,
+                "sim.repair_complete",
+                pool=pool_id,
+                failed=state.failed,
+                latent_detected=latent,
+            )
         if state.is_idle():
             st.pools.pop(pool_id, None)
 
@@ -476,6 +585,13 @@ class MLECSystemSimulator:
             state.offline += count
             if before <= p_l < state.failed + state.offline:
                 st.n_unavail += 1
+        if st.recorder is not None:
+            st.recorder.event(
+                now,
+                "sim.transient_offline",
+                disks=len(event.payload),
+                pools=len(by_pool),
+            )
 
     def _on_transient_online(self, st: _RunState, event: Event) -> None:
         now = event.time
@@ -494,23 +610,39 @@ class MLECSystemSimulator:
             state = st.pools.get(pool_id)
             if state is not None and state.is_idle():
                 st.pools.pop(pool_id, None)
+        if st.recorder is not None:
+            st.recorder.event(
+                now, "sim.transient_online", disks=len(event.payload)
+            )
 
     def _on_sector_error(self, st: _RunState, event: Event) -> None:
         disk, chunks = event.payload
         pool_id = self._pool_of_disk(disk)
         st.latent[pool_id] = st.latent.get(pool_id, 0) + chunks
         st.n_sector_errors += chunks
+        if st.recorder is not None:
+            st.recorder.event(
+                event.time,
+                "sim.sector_error",
+                pool=pool_id,
+                disk=int(disk),
+                chunks=int(chunks),
+            )
 
     def _on_scrub(self, st: _RunState, event: Event) -> None:
-        del event
         st.n_scrubs += 1
-        if not st.latent:
-            return
-        chunk = self.scheme.dc.chunk_size_bytes
-        for chunks in st.latent.values():
-            st.n_latent_detected += chunks
-            st.scrub_repair_bytes += chunks * chunk
-        st.latent.clear()
+        cleared = 0
+        if st.latent:
+            chunk = self.scheme.dc.chunk_size_bytes
+            for chunks in st.latent.values():
+                st.n_latent_detected += chunks
+                st.scrub_repair_bytes += chunks * chunk
+                cleared += chunks
+            st.latent.clear()
+        if st.recorder is not None:
+            st.recorder.event(
+                event.time, "sim.scrub", latent_detected=int(cleared)
+            )
 
     def _on_bandwidth_change(self, st: _RunState, event: Event) -> None:
         net_factor, local_factor = event.payload
@@ -522,11 +654,21 @@ class MLECSystemSimulator:
         # Bank progress at the old rate, then re-plan every in-flight
         # network repair against the new one.
         self._advance_net_repairs(st, event.time)
+        replanned = 0
         if st.net_repairs and net_factor != st.net_factor:
-            st.n_repair_replans += len(st.net_repairs)
+            replanned = len(st.net_repairs)
+            st.n_repair_replans += replanned
         st.net_factor = net_factor
         st.local_factor = local_factor
         st.n_bandwidth_changes += 1
+        if st.recorder is not None:
+            st.recorder.event(
+                event.time,
+                "sim.bandwidth_change",
+                net_factor=float(net_factor),
+                local_factor=float(local_factor),
+                replanned=replanned,
+            )
 
     # ------------------------------------------------------------------
     def run(
@@ -534,6 +676,8 @@ class MLECSystemSimulator:
         mission_time: float = YEAR,
         seed: int = 0,
         observer: SimObserver | None = None,
+        recorder: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> SystemSimResult:
         """Run the system for ``mission_time`` seconds.
 
@@ -541,6 +685,12 @@ class MLECSystemSimulator:
         after every processed event (including END_OF_MISSION) -- the hook
         the chaos campaign uses to enforce simulator invariants.  Observers
         must treat the state as read-only.
+
+        ``recorder`` collects typed trace records (``sim.disk_failure``,
+        ``sim.catastrophe``, ``sim.net_repair_start``/``_complete``,
+        ``sim.data_loss``, ...) and ``metrics`` accumulates run counters
+        and the network-repair-time histogram; both are deterministic
+        functions of (scheme, seed, mission_time).
         """
         if math.isnan(mission_time) or not mission_time > 0:
             raise ValueError(
@@ -572,7 +722,7 @@ class MLECSystemSimulator:
                 if t <= mission_time:
                     queue.push(t, EventType.DISK_FAILURE, disk)
 
-        st = _RunState(rng)
+        st = _RunState(rng, recorder=recorder, metrics=metrics)
         while True:
             event = queue.pop()
             if event is None or event.kind is EventType.END_OF_MISSION:
@@ -604,6 +754,30 @@ class MLECSystemSimulator:
                 raise ValueError(f"simulator cannot handle event kind {kind}")
             if observer is not None:
                 observer(event, st)
+
+        if recorder is not None:
+            recorder.event(
+                mission_time,
+                "sim.mission_end",
+                disk_failures=st.n_failures,
+                catastrophic_events=st.n_catastrophic,
+                data_loss_events=len(st.losses),
+                cross_rack_bytes=st.cross_rack_bytes,
+                local_bytes=st.local_bytes,
+                max_concurrent_catastrophic=st.max_concurrent,
+            )
+        if metrics is not None:
+            metrics.counter("sim.trials").inc()
+            metrics.counter("sim.disk_failures").inc(st.n_failures)
+            metrics.counter("sim.catastrophic_events").inc(st.n_catastrophic)
+            metrics.counter("sim.data_loss_events").inc(len(st.losses))
+            metrics.counter("sim.cross_rack_repair_bytes").inc(st.cross_rack_bytes)
+            metrics.counter("sim.local_repair_bytes").inc(st.local_bytes)
+            metrics.counter("sim.transient_outages").inc(st.n_transient_outages)
+            metrics.counter("sim.sector_errors").inc(st.n_sector_errors)
+            metrics.counter("sim.scrubs").inc(st.n_scrubs)
+            metrics.counter("sim.bandwidth_changes").inc(st.n_bandwidth_changes)
+            metrics.counter("sim.net_repair_seconds").inc(st.net_repair_seconds)
 
         return SystemSimResult(
             mission_time=mission_time,

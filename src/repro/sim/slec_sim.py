@@ -30,6 +30,7 @@ from ..core.arrays import AnyArray
 from ..core.config import BandwidthConfig, FailureConfig, YEAR
 from ..core.scheme import LRCScheme, SLECScheme
 from ..core.types import Level, Placement
+from ..obs import MetricsRegistry, TraceRecorder
 from .events import EventQueue, EventType
 from .failures import ExponentialFailures, FailureModel
 
@@ -147,8 +148,19 @@ class SLECSystemSimulator:
         return self.stripes_per_pool * frac
 
     # ------------------------------------------------------------------
-    def run(self, mission_time: float = YEAR, seed: int = 0) -> SingleLevelSimResult:
-        """Simulate the deployment for ``mission_time`` seconds."""
+    def run(
+        self,
+        mission_time: float = YEAR,
+        seed: int = 0,
+        recorder: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> SingleLevelSimResult:
+        """Simulate the deployment for ``mission_time`` seconds.
+
+        ``recorder`` collects ``slec.disk_failure`` / ``slec.data_loss`` /
+        ``slec.mission_end`` trace records; ``metrics`` accumulates run
+        counters.  Both are deterministic functions of the seed.
+        """
         dc = self.scheme.dc
         rng = np.random.default_rng(seed)
         queue = EventQueue()
@@ -200,11 +212,13 @@ class SLECSystemSimulator:
                 n_failures += 1
                 disk = event.payload
                 pool = self._pool_of_disk(disk)
+                lost_here = False
 
                 if self.clustered:
                     current = counts.get(pool, 0)
                     if current >= t_cap:
                         losses += 1
+                        lost_here = True
                         first_loss = first_loss if first_loss is not None else now
                     else:
                         counts[pool] = current + 1
@@ -216,6 +230,7 @@ class SLECSystemSimulator:
                         )
                         if rng.random() < min(1.0, hits) * fatal_fraction:
                             losses += 1
+                            lost_here = True
                             first_loss = (
                                 first_loss if first_loss is not None else now
                             )
@@ -233,6 +248,16 @@ class SLECSystemSimulator:
                 else:
                     intra_bytes += moved
                 queue.push(now + repair_latency, EventType.REPAIR_COMPLETE, pool)
+                if recorder is not None:
+                    recorder.event(
+                        now,
+                        "slec.disk_failure",
+                        pool=pool,
+                        disk=int(disk),
+                        cross_rack=self.cross_rack,
+                    )
+                    if lost_here:
+                        recorder.event(now, "slec.data_loss", pool=pool)
                 t = self.failure_model.time_to_failure(rng, disk, now)
                 if t <= mission_time:
                     queue.push(t, EventType.DISK_FAILURE, disk)
@@ -256,6 +281,22 @@ class SLECSystemSimulator:
                                 break
                         if not w.any():
                             work.pop(pool, None)
+
+        if recorder is not None:
+            recorder.event(
+                mission_time,
+                "slec.mission_end",
+                disk_failures=n_failures,
+                data_loss_events=losses,
+                cross_rack_bytes=cross_bytes,
+                intra_rack_bytes=intra_bytes,
+            )
+        if metrics is not None:
+            metrics.counter("slec.trials").inc()
+            metrics.counter("slec.disk_failures").inc(n_failures)
+            metrics.counter("slec.data_loss_events").inc(losses)
+            metrics.counter("slec.cross_rack_repair_bytes").inc(cross_bytes)
+            metrics.counter("slec.intra_rack_repair_bytes").inc(intra_bytes)
 
         return SingleLevelSimResult(
             mission_time=mission_time,

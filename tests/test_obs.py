@@ -1,0 +1,345 @@
+"""repro.obs: metrics semantics, trace schema round-trips, timers,
+stopwatch formatting, trace reports, and the CLI observability surface."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main as mlec_main
+from repro.obs import (
+    DISABLED_TIMERS,
+    TRACE_SCHEMA_VERSION,
+    MetricsRegistry,
+    Stopwatch,
+    Timers,
+    TraceRecorder,
+    read_jsonl,
+    summarize_trace,
+    validate_record,
+    write_jsonl,
+)
+
+
+# ----------------------------------------------------------------- metrics
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.disk_failures").inc()
+        reg.counter("sim.disk_failures").inc(2.5)
+        assert reg.snapshot()["counters"]["sim.disk_failures"] == 3.5
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            reg.counter("sim.disk_failures").inc(-1.0)
+
+    def test_gauge_keeps_last_written(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("sim.active_repairs")
+        gauge.set(3)
+        gauge.set(1)
+        assert reg.snapshot()["gauges"]["sim.active_repairs"] == 1.0
+        assert gauge.updates == 2
+
+    def test_histogram_buckets_and_overflow(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("sim.net_repair_hours", bounds=(1.0, 4.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1]  # bound is an inclusive upper edge
+        assert hist.count == 4
+        assert hist.total == pytest.approx(104.5)
+
+    def test_histogram_requires_bounds_on_first_use(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="pass bounds"):
+            reg.histogram("sim.net_repair_hours")
+
+    def test_histogram_bounds_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            reg.histogram("sim.net_repair_hours", bounds=(4.0, 1.0))
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("sim.net_repair_hours", bounds=(1.0, 4.0))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("sim.net_repair_hours", bounds=(2.0, 8.0))
+
+    def test_cross_type_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.disk_failures")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            reg.gauge("sim.disk_failures")
+
+    @pytest.mark.parametrize(
+        "name", ["DiskFailures", "sim", "sim.", "sim..x", "sim.X", "1.two"]
+    )
+    def test_name_convention_enforced(self, name):
+        with pytest.raises(ValueError, match="bad metric name"):
+            MetricsRegistry().counter(name)
+
+    def test_merge_sums_counters_and_histograms(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("sim.trials").inc(2)
+        right.counter("sim.trials").inc(3)
+        left.histogram("sim.net_repair_hours", bounds=(1.0,)).observe(0.5)
+        right.histogram("sim.net_repair_hours", bounds=(1.0,)).observe(9.0)
+        left.merge(right)
+        snap = left.snapshot()
+        assert snap["counters"]["sim.trials"] == 5.0
+        assert snap["histograms"]["sim.net_repair_hours"]["counts"] == [1, 1]
+
+    def test_merge_gauge_takes_later_write_only_if_written(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.gauge("sim.active_repairs").set(7)
+        right.gauge("sim.active_repairs")  # registered, never written
+        left.merge(right)
+        assert left.snapshot()["gauges"]["sim.active_repairs"] == 7.0
+        written = MetricsRegistry()
+        written.gauge("sim.active_repairs").set(2)
+        left.merge(written)
+        assert left.snapshot()["gauges"]["sim.active_repairs"] == 2.0
+
+    def test_merge_order_reproduces_single_registry(self):
+        """Chunked accumulation folded in trial order == one registry."""
+        single = MetricsRegistry()
+        chunks = [MetricsRegistry() for _ in range(3)]
+        for trial, reg in enumerate(chunks):
+            for target in (single, reg):
+                target.counter("sim.trials").inc()
+                target.gauge("sim.last_trial").set(trial)
+                target.histogram(
+                    "sim.net_repair_hours", bounds=(1.0, 4.0)
+                ).observe(float(trial))
+        merged = MetricsRegistry()
+        for reg in chunks:
+            merged.merge(reg)
+        assert merged.snapshot() == single.snapshot()
+
+    def test_snapshot_json_serializable_and_sorted(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("z.last").inc()
+        reg.counter("a.first").inc()
+        out = tmp_path / "metrics.json"
+        reg.write_json(out)
+        loaded = json.loads(out.read_text())
+        assert list(loaded["counters"]) == ["a.first", "z.last"]
+
+    def test_empty_registry_is_falsy(self):
+        reg = MetricsRegistry()
+        assert not reg
+        reg.counter("sim.trials")
+        assert reg
+
+
+# ------------------------------------------------------------------- trace
+class TestTraceRecorder:
+    def test_event_builds_schema_valid_records(self):
+        rec = TraceRecorder(trial=4)
+        rec.event(12.5, "sim.disk_failure", pool=3, disk=7, degraded=False)
+        assert len(rec) == 1
+        record = validate_record(rec.records[0])
+        assert record["v"] == TRACE_SCHEMA_VERSION
+        assert record["trial"] == 4
+        assert record["pool"] == 3
+        assert record["data"] == {"disk": 7, "degraded": False}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        rec = TraceRecorder(trial=0)
+        rec.event(0.0, "sim.disk_failure", pool=1)
+        rec.event(60.0, "repair.plan", method="R_MIN", stripes=128)
+        path = tmp_path / "trace.jsonl"
+        rec.write_jsonl(path)
+        assert read_jsonl(path) == rec.records
+
+    def test_extend_preserves_order(self):
+        parent = TraceRecorder()
+        child = TraceRecorder(trial=1)
+        child.event(1.0, "sim.disk_failure")
+        child.event(2.0, "sim.repair_complete")
+        parent.extend(child.records)
+        assert [r["ts"] for r in parent.records] == [1.0, 2.0]
+
+    @pytest.mark.parametrize(
+        ("mutate", "message"),
+        [
+            (lambda r: r.pop("pool"), "keys must be"),
+            (lambda r: r.update(v=99), "schema version"),
+            (lambda r: r.update(ts=-1.0), "non-negative"),
+            (lambda r: r.update(kind="nodot"), "dotted string"),
+            (lambda r: r.update(trial=True), "int or null"),
+            (lambda r: r.update(data={"nested": {"x": 1}}), "JSON primitive"),
+        ],
+    )
+    def test_validate_record_rejects(self, mutate, message):
+        rec = TraceRecorder(trial=0)
+        rec.event(1.0, "sim.disk_failure", pool=2)
+        record = rec.records[0]
+        mutate(record)
+        with pytest.raises(ValueError, match=message):
+            validate_record(record)
+
+    def test_read_jsonl_reports_offending_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rec = TraceRecorder(trial=0)
+        rec.event(1.0, "sim.disk_failure")
+        path.write_text(
+            json.dumps(rec.records[0], separators=(",", ":"))
+            + "\n{not json}\n"
+        )
+        with pytest.raises(ValueError, match=r":2: not valid JSON"):
+            read_jsonl(path)
+
+    def test_write_jsonl_bytes_are_deterministic(self, tmp_path):
+        rec = TraceRecorder(trial=2)
+        rec.event(3.5, "sim.scrub", pool=0, latent_detected=4)
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_jsonl(a, rec.records)
+        write_jsonl(b, [dict(r) for r in rec.records])
+        assert a.read_bytes() == b.read_bytes()
+
+
+# ------------------------------------------------------------------ timing
+class TestTimers:
+    def test_section_accumulates_when_enabled(self):
+        timers = Timers()
+        with timers.section("sim.event_loop"):
+            pass
+        with timers.section("sim.event_loop"):
+            pass
+        snap = timers.snapshot()
+        assert snap["sim.event_loop"]["calls"] == 2.0
+        assert snap["sim.event_loop"]["seconds"] >= 0.0
+
+    def test_disabled_timer_records_nothing(self):
+        timers = Timers(enabled=False)
+        with timers.section("sim.event_loop"):
+            pass
+        assert timers.snapshot() == {}
+        assert not DISABLED_TIMERS.enabled
+        assert DISABLED_TIMERS.snapshot() == {}
+
+    def test_enabled_but_empty_is_falsy(self):
+        """`timers or DISABLED_TIMERS` would drop a live sink; instances
+        must be compared against None instead (the simulator does)."""
+        timers = Timers()
+        assert not timers
+        timers.add("sim.event_loop", 0.1)
+        assert timers
+
+    def test_merge_sums_calls_and_seconds(self):
+        left, right = Timers(), Timers()
+        left.add("sim.event_loop", 1.0)
+        right.add("sim.event_loop", 2.0)
+        right.add("sim.repairs", 0.5)
+        left.merge(right)
+        snap = left.snapshot()
+        assert snap["sim.event_loop"] == {"calls": 2.0, "seconds": 3.0}
+        assert snap["sim.repairs"] == {"calls": 1.0, "seconds": 0.5}
+
+
+class TestStopwatch:
+    def test_stop_is_idempotent(self):
+        watch = Stopwatch()
+        first = watch.stop()
+        assert watch.stop() == first
+        assert watch.seconds == first
+
+    def test_summary_formats(self):
+        watch = Stopwatch()
+        watch.stop()
+        assert re.fullmatch(r"\d+\.\d\d s", watch.summary())
+        assert re.fullmatch(
+            r"\d+\.\d\d s \(\d+\.\d trials/s\)", watch.summary(100)
+        )
+        assert "scenarios/s" in watch.summary(5, unit="scenarios")
+
+
+# ------------------------------------------------------------------ report
+class TestSummarizeTrace:
+    @staticmethod
+    def _sample_records():
+        rec = TraceRecorder(trial=0)
+        rec.event(0.0, "sim.disk_failure", pool=3, disk=17)
+        rec.event(
+            7200.0, "sim.net_repair_complete",
+            pool=3, bytes=20e12, seconds=7200.0, degraded=True,
+        )
+        rec.event(
+            100.0, "sim.catastrophe",
+            pool=3, method="R_MIN", cross_rack_bytes=2e12,
+        )
+        rec.event(8000.0, "sim.data_loss", pools=[3, 5], racks=2)
+        rec.event(9000.0, "slec.data_loss", pool=5)
+        return rec.records
+
+    def test_sections_present(self):
+        text = summarize_trace(self._sample_records())
+        assert "trace summary: 5 records from 1 trial(s)" in text
+        assert "sim.net_repair_complete" in text
+        assert "1 repairs, mean 2.0 h, 1 finished degraded" in text
+        assert "data loss attribution (2 loss events)" in text
+        assert "cross-rack repair traffic: 2.000 TB" in text
+
+    def test_pool_attribution_counts_both_layers(self):
+        text = summarize_trace(self._sample_records())
+        # pool 5 is named by both the MLEC list and the SLEC record
+        pool_rows = [
+            line for line in text.splitlines()
+            if re.match(r"^5\s+2$", line.strip())
+        ]
+        assert pool_rows
+
+    def test_empty_trace_reports_no_losses(self):
+        text = summarize_trace([])
+        assert "trace summary: 0 records" in text
+        assert "no loss events recorded" in text
+
+
+# --------------------------------------------------------------------- CLI
+class TestCliObservability:
+    def test_simulate_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert mlec_main([
+            "simulate", "C/C", "--months", "1", "--trials", "2",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "elapsed" in out
+        assert re.search(r"\d+\.\d\d s \(\d+\.\d trials/s\)", out)
+        records = read_jsonl(trace)  # validates every record
+        assert records
+        assert {r["trial"] for r in records} == {0, 1}
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["sim.trials"] == 2.0
+
+    def test_trace_report_subcommand(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        write_jsonl(trace, TestSummarizeTrace._sample_records())
+        assert mlec_main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary: 5 records" in out
+        assert "data loss attribution" in out
+
+    def test_trace_bytes_identical_across_worker_counts(self, tmp_path):
+        outputs = {}
+        for workers in (1, 4):
+            trace = tmp_path / f"trace_w{workers}.jsonl"
+            metrics = tmp_path / f"metrics_w{workers}.json"
+            assert mlec_main([
+                "simulate", "C/C", "--months", "1", "--trials", "4",
+                "--workers", str(workers), "--seed", "7",
+                "--trace", str(trace), "--metrics", str(metrics),
+            ]) == 0
+            outputs[workers] = (trace.read_bytes(), metrics.read_bytes())
+        assert outputs[1] == outputs[4]
+
+    def test_burst_exact_rejects_trace(self, tmp_path, capsys):
+        assert mlec_main([
+            "burst", "C/C", "-y", "2", "-x", "1", "--exact",
+            "--trace", str(tmp_path / "t.jsonl"),
+        ]) == 2
+        assert "drop --exact" in capsys.readouterr().err

@@ -7,6 +7,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.obs import MetricsRegistry, TraceRecorder
 from repro.runtime import (
     TrialAggregate,
     TrialExecutionError,
@@ -45,6 +46,18 @@ def _crashing_trial(ctx):
 def _sleeping_trial(ctx):
     time.sleep(30.0)
     return 0.0
+
+
+def _telemetry_trial(ctx):
+    value = float(ctx.rng().uniform())
+    if ctx.metrics is not None:
+        hist = ctx.metrics.histogram("runtime.values", bounds=(0.25, 0.5, 0.75))
+        ctx.metrics.counter("runtime.trials").inc()
+        ctx.metrics.gauge("runtime.last_value").set(value)
+        hist.observe(value)
+    if ctx.trace is not None:
+        ctx.trace.event(float(ctx.index), "runtime.trial", value=value)
+    return value
 
 
 class TestDeterminism:
@@ -178,3 +191,57 @@ class TestFallback:
         monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _forbidden)
         agg = TrialRunner(workers=8, chunk_size=100).run(_index_trial, 10, seed=0)
         assert agg.trials == 10
+
+
+class TestTelemetry:
+    """Metrics/trace collection inherits the any-worker-count contract."""
+
+    def test_metrics_and_trace_identical_across_worker_counts(self):
+        collected = {}
+        for workers in (1, 4):
+            metrics = MetricsRegistry()
+            trace = TraceRecorder()
+            TrialRunner(workers=workers, chunk_size=3).map(
+                _telemetry_trial, 20, seed=5, metrics=metrics, trace=trace
+            )
+            collected[workers] = (metrics.snapshot(), trace.records)
+        assert collected[1] == collected[4]
+        snapshot, records = collected[1]
+        assert snapshot["counters"]["runtime.trials"] == 20.0
+        assert snapshot["histograms"]["runtime.values"]["count"] == 20
+        assert [r["trial"] for r in records] == list(range(20))
+
+    def test_gauge_merge_keeps_final_trial_value(self):
+        """The merged gauge must equal trial 19's value, not a chunk's."""
+        for workers in (1, 4):
+            metrics = MetricsRegistry()
+            values = TrialRunner(workers=workers, chunk_size=3).map(
+                _telemetry_trial, 20, seed=5, metrics=metrics
+            )
+            merged = metrics.snapshot()["gauges"]["runtime.last_value"]
+            assert merged == values[-1]
+
+    def test_run_collects_telemetry_too(self):
+        metrics = MetricsRegistry()
+        agg = TrialRunner(workers=2, chunk_size=4).run(
+            _telemetry_trial, 10, seed=1, metrics=metrics
+        )
+        assert agg.trials == 10
+        assert metrics.snapshot()["counters"]["runtime.trials"] == 10.0
+
+    def test_trial_sees_no_sinks_unless_requested(self):
+        values = TrialRunner(workers=1).map(_telemetry_trial, 3, seed=0)
+        assert len(values) == 3  # ctx.metrics / ctx.trace stayed None
+
+    def test_last_telemetry_populated(self):
+        runner = TrialRunner(workers=2, chunk_size=4)
+        assert runner.last_telemetry is None
+        runner.run(_normal_trial, 10, seed=0)
+        telemetry = runner.last_telemetry
+        assert telemetry is not None
+        assert telemetry.trials == 10
+        assert telemetry.chunks == 3
+        assert telemetry.workers == 2
+        assert telemetry.wall_seconds > 0.0
+        assert telemetry.worker_seconds > 0.0
+        assert telemetry.trials_per_second > 0.0

@@ -27,10 +27,10 @@ def rule_ids(findings):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         Linter()  # triggers rule-module import
         assert set(RULE_REGISTRY) == {
-            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006",
+            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
         }
 
     def test_rules_carry_title_and_rationale(self):
@@ -416,6 +416,58 @@ class TestSL006PoolPicklability:
         assert findings == []
 
 
+class TestSL007NoPrintInLibrary:
+    def test_print_in_library_module_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def advance(state):
+                print("advancing", state)
+                return state
+        """, rules={"SL007"}, relpath="src/repro/sim/mod.py")
+        assert rule_ids(findings) == ["SL007"]
+        assert findings[0].line == 3
+
+    def test_cli_module_exempt(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def cmd_simulate(args):
+                print("pdl", 1e-9)
+        """, rules={"SL007"}, relpath="src/repro/cli.py")
+        assert findings == []
+
+    def test_reporting_module_exempt(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def show(table):
+                print(table)
+        """, rules={"SL007"}, relpath="src/repro/reporting.py")
+        assert findings == []
+
+    def test_devtools_tree_exempt(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def report(findings):
+                print(findings)
+        """, rules={"SL007"}, relpath="src/repro/devtools/simlint/x.py")
+        assert findings == []
+
+    def test_non_repro_path_out_of_scope(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            print("scratch")
+        """, rules={"SL007"})
+        assert findings == []
+
+    def test_shadowed_print_method_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def render(doc):
+                return doc.print()
+        """, rules={"SL007"}, relpath="src/repro/sim/mod.py")
+        assert findings == []
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def debug(state):
+                print(state)  # simlint: disable=SL007
+        """, rules={"SL007"}, relpath="src/repro/sim/mod.py")
+        assert findings == []
+
+
 class TestDriver:
     def test_findings_sorted_and_formatted(self, tmp_path):
         findings = lint_source(tmp_path, """
@@ -492,7 +544,9 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert simlint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006"):
+        for rule_id in (
+            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
+        ):
             assert rule_id in out
 
     def test_rules_filter(self, tmp_path, capsys):
