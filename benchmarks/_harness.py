@@ -32,6 +32,7 @@ import subprocess
 import time
 from pathlib import Path
 
+from repro.core.atomic import atomic_write_text
 from repro.obs import MetricsRegistry
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -43,7 +44,7 @@ ROOT_DIR = Path(__file__).parent.parent
 def emit(name: str, text: str) -> None:
     """Print a regenerated table/figure and persist it under results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
     print(f"\n{text}")
 
 
@@ -103,7 +104,9 @@ def emit_bench(
         record["metrics"] = metrics.snapshot()
     payload = json.dumps(record, indent=2) + "\n"
     for directory in (RESULTS_DIR, ROOT_DIR):
-        (directory / f"BENCH_{name}.json").write_text(payload)
+        # Atomic so a benchmark killed mid-write never leaves a truncated
+        # telemetry record for the CI perf trajectory to trip over.
+        atomic_write_text(directory / f"BENCH_{name}.json", payload)
 
 
 def once(

@@ -130,7 +130,10 @@ def stage1_pool_rate(
 
     The ``pool_years_each`` independent pool-years per accelerated AFR are
     Monte Carlo trials; ``runner`` fans them out over worker processes with
-    results identical to the serial sweep for any worker count.
+    results identical to the serial sweep for any worker count.  A
+    :class:`~repro.runtime.ResilientRunner` checkpoints each accelerated
+    AFR as its own sweep ordinal, so a resumed stage-1 campaign skips
+    every already-journaled pool-year chunk.
     """
     bw = bw if bw is not None else BandwidthConfig()
     failures = failures if failures is not None else FailureConfig()

@@ -14,6 +14,12 @@ Code parameters are written ``kn+pn/kl+pl`` (MLEC).  All other knobs
 default to the paper's §3 setup.  The Monte-Carlo subcommands (``burst``,
 ``simulate``, ``chaos``) accept ``--workers N`` to fan trials out over a
 process pool; results are bitwise identical for any worker count.
+
+Long campaigns are fault-tolerant: failed or crashed trial chunks are
+retried (``--max-retries``), ``--checkpoint FILE`` journals completed
+chunks so an interrupted sweep can be continued with
+``mlec-sim resume FILE`` -- the resumed run re-executes the original
+command and produces bitwise-identical results and artifacts.
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ from .core.types import RepairMethod
 from .obs import MetricsRegistry, Stopwatch, TraceRecorder
 
 if TYPE_CHECKING:
-    from .runtime import TrialContext
+    from .runtime import TrialContext, TrialRunner
     from .sim.simulator import SystemSimResult
 
 __all__ = ["main", "parse_mlec_code"]
@@ -73,6 +79,64 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
         help="worker processes for Monte-Carlo trials (default 1; results "
              "are identical for any worker count)",
     )
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="journal completed trial chunks to FILE (JSONL) so an "
+             "interrupted sweep can be continued with `mlec-sim resume`",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue from an existing --checkpoint journal instead of "
+             "refusing to overwrite it",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="times a failed/crashed trial chunk is retried before the "
+             "sweep is abandoned (default 2; 0 disables retries)",
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-chunk watchdog: a dispatched chunk exceeding this is "
+             "killed and retried (pool mode, i.e. --workers > 1)",
+    )
+
+
+def _make_runner(args: argparse.Namespace) -> TrialRunner:
+    """Build the trial runner for a Monte-Carlo subcommand.
+
+    Always a :class:`~repro.runtime.ResilientRunner` -- retry and salvage
+    are on by default (``--max-retries 0`` disables retries); chunk
+    journaling engages only when ``--checkpoint`` is given.  Results stay
+    bitwise identical to a plain runner for any worker count.
+    """
+    from .runtime import ResilientRunner, RetryPolicy
+
+    if args.max_retries < 0:
+        raise ValueError(f"--max-retries must be >= 0, got {args.max_retries}")
+    return ResilientRunner(
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        policy=RetryPolicy(max_attempts=args.max_retries + 1),
+        chunk_timeout=args.chunk_timeout,
+        argv=getattr(args, "_argv", None),
+    )
+
+
+def _report_recovery(runner: TrialRunner) -> None:
+    """Close the journal and surface recovery facts (stderr, not stdout:
+    stdout stays byte-identical between interrupted and clean runs)."""
+    from .runtime import ResilientRunner
+
+    if not isinstance(runner, ResilientRunner):
+        return
+    runner.close()
+    counters = runner.ops_metrics.snapshot()["counters"]
+    if any(isinstance(v, (int, float)) and v for v in counters.values()):
+        print(runner.recovery_summary(), file=sys.stderr)
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -138,22 +202,28 @@ def cmd_burst(args: argparse.Namespace) -> int:
                 "--trace/--metrics need Monte-Carlo trials; "
                 "drop --exact to collect telemetry"
             )
+        if args.checkpoint or args.resume:
+            raise ValueError(
+                "--checkpoint/--resume need Monte-Carlo trials; "
+                "drop --exact to checkpoint a sweep"
+            )
         from .analysis.burst_dp import mlec_burst_pdl
 
         pdl = mlec_burst_pdl(scheme, args.failures, args.racks)
         kind = "exact DP (worst-case declustering)"
         detail = ""
     else:
-        from .runtime import TrialRunner
         from .sim.burst import MLECBurstEvaluator, burst_pdl_stats
 
         trace, metrics = _make_obs(args)
+        runner = _make_runner(args)
         stats = burst_pdl_stats(
             MLECBurstEvaluator(scheme), args.failures, args.racks,
             trials=args.trials, seed=args.seed,
-            runner=TrialRunner(workers=args.workers),
+            runner=runner,
             metrics=metrics, trace=trace,
         )
+        _report_recovery(runner)
         _write_obs(args, trace, metrics)
         pdl = stats.mean
         kind = f"Monte-Carlo ({args.trials} trials)"
@@ -239,8 +309,6 @@ def _simulate_trial(
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    from .runtime import TrialRunner
-
     scheme = _scheme_from(args)
     method = RepairMethod(args.method)
     mission_time = args.months / 12 * YEAR
@@ -250,7 +318,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"got {mission_time!r} ({args.months!r} months)"
         )
     trace, metrics = _make_obs(args)
-    runner = TrialRunner(workers=args.workers)
+    runner = _make_runner(args)
     watch = Stopwatch()
     results = runner.map(
         _simulate_trial, args.trials, seed=args.seed,
@@ -258,6 +326,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         metrics=metrics, trace=trace,
     )
     watch.stop()
+    _report_recovery(runner)
     _write_obs(args, trace, metrics)
     if args.trials == 1:
         result = results[0]
@@ -338,19 +407,56 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 f"available: {sorted(by_name)}"
             )
         scenarios = tuple(by_name[n] for n in args.scenario)
+    runner = _make_runner(args)
     campaign = ChaosCampaign(
         schemes=schemes, params=args.code, trials=args.trials,
-        scenarios=scenarios, workers=args.workers,
+        scenarios=scenarios, workers=args.workers, runner=runner,
     )
     trace, metrics = _make_obs(args)
     watch = Stopwatch()
     report = campaign.run(seed=args.seed, trace=trace, metrics=metrics)
     watch.stop()
+    _report_recovery(runner)
     _write_obs(args, trace, metrics)
     print(report.to_text())
     total_trials = len(report.scenarios) * len(report.schemes) * report.trials
     print(f"elapsed: {watch.summary(total_trials)}")
     return 1 if report.total_invariant_violations else 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Continue an interrupted sweep by replaying its recorded command.
+
+    The checkpoint's meta record stores the original ``mlec-sim`` argv;
+    replaying it (with ``--resume`` forced and the checkpoint path pinned
+    to the journal being resumed) reproduces the original stdout and
+    artifacts exactly, with already-journaled chunks salvaged instead of
+    re-run.
+    """
+    from .runtime import CheckpointError, read_checkpoint_argv
+
+    args.checkpoint = args.file  # so shared error handling can hint at it
+    argv = read_checkpoint_argv(args.file)
+    if not argv or argv[0] == "resume":
+        raise CheckpointError(
+            f"{args.file} records the command {argv!r}, "
+            "which cannot be replayed"
+        )
+    new_args = build_parser().parse_args(argv)
+    if not hasattr(new_args, "checkpoint"):
+        raise CheckpointError(
+            f"{args.file} was written by `mlec-sim {argv[0]}`, "
+            "which does not support checkpoints"
+        )
+    new_args.resume = True
+    new_args.checkpoint = args.file
+    if args.workers is not None:
+        new_args.workers = args.workers
+    if args.max_retries is not None:
+        new_args.max_retries = args.max_retries
+    new_args._argv = argv
+    result: int = new_args.func(new_args)
+    return result
 
 
 def cmd_trace_report(args: argparse.Namespace) -> int:
@@ -393,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     _add_workers_arg(p)
+    _add_resilience_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_burst)
 
@@ -435,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent missions to simulate (seeds seed..seed+trials-1)",
     )
     _add_workers_arg(p)
+    _add_resilience_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_simulate)
 
@@ -457,8 +565,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
     _add_workers_arg(p)
+    _add_resilience_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "resume",
+        help="continue an interrupted Monte-Carlo sweep from its checkpoint",
+    )
+    p.add_argument("file", help="checkpoint journal written via --checkpoint")
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="override the worker count of the original command "
+             "(results are identical either way)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=None,
+        help="override the retry budget of the original command",
+    )
+    p.set_defaults(func=cmd_resume, checkpoint=None, resume=False)
 
     p = sub.add_parser(
         "trace-report",
@@ -487,6 +612,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run one subcommand under the shared error-handling policy.
+
+    Every subcommand -- burst, simulate, chaos, resume, and the rest --
+    maps failures to the same exit codes and stderr diagnostics:
+    ``TrialExecutionError``/``CheckpointError``/``ValueError``/``OSError``
+    exit 2 with a one-line message (plus salvage and resume hints when a
+    checkpoint is in play), Ctrl-C exits 130 with a resume hint.
+    """
+    from .runtime import CheckpointError, TrialExecutionError
+
+    def hint_resume() -> None:
+        checkpoint = getattr(args, "checkpoint", None)
+        if checkpoint:
+            print(
+                f"mlec-sim: continue with: mlec-sim resume {checkpoint}",
+                file=sys.stderr,
+            )
+
+    try:
+        result: int = args.func(args)
+        return result
+    except TrialExecutionError as exc:
+        first_line = str(exc).splitlines()[0] if str(exc) else "trial failed"
+        print(f"mlec-sim: error: {first_line}", file=sys.stderr)
+        if exc.completed_trials:
+            print(
+                f"mlec-sim: salvaged {exc.completed_trials} completed "
+                "trial(s) before the failure",
+                file=sys.stderr,
+            )
+        hint_resume()
+        return 2
+    except CheckpointError as exc:
+        print(f"mlec-sim: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("mlec-sim: interrupted", file=sys.stderr)
+        hint_resume()
+        return 130
+    except (ValueError, OSError) as exc:
+        print(f"mlec-sim: error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -494,18 +664,11 @@ def main(argv: list[str] | None = None) -> int:
     out-of-range fault domains) exit with code 2 and a one-line diagnostic
     on stderr instead of a traceback.
     """
-    from .runtime import TrialExecutionError
-
     args = build_parser().parse_args(argv)
-    try:
-        return args.func(args)
-    except TrialExecutionError as exc:
-        first_line = str(exc).splitlines()[0] if str(exc) else "trial failed"
-        print(f"mlec-sim: error: {first_line}", file=sys.stderr)
-        return 2
-    except (ValueError, OSError) as exc:
-        print(f"mlec-sim: error: {exc}", file=sys.stderr)
-        return 2
+    # Recorded into --checkpoint journals so `mlec-sim resume` can replay
+    # the exact command that produced them.
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
+    return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,49 @@
+"""Atomic result-file writes: write-temp-then-rename with fsync.
+
+Every results artifact this repository leaves on disk -- ``--trace``
+JSONL streams, ``--metrics`` snapshots, ``BENCH_<name>.json`` telemetry
+-- must survive the writer being killed at any instant: an interrupted
+run that leaves a truncated JSON file behind poisons every later
+consumer (resume paths, CI ``cmp`` gates, trace reports).  The fix is
+the classic WAL-adjacent recipe: write the full payload to a temporary
+sibling in the *same directory* (so the final rename never crosses a
+filesystem), flush and ``fsync`` it, then ``os.replace`` it over the
+target.  Readers observe either the old complete file or the new
+complete file, never a hybrid.
+
+simlint rule SL008 (``atomic-result-write``) enforces that library code
+routes ``*.json`` / ``*.jsonl`` results writes through this module.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (temp + fsync + rename).
+
+    The temporary file carries the writer's pid in its name, so two
+    concurrent writers cannot clobber each other's staging file; the
+    last ``os.replace`` wins, which is the usual last-writer-wins
+    semantics of a plain write, minus the torn-file failure mode.  On
+    any error the staging file is removed and the target is untouched.
+    """
+    target = Path(path)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -7,6 +7,6 @@ subclass decorated with ``@register_rule``, and import it below.
 
 from __future__ import annotations
 
-from . import events, floats, pickling, printing, rng, units
+from . import events, floats, pickling, printing, rng, units, writes
 
-__all__ = ["rng", "events", "floats", "units", "pickling", "printing"]
+__all__ = ["rng", "events", "floats", "units", "pickling", "printing", "writes"]

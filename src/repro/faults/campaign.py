@@ -360,7 +360,10 @@ class ChaosCampaign:
     workers / runner:
         Fan the flattened (scenario, scheme, trial) sweep out over a
         :class:`~repro.runtime.TrialRunner`; results are identical for any
-        worker count.
+        worker count.  A :class:`~repro.runtime.ResilientRunner` makes the
+        campaign checkpointable and crash-tolerant (the flattened sweep is
+        one journal sweep, so resume skips completed scenario/scheme/trial
+        chunks).
     """
 
     def __init__(

@@ -24,6 +24,8 @@ import json
 import re
 from pathlib import Path
 
+from repro.core.atomic import atomic_write_text
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
@@ -203,7 +205,8 @@ class MetricsRegistry:
         }
 
     def write_json(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.snapshot(), indent=2) + "\n")
+        """Write the snapshot atomically (temp + fsync + rename)."""
+        atomic_write_text(path, json.dumps(self.snapshot(), indent=2) + "\n")
 
     def __bool__(self) -> bool:
         return bool(self._counters or self._gauges or self._histograms)

@@ -27,6 +27,8 @@ from collections.abc import Iterable, Mapping
 from pathlib import Path
 from typing import Any
 
+from repro.core.atomic import atomic_write_text
+
 __all__ = [
     "TRACE_SCHEMA_VERSION",
     "TraceRecorder",
@@ -132,10 +134,18 @@ class TraceRecorder:
 
 
 def write_jsonl(path: str | Path, records: Iterable[Mapping[str, Any]]) -> None:
-    """Serialize records to JSONL with deterministic byte layout."""
-    with open(path, "w", encoding="utf-8") as fh:
-        for record in records:
-            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+    """Serialize records to JSONL with deterministic byte layout.
+
+    The write is atomic (temp + fsync + rename): an interrupted run
+    leaves either the previous complete file or the new one, never a
+    truncated trace that would poison ``read_jsonl``/CI comparisons.
+    """
+    atomic_write_text(
+        path,
+        "".join(
+            json.dumps(record, separators=(",", ":")) + "\n" for record in records
+        ),
+    )
 
 
 def read_jsonl(path: str | Path) -> list[dict[str, Any]]:

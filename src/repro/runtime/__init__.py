@@ -2,9 +2,19 @@
 
 The paper's evaluation is Monte Carlo end to end; this package provides
 the shared trial engine (:class:`TrialRunner`) that the burst grids,
-durability campaigns, and chaos sweeps all fan out through.
+durability campaigns, and chaos sweeps all fan out through, plus the
+fault-tolerant wrapper (:class:`ResilientRunner`) that journals chunk
+results to a resumable checkpoint and retries crashed workers under a
+deterministic :class:`RetryPolicy`.
 """
 
+from .resilience import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    ResilientRunner,
+    RetryPolicy,
+    read_checkpoint_argv,
+)
 from .runner import (
     RunTelemetry,
     TrialAggregate,
@@ -14,9 +24,14 @@ from .runner import (
 )
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "ResilientRunner",
+    "RetryPolicy",
     "RunTelemetry",
     "TrialAggregate",
     "TrialContext",
     "TrialExecutionError",
     "TrialRunner",
+    "read_checkpoint_argv",
 ]

@@ -1,0 +1,923 @@
+"""Fault-tolerant campaign execution: checkpoint/resume, retry, salvage.
+
+The headline figures of the paper come from Monte Carlo campaigns that
+run for hours at realistic trial counts, and the plain
+:class:`~repro.runtime.TrialRunner` is all-or-nothing: one OOM-killed
+worker, one flaky trial, or one Ctrl-C discards the whole sweep.  Real
+erasure-coded storage systems treat recovery-under-failure as the normal
+operating mode, and the harness that simulates them should too.  This
+module wraps the runner in exactly that machinery:
+
+* **Checkpointing.**  Completed chunk results are journaled to a
+  WAL-style JSONL file as they arrive (schema-versioned, one fsynced
+  record per line, following the :mod:`repro.obs.trace` serialization
+  conventions).  A crash at any instant leaves at worst one torn final
+  line, which recovery drops; every earlier chunk is durable.
+* **Retry with backoff.**  Failed or crashed chunks are retried under a
+  :class:`RetryPolicy` -- exponential backoff with *deterministic*
+  per-attempt jitter derived from the chunk index, never from a wall
+  clock or fresh RNG.  A ``BrokenProcessPool`` tears the executor down,
+  rebuilds it, and reschedules only the chunk ranges still missing;
+  completed chunks are never re-run.
+* **Salvage + resume.**  On unrecoverable failure the raised
+  :class:`~repro.runtime.TrialExecutionError` carries the partial
+  results, and ``mlec-sim resume <checkpoint>`` re-executes the original
+  command with the journal preloaded.  Because trial ``i`` always owns
+  the ``i``-th spawned ``SeedSequence`` and results are folded in chunk
+  order *after* execution, a resumed sweep is bitwise identical to an
+  uninterrupted one at any worker count.
+
+Recovery behavior is observable through the runner's *operational*
+telemetry (:attr:`ResilientRunner.ops_metrics` /
+:attr:`ResilientRunner.ops_trace`: ``runtime.chunk_retries``,
+``runtime.pool_rebuilds``, ``runtime.chunks_salvaged`` counters and
+``checkpoint.write`` / ``chunk.retry`` trace events).  Operational
+telemetry is deliberately kept out of the result ``metrics``/``trace``
+sinks: those must stay bitwise identical whether or not a sweep was
+interrupted, so recovery facts -- like wall-clock facts -- live apart.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import time
+import warnings
+from collections import deque
+from collections.abc import Callable, Mapping, Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing.context import BaseContext
+from pathlib import Path
+from typing import Any, TextIO
+
+import numpy as np
+
+from ..obs import MetricsRegistry, TraceRecorder
+from .runner import (
+    RunTelemetry,
+    TrialAggregate,
+    TrialExecutionError,
+    TrialRunner,
+    _ChunkError,
+    _ChunkPayload,
+    _run_chunk,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "RetryPolicy",
+    "ResilientRunner",
+    "read_checkpoint_argv",
+]
+
+#: Version stamp carried by every journal record; bumped on any change to
+#: the record shapes below so old journals fail loudly instead of subtly.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_Bounds = tuple[int, int]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint journal is missing, corrupt, or from a different run."""
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before declaring a chunk unrecoverable.
+
+    ``max_attempts`` counts *total* attempts (first try included), so
+    ``max_attempts=1`` disables retries.  Backoff before attempt ``k+1``
+    is ``backoff_base * backoff_factor**(k-1)`` capped at
+    ``backoff_max``, shrunk by up to ``jitter_fraction`` using a hash of
+    ``(chunk_index, attempt)`` -- deterministic, so two runs of the same
+    failing sweep pause identically (no ``random()``-style scheduling
+    nondeterminism sneaks into the harness).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.backoff_max < 0:
+            raise ValueError(f"backoff_max must be >= 0, got {self.backoff_max}")
+        if not 0 <= self.jitter_fraction <= 1:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1], got {self.jitter_fraction}"
+            )
+
+    def backoff_seconds(self, attempt: int, chunk_index: int) -> float:
+        """Delay before retrying ``chunk_index`` after ``attempt`` failures."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        digest = hashlib.sha256(f"{chunk_index}:{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return delay * (1.0 - self.jitter_fraction * fraction)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal (WAL-style JSONL)
+# ----------------------------------------------------------------------
+#
+# Record shapes (fixed key order, compact separators, one per line):
+#
+#   {"v": 1, "kind": "meta",  "data": {"argv": [...] | null,
+#                                      "created_unix": <float>}}
+#   {"v": 1, "kind": "sweep", "sweep": <int>, "data": {<sweep header>}}
+#   {"v": 1, "kind": "chunk", "sweep": <int>, "lo": <int>, "hi": <int>,
+#    "payload": "<base64 pickle of the worker chunk payload>"}
+#
+# A runner may execute several sweeps against one journal (e.g. stage-1
+# splitting runs one map() per accelerated AFR); sweeps are identified by
+# their call ordinal and validated against the recorded header on resume.
+
+
+def _encode_payload(payload: _ChunkPayload) -> str:
+    return base64.b64encode(pickle.dumps(payload, protocol=4)).decode("ascii")
+
+
+def _decode_payload(text: str, where: str) -> _ChunkPayload:
+    try:
+        obj = pickle.loads(base64.b64decode(text.encode("ascii")))
+    except Exception as exc:
+        raise CheckpointError(f"{where}: undecodable chunk payload: {exc}") from exc
+    if not isinstance(obj, _ChunkPayload):
+        raise CheckpointError(
+            f"{where}: chunk payload decoded to {type(obj).__name__}, "
+            "not a chunk result"
+        )
+    return obj
+
+
+def _args_digest(args: tuple[Any, ...]) -> str:
+    """Stable fingerprint of a sweep's args tuple for resume validation."""
+    try:
+        blob = pickle.dumps(args, protocol=4)
+    except Exception:
+        blob = repr(args).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclasses.dataclass
+class _LoadedCheckpoint:
+    """Everything recoverable from an existing journal file."""
+
+    argv: list[str] | None
+    sweeps: dict[int, dict[str, Any]]
+    chunks: dict[int, dict[_Bounds, _ChunkPayload]]
+    dropped_tail: bool
+
+
+def _load_checkpoint(path: Path) -> _LoadedCheckpoint:
+    """Parse a journal; strict except for a torn (crash-truncated) tail.
+
+    Every newline-terminated line must be a valid, schema-versioned
+    record -- corruption in the journal body is rejected loudly rather
+    than silently skewing a resumed sweep.  A final line without its
+    terminating newline is the expected signature of a writer killed
+    mid-append and is dropped (its chunk simply re-runs).
+    """
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not raw:
+        raise CheckpointError(f"{path} is empty; not a checkpoint journal")
+    segments = raw.split(b"\n")
+    dropped_tail = segments[-1] != b""
+    lines = segments[:-1]
+    if not lines:
+        raise CheckpointError(
+            f"{path} holds no complete records; not a checkpoint journal"
+        )
+
+    argv: list[str] | None = None
+    sweeps: dict[int, dict[str, Any]] = {}
+    chunks: dict[int, dict[_Bounds, _ChunkPayload]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        where = f"{path}:{lineno}"
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"{where}: not a valid record: {exc}") from exc
+        if not isinstance(record, dict):
+            raise CheckpointError(f"{where}: record must be an object")
+        if record.get("v") != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"{where}: unsupported checkpoint schema version "
+                f"{record.get('v')!r} (this reader understands "
+                f"{CHECKPOINT_SCHEMA_VERSION})"
+            )
+        kind = record.get("kind")
+        if lineno == 1 and kind != "meta":
+            raise CheckpointError(
+                f"{where}: first record must be 'meta'; not a checkpoint journal"
+            )
+        if kind == "meta":
+            data = record.get("data")
+            if not isinstance(data, dict):
+                raise CheckpointError(f"{where}: meta record has no data object")
+            recorded_argv = data.get("argv")
+            if recorded_argv is not None:
+                if not isinstance(recorded_argv, list) or not all(
+                    isinstance(a, str) for a in recorded_argv
+                ):
+                    raise CheckpointError(f"{where}: meta argv must be strings")
+                argv = list(recorded_argv)
+        elif kind == "sweep":
+            sweep = record.get("sweep")
+            data = record.get("data")
+            if not isinstance(sweep, int) or not isinstance(data, dict):
+                raise CheckpointError(f"{where}: malformed sweep record")
+            sweeps[sweep] = data
+        elif kind == "chunk":
+            sweep = record.get("sweep")
+            lo, hi = record.get("lo"), record.get("hi")
+            text = record.get("payload")
+            if (
+                not isinstance(sweep, int)
+                or not isinstance(lo, int)
+                or not isinstance(hi, int)
+                or not isinstance(text, str)
+                or not 0 <= lo < hi
+            ):
+                raise CheckpointError(f"{where}: malformed chunk record")
+            if sweep not in sweeps:
+                raise CheckpointError(
+                    f"{where}: chunk for sweep {sweep} precedes its sweep header"
+                )
+            chunks.setdefault(sweep, {})[(lo, hi)] = _decode_payload(text, where)
+        else:
+            raise CheckpointError(f"{where}: unknown record kind {kind!r}")
+    return _LoadedCheckpoint(
+        argv=argv, sweeps=sweeps, chunks=chunks, dropped_tail=dropped_tail
+    )
+
+
+def read_checkpoint_argv(path: str | Path) -> list[str]:
+    """The ``mlec-sim`` argv recorded in a checkpoint (for ``resume``)."""
+    loaded = _load_checkpoint(Path(path))
+    if loaded.argv is None:
+        raise CheckpointError(
+            f"{path} does not record a command line; it was written by a "
+            "library run and can only be resumed programmatically"
+        )
+    return loaded.argv
+
+
+class _JournalWriter:
+    """Append fsynced JSONL records; durability is the whole point."""
+
+    def __init__(self, path: Path) -> None:
+        self._path = path
+        self._fh: TextIO = open(path, "a", encoding="utf-8")
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+# ----------------------------------------------------------------------
+# The resilient runner
+# ----------------------------------------------------------------------
+class ResilientRunner(TrialRunner):
+    """A :class:`TrialRunner` that survives crashes, retries, and resumes.
+
+    Drop-in compatible with every campaign entry point that accepts a
+    runner (``burst_pdl_stats`` / ``burst_pdl_grid``,
+    ``stage1_pool_rate``, :class:`~repro.faults.ChaosCampaign`, the CLI
+    subcommands): :meth:`run` and :meth:`map` keep the base signatures
+    and the bitwise any-worker-count determinism contract.
+
+    Parameters (beyond :class:`TrialRunner`'s)
+    ------------------------------------------
+    checkpoint:
+        Path of the JSONL journal.  ``None`` disables checkpointing
+        (retry/salvage still apply).
+    resume:
+        Continue from an existing journal at ``checkpoint``.  Without
+        this flag an existing journal is refused rather than clobbered.
+    policy:
+        :class:`RetryPolicy` governing per-chunk retries.
+    chunk_timeout:
+        Seconds one dispatched chunk may run before its pool is torn
+        down and the chunk is retried (pool path only; the in-process
+        path cannot preempt a running chunk).
+    argv:
+        Command line to record in the journal so ``mlec-sim resume``
+        can re-execute the producing command.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = 1,
+        chunk_size: int | None = None,
+        mp_context: BaseContext | None = None,
+        *,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
+        policy: RetryPolicy | None = None,
+        chunk_timeout: float | None = None,
+        argv: Sequence[str] | None = None,
+    ) -> None:
+        super().__init__(workers, chunk_size, mp_context)
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError(f"chunk_timeout must be > 0, got {chunk_timeout}")
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint path")
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.chunk_timeout = chunk_timeout
+        self.checkpoint_path = Path(checkpoint) if checkpoint is not None else None
+        #: Operational telemetry: recovery counters/events.  Kept apart
+        #: from the result metrics/trace sinks, which must stay bitwise
+        #: identical whether or not the sweep was ever interrupted.
+        self.ops_metrics = MetricsRegistry()
+        self.ops_trace = TraceRecorder()
+        self._argv = list(argv) if argv is not None else None
+        self._loaded: _LoadedCheckpoint | None = None
+        self._writer: _JournalWriter | None = None
+        self._sweep = -1
+        self._born = time.perf_counter()
+        if self.checkpoint_path is not None:
+            if self.checkpoint_path.exists():
+                if not resume:
+                    raise CheckpointError(
+                        f"checkpoint {self.checkpoint_path} already exists; "
+                        "pass resume=True / --resume (or run `mlec-sim resume "
+                        f"{self.checkpoint_path}`) to continue it, or remove it"
+                    )
+                self._loaded = _load_checkpoint(self.checkpoint_path)
+            elif resume:
+                raise CheckpointError(
+                    f"cannot resume: no checkpoint at {self.checkpoint_path}"
+                )
+
+    # ------------------------------------------------------------------
+    # Public API (drop-in for TrialRunner)
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[..., Any],
+        trials: int,
+        seed: int = 0,
+        args: tuple[Any, ...] = (),
+        timeout: float | None = None,
+        metrics: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> TrialAggregate:
+        values = self._execute("run", fn, trials, seed, args, timeout, metrics, trace)
+        agg = TrialAggregate()
+        for value in values:
+            agg.add(value)
+        return agg
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        trials: int,
+        seed: int = 0,
+        args: tuple[Any, ...] = (),
+        timeout: float | None = None,
+        metrics: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> list[Any]:
+        return self._execute("map", fn, trials, seed, args, timeout, metrics, trace)
+
+    def close(self) -> None:
+        """Flush and close the journal (safe to call repeatedly)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    def recovery_summary(self) -> str:
+        """One human line of recovery facts, for the CLI to print."""
+        counters = self.ops_metrics.snapshot()["counters"]
+
+        def count(name: str) -> int:
+            value = counters.get(name, 0)
+            return int(value) if isinstance(value, (int, float)) else 0
+
+        salvaged = count("runtime.chunks_salvaged")
+        retries = count("runtime.chunk_retries")
+        rebuilds = count("runtime.pool_rebuilds")
+        written = count("checkpoint.chunk_writes")
+        if self.checkpoint_path is None:
+            parts = ["no journal"]
+        else:
+            parts = [f"{written} chunk(s) journaled"]
+        parts.append(f"{salvaged} salvaged from checkpoint")
+        parts.append(f"{retries} chunk retries")
+        parts.append(f"{rebuilds} pool rebuilds")
+        return "resilience: " + ", ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Core scheduling
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        mode: str,
+        fn: Callable[..., Any],
+        trials: int,
+        seed: int,
+        args: tuple[Any, ...],
+        timeout: float | None,
+        metrics: MetricsRegistry | None,
+        trace: TraceRecorder | None,
+    ) -> list[Any]:
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        self._sweep += 1
+        sweep = self._sweep
+        fn_module = getattr(fn, "__module__", "?")
+        fn_name = getattr(fn, "__qualname__", getattr(fn, "__name__", "?"))
+        header: dict[str, Any] = {
+            "mode": mode,
+            "trials": trials,
+            "seed": seed,
+            "chunk": self._resolved_chunk(trials),
+            "fn": f"{fn_module}:{fn_name}",
+            "args_sha256": _args_digest(args),
+            "collect_metrics": metrics is not None,
+            "collect_trace": trace is not None,
+        }
+        payloads = self._begin_sweep(sweep, header, trials)
+        chunk = int(header["chunk"])
+        bounds = [(lo, min(lo + chunk, trials)) for lo in range(0, trials, chunk)]
+        stray = set(payloads) - set(bounds)
+        if stray:
+            raise CheckpointError(
+                f"checkpoint sweep {sweep} holds chunk ranges {sorted(stray)} "
+                f"that do not align with the recorded chunking ({chunk} "
+                "trials/chunk); the journal is inconsistent"
+            )
+        if payloads:
+            self.ops_metrics.counter("runtime.chunks_salvaged").inc(len(payloads))
+            self.ops_trace.event(
+                self._elapsed(),
+                "checkpoint.salvage",
+                sweep=sweep,
+                chunks=len(payloads),
+            )
+        pending = [(i, b) for i, b in enumerate(bounds) if b not in payloads]
+
+        began = time.perf_counter()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        children = np.random.SeedSequence(seed).spawn(trials)
+        collect = (metrics is not None, trace is not None)
+        try:
+            if pending:
+                if self.workers > 1 and len(pending) > 1:
+                    self._execute_pooled(
+                        fn,
+                        children,
+                        args,
+                        collect,
+                        pending,
+                        payloads,
+                        sweep,
+                        deadline,
+                        timeout,
+                    )
+                remaining = [(i, b) for i, b in pending if b not in payloads]
+                if remaining:
+                    self._execute_serial(
+                        fn,
+                        children,
+                        args,
+                        collect,
+                        remaining,
+                        payloads,
+                        sweep,
+                        deadline,
+                        timeout,
+                    )
+        except KeyboardInterrupt:
+            # Chunks journaled so far are durable (each append is
+            # fsynced); close cleanly so the user can resume.
+            self.close()
+            raise
+
+        self.last_telemetry = RunTelemetry(
+            trials=trials,
+            chunks=len(bounds),
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - began,
+            worker_seconds=sum(p.seconds for p in payloads.values()),
+        )
+        # Deterministic fold: chunk order == trial order, independent of
+        # completion order, retries, and how much came from the journal.
+        out: list[Any] = []
+        for b in bounds:
+            payload = payloads[b]
+            if metrics is not None and payload.metrics is not None:
+                metrics.merge(payload.metrics)
+            if trace is not None:
+                trace.extend(payload.records)
+            out.extend(payload.values)
+        return out
+
+    def _resolved_chunk(self, trials: int) -> int:
+        bounds = self._chunk_bounds(trials)
+        return bounds[0][1] - bounds[0][0]
+
+    def _elapsed(self) -> float:
+        return max(0.0, time.perf_counter() - self._born)
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+    def _ensure_writer(self) -> _JournalWriter | None:
+        if self.checkpoint_path is None:
+            return None
+        if self._writer is None:
+            fresh = not self.checkpoint_path.exists()
+            self._writer = _JournalWriter(self.checkpoint_path)
+            if fresh:
+                self._writer.append(
+                    {
+                        "v": CHECKPOINT_SCHEMA_VERSION,
+                        "kind": "meta",
+                        "data": {"argv": self._argv, "created_unix": time.time()},
+                    }
+                )
+        return self._writer
+
+    def _begin_sweep(
+        self, sweep: int, header: dict[str, Any], trials: int
+    ) -> dict[_Bounds, _ChunkPayload]:
+        loaded = self._loaded
+        if loaded is not None and sweep in loaded.sweeps:
+            recorded = loaded.sweeps[sweep]
+            for key in (
+                "mode",
+                "trials",
+                "seed",
+                "fn",
+                "args_sha256",
+                "collect_metrics",
+                "collect_trace",
+            ):
+                if recorded.get(key) != header[key]:
+                    raise CheckpointError(
+                        f"checkpoint sweep {sweep} was recorded with "
+                        f"{key}={recorded.get(key)!r} but this run uses "
+                        f"{header[key]!r}; refusing to mix results from "
+                        "different sweeps"
+                    )
+            if not isinstance(recorded.get("chunk"), int) or recorded["chunk"] < 1:
+                raise CheckpointError(
+                    f"checkpoint sweep {sweep} records no valid chunk size"
+                )
+            # Reuse the recorded chunking so journaled ranges stay
+            # aligned even if --workers changed between runs.
+            header["chunk"] = int(recorded["chunk"])
+            return dict(loaded.chunks.get(sweep, {}))
+        writer = self._ensure_writer()
+        if writer is not None:
+            writer.append(
+                {
+                    "v": CHECKPOINT_SCHEMA_VERSION,
+                    "kind": "sweep",
+                    "sweep": sweep,
+                    "data": header,
+                }
+            )
+            self.ops_trace.event(
+                self._elapsed(), "checkpoint.write", record="sweep", sweep=sweep
+            )
+        return {}
+
+    def _record_chunk(
+        self, sweep: int, bounds: _Bounds, payload: _ChunkPayload
+    ) -> None:
+        writer = self._ensure_writer()
+        if writer is None:
+            return
+        lo, hi = bounds
+        writer.append(
+            {
+                "v": CHECKPOINT_SCHEMA_VERSION,
+                "kind": "chunk",
+                "sweep": sweep,
+                "lo": lo,
+                "hi": hi,
+                "payload": _encode_payload(payload),
+            }
+        )
+        self.ops_metrics.counter("checkpoint.chunk_writes").inc()
+        self.ops_trace.event(
+            self._elapsed(),
+            "checkpoint.write",
+            record="chunk",
+            sweep=sweep,
+            lo=lo,
+            hi=hi,
+        )
+
+    # ------------------------------------------------------------------
+    # Failure accounting
+    # ------------------------------------------------------------------
+    def _salvage_values(
+        self, payloads: dict[_Bounds, _ChunkPayload]
+    ) -> tuple[list[Any], int]:
+        values: list[Any] = []
+        for b in sorted(payloads):
+            values.extend(payloads[b].values)
+        return values, len(values)
+
+    def _salvage_note(self, payloads: dict[_Bounds, _ChunkPayload]) -> str:
+        _values, n = self._salvage_values(payloads)
+        note = f"salvaged {n} completed trials"
+        if self.checkpoint_path is not None:
+            note += f"; journaled to {self.checkpoint_path}"
+        return note
+
+    def _sweep_timeout_error(
+        self, timeout: float | None, payloads: dict[_Bounds, _ChunkPayload]
+    ) -> TrialExecutionError:
+        values, _n = self._salvage_values(payloads)
+        limit = f"{timeout:g}s" if timeout is not None else "its deadline"
+        return TrialExecutionError(
+            f"trial sweep timed out after {limit} "
+            f"({self._salvage_note(payloads)})",
+            partial_values=values,
+        )
+
+    def _note_chunk_failure(
+        self,
+        index: int,
+        bounds: _Bounds,
+        attempts: dict[int, int],
+        payloads: dict[_Bounds, _ChunkPayload],
+        reason: str,
+        worker_traceback: str | None = None,
+    ) -> float:
+        """Charge one failure against a chunk.
+
+        Returns the backoff delay before the next attempt, or raises
+        :class:`TrialExecutionError` (with salvage attached) once the
+        policy is exhausted.
+        """
+        lo, hi = bounds
+        failures = attempts.get(index, 0) + 1
+        attempts[index] = failures
+        if failures >= self.policy.max_attempts:
+            values, _n = self._salvage_values(payloads)
+            message = (
+                f"chunk [{lo}, {hi}) failed {failures} time(s) and the retry "
+                f"policy allows {self.policy.max_attempts} attempt(s); "
+                f"last failure: {reason} ({self._salvage_note(payloads)})"
+            )
+            if worker_traceback:
+                message += f"\n--- worker traceback ---\n{worker_traceback}"
+            raise TrialExecutionError(message, partial_values=values)
+        self.ops_metrics.counter("runtime.chunk_retries").inc()
+        self.ops_trace.event(
+            self._elapsed(),
+            "chunk.retry",
+            lo=lo,
+            hi=hi,
+            attempt=failures,
+            reason=reason[:200],
+        )
+        return self.policy.backoff_seconds(failures, index)
+
+    # ------------------------------------------------------------------
+    # Pool path
+    # ------------------------------------------------------------------
+    def _make_pool(self, n_pending: int) -> ProcessPoolExecutor | None:
+        try:
+            return ProcessPoolExecutor(
+                max_workers=min(self.workers, n_pending),
+                mp_context=self.mp_context,
+            )
+        except Exception as exc:  # sandboxes without semaphores/fork
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); "
+                "running trials in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+
+    def _teardown_pool(
+        self,
+        executor: ProcessPoolExecutor,
+        inflight: dict[Future[Any], tuple[int, _Bounds, float]],
+        queue: deque[tuple[int, _Bounds]],
+        n_pending: int,
+    ) -> ProcessPoolExecutor | None:
+        """Kill a broken/stuck pool, requeue collateral chunks, rebuild.
+
+        Chunks still in flight when the pool dies are *collateral*: they
+        are rescheduled without an attempt charge (the chunk that caused
+        the teardown was charged by the caller and sits in its backoff
+        window already).
+        """
+        self._kill_pool(executor, list(inflight))
+        for index, bounds, _started in inflight.values():
+            queue.append((index, bounds))
+        inflight.clear()
+        self.ops_metrics.counter("runtime.pool_rebuilds").inc()
+        self.ops_trace.event(self._elapsed(), "pool.rebuild", pending=len(queue))
+        return self._make_pool(n_pending)
+
+    def _next_wakeup(
+        self,
+        inflight: dict[Future[Any], tuple[int, _Bounds, float]],
+        retry_at: dict[int, tuple[float, _Bounds]],
+        deadline: float | None,
+    ) -> float:
+        """Longest safe wait() timeout before some timer needs service."""
+        now = time.monotonic()
+        horizons = [0.5]
+        if self.chunk_timeout is not None and inflight:
+            oldest = min(started for _i, _b, started in inflight.values())
+            horizons.append(oldest + self.chunk_timeout - now)
+        if retry_at:
+            horizons.append(min(t for t, _b in retry_at.values()) - now)
+        if deadline is not None:
+            horizons.append(deadline - now)
+        return max(0.0, min(horizons))
+
+    def _execute_pooled(
+        self,
+        fn: Callable[..., Any],
+        children: Sequence[np.random.SeedSequence],
+        args: tuple[Any, ...],
+        collect: tuple[bool, bool],
+        pending: list[tuple[int, _Bounds]],
+        payloads: dict[_Bounds, _ChunkPayload],
+        sweep: int,
+        deadline: float | None,
+        timeout: float | None,
+    ) -> None:
+        """Run pending chunks on a pool, retrying and rebuilding as needed.
+
+        Completed chunks land in ``payloads`` (and the journal) the
+        moment they arrive, in *completion* order -- determinism is
+        restored by the caller's chunk-ordered fold.  If the pool cannot
+        be (re)built, remaining chunks are left for the serial fallback.
+        """
+        executor = self._make_pool(len(pending))
+        if executor is None:
+            return
+        queue: deque[tuple[int, _Bounds]] = deque(pending)
+        retry_at: dict[int, tuple[float, _Bounds]] = {}
+        inflight: dict[Future[Any], tuple[int, _Bounds, float]] = {}
+        attempts: dict[int, int] = {}
+        try:
+            while queue or inflight or retry_at:
+                now = time.monotonic()
+                if deadline is not None and now >= deadline:
+                    raise self._sweep_timeout_error(timeout, payloads)
+                for index in [i for i, (t, _b) in retry_at.items() if t <= now]:
+                    _due, bounds = retry_at.pop(index)
+                    queue.append((index, bounds))
+                while queue and len(inflight) < self.workers:
+                    index, (lo, hi) = queue.popleft()
+                    future = executor.submit(
+                        _run_chunk, fn, lo, children[lo:hi], args, *collect
+                    )
+                    inflight[future] = (index, (lo, hi), time.monotonic())
+                if not inflight:
+                    # Everything is waiting out a backoff window.
+                    pause = self._next_wakeup(inflight, retry_at, deadline)
+                    if pause > 0:
+                        time.sleep(pause)
+                    continue
+                done, _still_running = wait(
+                    set(inflight),
+                    timeout=self._next_wakeup(inflight, retry_at, deadline),
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for future in done:
+                    index, bounds, _started = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except (BrokenProcessPool, RuntimeError, OSError) as exc:
+                        broken = True
+                        delay = self._note_chunk_failure(
+                            index,
+                            bounds,
+                            attempts,
+                            payloads,
+                            f"worker process crashed ({type(exc).__name__}: {exc})",
+                        )
+                        retry_at[index] = (time.monotonic() + delay, bounds)
+                        continue
+                    if isinstance(result, _ChunkError):
+                        delay = self._note_chunk_failure(
+                            index,
+                            bounds,
+                            attempts,
+                            payloads,
+                            f"trial {result.index} raised {result.message}",
+                            worker_traceback=result.worker_traceback,
+                        )
+                        retry_at[index] = (time.monotonic() + delay, bounds)
+                    else:
+                        payloads[bounds] = result
+                        self._record_chunk(sweep, bounds, result)
+                if broken:
+                    rebuilt = self._teardown_pool(
+                        executor, inflight, queue, len(pending)
+                    )
+                    if rebuilt is None:
+                        return  # serial fallback finishes the remainder
+                    executor = rebuilt
+                    continue
+                if not done and self.chunk_timeout is not None:
+                    now = time.monotonic()
+                    expired = [
+                        (future, entry)
+                        for future, entry in inflight.items()
+                        if now - entry[2] >= self.chunk_timeout
+                    ]
+                    if expired:
+                        for future, (index, bounds, _started) in expired:
+                            del inflight[future]
+                            delay = self._note_chunk_failure(
+                                index,
+                                bounds,
+                                attempts,
+                                payloads,
+                                f"chunk exceeded the {self.chunk_timeout:g}s "
+                                "chunk timeout",
+                            )
+                            retry_at[index] = (time.monotonic() + delay, bounds)
+                        rebuilt = self._teardown_pool(
+                            executor, inflight, queue, len(pending)
+                        )
+                        if rebuilt is None:
+                            return
+                        executor = rebuilt
+        finally:
+            if inflight or queue or retry_at:
+                # Abnormal exit: workers may be stuck mid-trial.
+                self._kill_pool(executor, list(inflight))
+            else:
+                executor.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Serial path (workers=1, single chunk, or pool unavailable)
+    # ------------------------------------------------------------------
+    def _execute_serial(
+        self,
+        fn: Callable[..., Any],
+        children: Sequence[np.random.SeedSequence],
+        args: tuple[Any, ...],
+        collect: tuple[bool, bool],
+        pending: list[tuple[int, _Bounds]],
+        payloads: dict[_Bounds, _ChunkPayload],
+        sweep: int,
+        deadline: float | None,
+        timeout: float | None,
+    ) -> None:
+        attempts: dict[int, int] = {}
+        for index, (lo, hi) in pending:
+            while True:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise self._sweep_timeout_error(timeout, payloads)
+                result = _run_chunk(fn, lo, children[lo:hi], args, *collect)
+                if isinstance(result, _ChunkPayload):
+                    payloads[(lo, hi)] = result
+                    self._record_chunk(sweep, (lo, hi), result)
+                    break
+                delay = self._note_chunk_failure(
+                    index,
+                    (lo, hi),
+                    attempts,
+                    payloads,
+                    f"trial {result.index} raised {result.message}",
+                    worker_traceback=result.worker_traceback,
+                )
+                if delay > 0:
+                    time.sleep(delay)

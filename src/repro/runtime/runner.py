@@ -66,7 +66,51 @@ __all__ = [
 
 
 class TrialExecutionError(RuntimeError):
-    """A Monte Carlo trial (or its worker) failed or timed out."""
+    """A Monte Carlo trial (or its worker) failed or timed out.
+
+    The error carries whatever the sweep completed before dying so
+    callers can salvage it instead of discarding hours of work:
+
+    * :attr:`partial_values` -- results of every trial absorbed before
+      the failure, in trial order (``None`` when nothing was salvaged).
+      Under :class:`TrialRunner` this is a contiguous prefix; under
+      :class:`~repro.runtime.resilience.ResilientRunner` it may contain
+      gaps where a chunk was still outstanding.
+    * :attr:`completed_trials` -- how many trials those values cover.
+
+    :meth:`partial_aggregate` folds scalar salvage into a
+    :class:`TrialAggregate` (the same reduction :meth:`TrialRunner.run`
+    would have applied).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        partial_values: Sequence[Any] | None = None,
+        completed_trials: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.partial_values: list[Any] | None = (
+            list(partial_values) if partial_values is not None else None
+        )
+        if completed_trials is None:
+            completed_trials = (
+                len(self.partial_values) if self.partial_values is not None else 0
+            )
+        self.completed_trials = int(completed_trials)
+
+    def partial_aggregate(self) -> TrialAggregate | None:
+        """Salvaged scalar outcomes as a TrialAggregate, if foldable."""
+        if not self.partial_values:
+            return None
+        agg = TrialAggregate()
+        try:
+            for value in self.partial_values:
+                agg.add(float(value))
+        except (TypeError, ValueError):
+            return None  # structured map() payloads have no scalar fold
+        return agg
 
 
 @dataclasses.dataclass(frozen=True)
@@ -348,15 +392,20 @@ class TrialRunner:
         collect = (metrics is not None, trace is not None)
         began = time.perf_counter()
         worker_seconds = 0.0
+        #: Values of every chunk absorbed so far, in trial order; attached
+        #: to TrialExecutionError so callers can salvage the completed
+        #: prefix of a sweep that times out or crashes partway through.
+        salvaged: list[Any] = []
 
         def absorb(result: _ChunkPayload | _ChunkError) -> list[Any]:
             nonlocal worker_seconds
-            payload = self._check_chunk(result)
+            payload = self._check_chunk(result, salvaged)
             worker_seconds += payload.seconds
             if metrics is not None and payload.metrics is not None:
                 metrics.merge(payload.metrics)
             if trace is not None:
                 trace.extend(payload.records)
+            salvaged.extend(payload.values)
             return payload.values
 
         def finish() -> None:
@@ -411,12 +460,16 @@ class TrialRunner:
                     executor = None
                     raise TrialExecutionError(
                         f"trial sweep timed out after {timeout:g}s waiting "
-                        f"for trials [{lo}, {hi})"
+                        f"for trials [{lo}, {hi}) "
+                        f"(salvaged {len(salvaged)} completed trials)",
+                        partial_values=salvaged,
                     ) from exc
                 except BrokenProcessPool as exc:
                     raise TrialExecutionError(
                         f"worker process crashed while running trials "
-                        f"[{lo}, {hi}); the pool is no longer usable"
+                        f"[{lo}, {hi}); the pool is no longer usable "
+                        f"(salvaged {len(salvaged)} completed trials)",
+                        partial_values=salvaged,
                     ) from exc
                 yield absorb(chunk)
             finish()
@@ -425,11 +478,15 @@ class TrialRunner:
                 executor.shutdown(wait=True, cancel_futures=True)
 
     @staticmethod
-    def _check_chunk(chunk: _ChunkPayload | _ChunkError) -> _ChunkPayload:
+    def _check_chunk(
+        chunk: _ChunkPayload | _ChunkError,
+        salvaged: Sequence[Any] | None = None,
+    ) -> _ChunkPayload:
         if isinstance(chunk, _ChunkError):
             raise TrialExecutionError(
                 f"trial {chunk.index} raised {chunk.message}\n"
-                f"--- worker traceback ---\n{chunk.worker_traceback}"
+                f"--- worker traceback ---\n{chunk.worker_traceback}",
+                partial_values=salvaged,
             )
         return chunk
 

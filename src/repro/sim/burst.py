@@ -345,6 +345,8 @@ def burst_pdl_stats(
     Trial ``i`` draws from the ``i``-th spawned child of
     ``SeedSequence(seed)``, so the aggregate -- and any ``metrics``/
     ``trace`` telemetry -- is bitwise identical for any worker count.
+    Passing a :class:`~repro.runtime.ResilientRunner` adds chunk-level
+    checkpointing, retry, and resume with the same determinism guarantee.
     """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")

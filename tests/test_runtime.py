@@ -48,6 +48,12 @@ def _sleeping_trial(ctx):
     return 0.0
 
 
+def _slow_tail_trial(ctx):
+    if ctx.index >= 2:
+        time.sleep(30.0)
+    return float(ctx.index)
+
+
 def _telemetry_trial(ctx):
     value = float(ctx.rng().uniform())
     if ctx.metrics is not None:
@@ -170,6 +176,55 @@ class TestFailureSurfacing:
             runner.run(_sleeping_trial, 4, seed=0, timeout=0.5)
         # The stuck workers were terminated, not awaited.
         assert time.monotonic() - start < 20.0
+
+
+class TestSalvage:
+    """Failures carry the completed prefix instead of discarding it."""
+
+    def test_timeout_salvages_completed_prefix(self):
+        runner = TrialRunner(workers=2, chunk_size=1)
+        with pytest.raises(TrialExecutionError) as excinfo:
+            runner.run(_slow_tail_trial, 6, seed=0, timeout=2.0)
+        exc = excinfo.value
+        assert exc.partial_values == [0.0, 1.0]
+        assert exc.completed_trials == 2
+        assert "salvaged 2 completed trials" in str(exc)
+        agg = exc.partial_aggregate()
+        assert agg is not None
+        assert agg.trials == 2
+        assert agg.total == 1.0
+
+    def test_serial_trial_exception_salvages_earlier_chunks(self):
+        with pytest.raises(TrialExecutionError) as excinfo:
+            TrialRunner(workers=1, chunk_size=2).run(_failing_trial, 8, seed=0)
+        exc = excinfo.value
+        assert exc.partial_values == [0.0, 1.0]
+        assert exc.completed_trials == 2
+
+    def test_parallel_trial_exception_salvages_earlier_chunks(self):
+        with pytest.raises(TrialExecutionError) as excinfo:
+            TrialRunner(workers=2, chunk_size=2).run(_failing_trial, 8, seed=0)
+        exc = excinfo.value
+        assert exc.partial_values == [0.0, 1.0]
+        assert exc.completed_trials == 2
+
+    def test_worker_crash_salvage_mentioned_in_message(self):
+        with pytest.raises(TrialExecutionError) as excinfo:
+            TrialRunner(workers=2, chunk_size=2).run(_crashing_trial, 8, seed=0)
+        exc = excinfo.value
+        assert exc.partial_values is not None
+        assert "salvaged" in str(exc)
+
+    def test_partial_aggregate_none_for_structured_values(self):
+        exc = TrialExecutionError("boom", partial_values=[(1, 2), (3, 4)])
+        assert exc.completed_trials == 2
+        assert exc.partial_aggregate() is None
+
+    def test_no_salvage_means_empty_defaults(self):
+        exc = TrialExecutionError("boom")
+        assert exc.partial_values is None
+        assert exc.completed_trials == 0
+        assert exc.partial_aggregate() is None
 
 
 class TestFallback:

@@ -27,10 +27,11 @@ def rule_ids(findings):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         Linter()  # triggers rule-module import
         assert set(RULE_REGISTRY) == {
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
+            "SL008",
         }
 
     def test_rules_carry_title_and_rationale(self):
@@ -465,6 +466,82 @@ class TestSL007NoPrintInLibrary:
             def debug(state):
                 print(state)  # simlint: disable=SL007
         """, rules={"SL007"}, relpath="src/repro/sim/mod.py")
+        assert findings == []
+
+
+class TestSL008AtomicResultWrite:
+    def test_open_w_on_json_literal_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import json
+
+            def dump(path, snapshot):
+                with open(str(path) + ".json", "w") as fh:
+                    json.dump(snapshot, fh)
+        """, rules={"SL008"}, relpath="src/repro/obs/mod.py")
+        assert rule_ids(findings) == ["SL008"]
+
+    def test_open_w_inside_write_json_helper_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def write_json(path, payload):
+                with open(path, "w") as fh:
+                    fh.write(payload)
+        """, rules={"SL008"}, relpath="src/repro/obs/mod.py")
+        assert rule_ids(findings) == ["SL008"]
+
+    def test_write_text_on_json_path_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from pathlib import Path
+
+            def save(text):
+                Path("metrics.json").write_text(text)
+        """, rules={"SL008"}, relpath="src/repro/obs/mod.py")
+        assert rule_ids(findings) == ["SL008"]
+
+    def test_append_mode_journal_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def journal(path):
+                with open(path, "a") as fh:
+                    fh.write("{}\\n")
+        """, rules={"SL008"}, relpath="src/repro/runtime/mod.py")
+        assert findings == []
+
+    def test_non_json_write_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def save(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+        """, rules={"SL008"}, relpath="src/repro/sim/mod.py")
+        assert findings == []
+
+    def test_read_mode_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import json
+
+            def load(path):
+                with open(str(path) + ".json") as fh:
+                    return json.load(fh)
+        """, rules={"SL008"}, relpath="src/repro/obs/mod.py")
+        assert findings == []
+
+    def test_cli_and_devtools_exempt(self, tmp_path):
+        for relpath in (
+            "src/repro/cli.py",
+            "src/repro/devtools/simlint/x.py",
+            "src/repro/core/atomic.py",
+        ):
+            findings = lint_source(tmp_path, """
+                def write_json(path, payload):
+                    with open(path, "w") as fh:
+                        fh.write(payload)
+            """, rules={"SL008"}, relpath=relpath)
+            assert findings == [], relpath
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def write_json(path, payload):
+                with open(path, "w") as fh:  # simlint: disable=SL008
+                    fh.write(payload)
+        """, rules={"SL008"}, relpath="src/repro/obs/mod.py")
         assert findings == []
 
 
