@@ -573,7 +573,11 @@ def build_parser() -> argparse.ArgumentParser:
         "resume",
         help="continue an interrupted Monte-Carlo sweep from its checkpoint",
     )
-    p.add_argument("file", help="checkpoint journal written via --checkpoint")
+    p.add_argument(
+        "file",
+        help="checkpoint journal written via --checkpoint (trusted input: "
+        "chunk payloads are pickled, so only resume journals you wrote)",
+    )
     p.add_argument(
         "--workers", type=int, default=None,
         help="override the worker count of the original command "

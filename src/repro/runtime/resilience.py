@@ -35,6 +35,14 @@ telemetry (:attr:`ResilientRunner.ops_metrics` /
 telemetry is deliberately kept out of the result ``metrics``/``trace``
 sinks: those must stay bitwise identical whether or not a sweep was
 interrupted, so recovery facts -- like wall-clock facts -- live apart.
+
+.. warning:: **Checkpoints are trusted input.**  Chunk payloads are
+   pickled (trial values, metrics, and trace records are arbitrary
+   Python objects, so no restricted encoding can represent them), and
+   unpickling attacker-controlled bytes executes arbitrary code.  The
+   corruption checks validate JSON structure and schema version; they
+   cannot make pickle safe.  Only resume journals your own runs wrote,
+   with the same trust you would give the simulation code itself.
 """
 
 from __future__ import annotations
@@ -158,6 +166,8 @@ def _encode_payload(payload: _ChunkPayload) -> str:
 
 
 def _decode_payload(text: str, where: str) -> _ChunkPayload:
+    # pickle.loads on untrusted bytes is arbitrary code execution; see
+    # the module-level trust warning.  Journals are as trusted as code.
     try:
         obj = pickle.loads(base64.b64decode(text.encode("ascii")))
     except Exception as exc:
@@ -187,6 +197,9 @@ class _LoadedCheckpoint:
     sweeps: dict[int, dict[str, Any]]
     chunks: dict[int, dict[_Bounds, _ChunkPayload]]
     dropped_tail: bool
+    #: Byte offset just past the last complete (newline-terminated)
+    #: record; everything beyond it is the torn tail.
+    valid_bytes: int
 
 
 def _load_checkpoint(path: Path) -> _LoadedCheckpoint:
@@ -206,6 +219,7 @@ def _load_checkpoint(path: Path) -> _LoadedCheckpoint:
         raise CheckpointError(f"{path} is empty; not a checkpoint journal")
     segments = raw.split(b"\n")
     dropped_tail = segments[-1] != b""
+    valid_bytes = len(raw) - len(segments[-1])
     lines = segments[:-1]
     if not lines:
         raise CheckpointError(
@@ -271,8 +285,29 @@ def _load_checkpoint(path: Path) -> _LoadedCheckpoint:
         else:
             raise CheckpointError(f"{where}: unknown record kind {kind!r}")
     return _LoadedCheckpoint(
-        argv=argv, sweeps=sweeps, chunks=chunks, dropped_tail=dropped_tail
+        argv=argv,
+        sweeps=sweeps,
+        chunks=chunks,
+        dropped_tail=dropped_tail,
+        valid_bytes=valid_bytes,
     )
+
+
+def _truncate_torn_tail(path: Path, loaded: _LoadedCheckpoint) -> None:
+    """Cut a torn final line off the journal before any further append.
+
+    The journal writer opens in append mode, so a partial record left by
+    a killed writer must be removed first -- otherwise the resumed run's
+    first record would be concatenated onto it, rendering the journal
+    permanently unloadable.
+    """
+    if not loaded.dropped_tail:
+        return
+    with open(path, "r+b") as fh:
+        fh.truncate(loaded.valid_bytes)
+        fh.flush()
+        os.fsync(fh.fileno())
+    loaded.dropped_tail = False
 
 
 def read_checkpoint_argv(path: str | Path) -> list[str]:
@@ -373,6 +408,7 @@ class ResilientRunner(TrialRunner):
                         f"{self.checkpoint_path}`) to continue it, or remove it"
                     )
                 self._loaded = _load_checkpoint(self.checkpoint_path)
+                _truncate_torn_tail(self.checkpoint_path, self._loaded)
             elif resume:
                 raise CheckpointError(
                     f"cannot resume: no checkpoint at {self.checkpoint_path}"
@@ -410,10 +446,22 @@ class ResilientRunner(TrialRunner):
         return self._execute("map", fn, trials, seed, args, timeout, metrics, trace)
 
     def close(self) -> None:
-        """Flush and close the journal (safe to call repeatedly)."""
+        """Flush and close the journal (safe to call repeatedly).
+
+        :meth:`run` / :meth:`map` already close the journal on every
+        exit path (the next sweep reopens it in append mode), so library
+        callers need no explicit cleanup; ``close()`` and the context
+        manager remain for belt-and-braces use.
+        """
         if self._writer is not None:
             self._writer.close()
             self._writer = None
+
+    def __enter__(self) -> "ResilientRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def recovery_summary(self) -> str:
         """One human line of recovery facts, for the CLI to print."""
@@ -466,31 +514,36 @@ class ResilientRunner(TrialRunner):
             "collect_metrics": metrics is not None,
             "collect_trace": trace is not None,
         }
-        payloads = self._begin_sweep(sweep, header, trials)
-        chunk = int(header["chunk"])
-        bounds = [(lo, min(lo + chunk, trials)) for lo in range(0, trials, chunk)]
-        stray = set(payloads) - set(bounds)
-        if stray:
-            raise CheckpointError(
-                f"checkpoint sweep {sweep} holds chunk ranges {sorted(stray)} "
-                f"that do not align with the recorded chunking ({chunk} "
-                "trials/chunk); the journal is inconsistent"
-            )
-        if payloads:
-            self.ops_metrics.counter("runtime.chunks_salvaged").inc(len(payloads))
-            self.ops_trace.event(
-                self._elapsed(),
-                "checkpoint.salvage",
-                sweep=sweep,
-                chunks=len(payloads),
-            )
-        pending = [(i, b) for i, b in enumerate(bounds) if b not in payloads]
-
-        began = time.perf_counter()
-        deadline = None if timeout is None else time.monotonic() + timeout
-        children = np.random.SeedSequence(seed).spawn(trials)
-        collect = (metrics is not None, trace is not None)
         try:
+            payloads = self._begin_sweep(sweep, header, trials)
+            chunk = int(header["chunk"])
+            bounds = [
+                (lo, min(lo + chunk, trials)) for lo in range(0, trials, chunk)
+            ]
+            stray = set(payloads) - set(bounds)
+            if stray:
+                raise CheckpointError(
+                    f"checkpoint sweep {sweep} holds chunk ranges "
+                    f"{sorted(stray)} that do not align with the recorded "
+                    f"chunking ({chunk} trials/chunk); the journal is "
+                    "inconsistent"
+                )
+            if payloads:
+                self.ops_metrics.counter("runtime.chunks_salvaged").inc(
+                    len(payloads)
+                )
+                self.ops_trace.event(
+                    self._elapsed(),
+                    "checkpoint.salvage",
+                    sweep=sweep,
+                    chunks=len(payloads),
+                )
+            pending = [(i, b) for i, b in enumerate(bounds) if b not in payloads]
+
+            began = time.perf_counter()
+            deadline = None if timeout is None else time.monotonic() + timeout
+            children = np.random.SeedSequence(seed).spawn(trials)
+            collect = (metrics is not None, trace is not None)
             if pending:
                 if self.workers > 1 and len(pending) > 1:
                     self._execute_pooled(
@@ -517,11 +570,13 @@ class ResilientRunner(TrialRunner):
                         deadline,
                         timeout,
                     )
-        except KeyboardInterrupt:
+        finally:
             # Chunks journaled so far are durable (each append is
-            # fsynced); close cleanly so the user can resume.
+            # fsynced).  Close the journal whether the sweep completed,
+            # failed, or was interrupted: library callers must not leak
+            # the handle across sweeps, and a killed run must always be
+            # resumable.  The next sweep reopens it in append mode.
             self.close()
-            raise
 
         self.last_telemetry = RunTelemetry(
             trials=trials,
@@ -823,6 +878,14 @@ class ResilientRunner(TrialRunner):
                     try:
                         result = future.result()
                     except (BrokenProcessPool, RuntimeError, OSError) as exc:
+                        # One crash breaks the whole pool, so every
+                        # in-flight future resolves with this error at
+                        # once.  Charge only the first -- the rest are
+                        # collateral chunks that never got to finish and
+                        # are rescheduled without an attempt charge.
+                        if broken:
+                            queue.append((index, bounds))
+                            continue
                         broken = True
                         delay = self._note_chunk_failure(
                             index,
@@ -854,7 +917,10 @@ class ResilientRunner(TrialRunner):
                         return  # serial fallback finishes the remainder
                     executor = rebuilt
                     continue
-                if not done and self.chunk_timeout is not None:
+                # Watchdog: runs every iteration, not just when wait()
+                # comes back empty -- a hung chunk must be detected even
+                # while other chunks keep completing around it.
+                if self.chunk_timeout is not None and inflight:
                     now = time.monotonic()
                     expired = [
                         (future, entry)
