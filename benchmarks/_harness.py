@@ -34,6 +34,7 @@ from pathlib import Path
 
 from repro.core.atomic import atomic_write_text
 from repro.obs import MetricsRegistry
+from repro.runtime import TrialRunner
 
 RESULTS_DIR = Path(__file__).parent / "results"
 #: Repository root: BENCH_*.json copies written here are git-tracked
@@ -74,19 +75,49 @@ def _git_sha() -> str:
         return "unknown"
 
 
+#: Recovery counters recorded next to ``workers`` in every BENCH record.
+#: Always present (zeroed) so trajectory tooling can diff them without
+#: per-record existence checks.
+_RECOVERY_COUNTERS = ("chunk_retries", "pool_rebuilds", "steals")
+
+
+def runner_telemetry(runner: TrialRunner) -> tuple[str, dict[str, int]]:
+    """``(backend, recovery)`` facts of the runner a benchmark fanned through.
+
+    ``backend`` is the executor backend's telemetry name (``"local"``,
+    ``"tcp"``); ``recovery`` holds the resilience counters
+    (:data:`_RECOVERY_COUNTERS`) from the runner's ops metrics, all zero
+    for a plain :class:`~repro.runtime.TrialRunner` which keeps none.
+    """
+    recovery = dict.fromkeys(_RECOVERY_COUNTERS, 0)
+    ops = getattr(runner, "ops_metrics", None)
+    if ops is not None:
+        counters = ops.snapshot()["counters"]
+        for key in _RECOVERY_COUNTERS:
+            value = counters.get(f"runtime.{key}", 0)
+            recovery[key] = int(value) if isinstance(value, (int, float)) else 0
+    return runner.backend_name, recovery
+
+
 def emit_bench(
     name: str,
     *,
     seconds: float,
     trials: int | None = None,
     workers: int = 1,
+    backend: str = "local",
+    recovery: dict[str, int] | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> None:
     """Persist one machine-readable benchmark telemetry record.
 
     The record lands both in ``benchmarks/results/`` and at the repo root
     (the tracked copy); ``metrics``, if given, is folded in as its
-    deterministic snapshot.
+    deterministic snapshot.  ``backend``/``recovery`` record which
+    executor backend ran the trials and what recovery work (retries,
+    pool rebuilds, steals) it needed -- a benchmark that quietly
+    recovered from worker crashes times very different code than a clean
+    run, and the trajectory should say so.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     record = {
@@ -97,6 +128,8 @@ def emit_bench(
             trials / seconds if trials is not None and seconds > 0 else None
         ),
         "workers": workers,
+        "backend": backend,
+        "recovery": dict.fromkeys(_RECOVERY_COUNTERS, 0) | (recovery or {}),
         "git_sha": _git_sha(),
         "unix_time": time.time(),
     }
@@ -115,6 +148,7 @@ def once(
     *,
     trials: int | None = None,
     workers: int = 1,
+    runner: TrialRunner | None = None,
     metrics: MetricsRegistry | None = None,
 ):
     """Run an expensive experiment exactly once under pytest-benchmark.
@@ -124,14 +158,25 @@ def once(
     whole harness fast while still recording wall-clock cost.  The timing
     (plus ``trials``/``workers``/``metrics`` metadata when the caller
     supplies them) lands in ``BENCH_<name>.json`` for the CI perf
-    trajectory.
+    trajectory.  Pass the ``runner`` the experiment fanned out through
+    and its backend name and recovery counters are recorded too --
+    captured *after* ``fn`` ran, so they reflect this run's facts.
     """
     start = time.perf_counter()
     result = benchmark.pedantic(fn, rounds=1, iterations=1)
     elapsed = time.perf_counter() - start
     name = getattr(benchmark, "name", None) or getattr(fn, "__name__", "bench")
     name = name.removeprefix("test_")
+    backend, recovery = (
+        runner_telemetry(runner) if runner is not None else ("local", None)
+    )
     emit_bench(
-        name, seconds=elapsed, trials=trials, workers=workers, metrics=metrics
+        name,
+        seconds=elapsed,
+        trials=trials,
+        workers=workers,
+        backend=backend,
+        recovery=recovery,
+        metrics=metrics,
     )
     return result

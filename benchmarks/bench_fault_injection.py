@@ -12,13 +12,12 @@ from repro.faults import ChaosCampaign
 
 TRIALS = scaled_trials(3)
 WORKERS = bench_workers()
+# Module-level so the telemetry record can name the backend that ran it.
+CAMPAIGN = ChaosCampaign(schemes=("C/C", "D/D"), trials=TRIALS, workers=WORKERS)
 
 
 def run_campaign():
-    campaign = ChaosCampaign(
-        schemes=("C/C", "D/D"), trials=TRIALS, workers=WORKERS
-    )
-    return campaign.run(seed=0)
+    return CAMPAIGN.run(seed=0)
 
 
 def test_fault_injection_campaign(benchmark):
@@ -26,6 +25,7 @@ def test_fault_injection_campaign(benchmark):
         benchmark, run_campaign,
         trials=4 * 2 * TRIALS,  # scenarios x schemes x seeds
         workers=WORKERS,
+        runner=CAMPAIGN.runner,
     )
     emit("fault_injection_campaign", report.to_text())
 

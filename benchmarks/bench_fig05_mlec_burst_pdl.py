@@ -21,10 +21,12 @@ TRIALS = scaled_trials(25)
 WORKERS = bench_workers()
 # Monte-Carlo volume: every feasible (y >= x) heatmap cell of every scheme.
 N_CELLS = int(sum((FAILURES >= x).sum() for x in RACKS))
+# Module-level so the telemetry record can name the backend that ran it.
+RUNNER = TrialRunner(workers=WORKERS)
 
 
 def build_figure():
-    runner = TrialRunner(workers=WORKERS)
+    runner = RUNNER
     sections = []
     grids = {}
     for name in SCHEMES:
@@ -54,6 +56,7 @@ def test_fig05_mlec_burst_pdl(benchmark):
     grids, dp_rows, text = once(
         benchmark, build_figure,
         trials=len(SCHEMES) * N_CELLS * TRIALS, workers=WORKERS,
+        runner=RUNNER,
     )
     emit("fig05_mlec_burst_pdl", text)
 

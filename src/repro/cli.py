@@ -20,6 +20,14 @@ retried (``--max-retries``), ``--checkpoint FILE`` journals completed
 chunks so an interrupted sweep can be continued with
 ``mlec-sim resume FILE`` -- the resumed run re-executes the original
 command and produces bitwise-identical results and artifacts.
+
+Campaigns can span hosts: ``--backend tcp://HOST:PORT`` turns the
+command into a chunk coordinator, and ``mlec-sim workers --connect
+HOST:PORT`` processes (on any machine) pull chunk leases from it.  Dead
+workers, stragglers, and partitions are absorbed by lease expiry and
+work stealing; the journal records chunk ranges, never hosts, so a
+checkpoint taken on one machine resumes on any fleet -- with results
+byte-identical to a single-host run in every case.
 """
 
 from __future__ import annotations
@@ -81,6 +89,20 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default="local", metavar="SPEC",
+        help="executor backend: 'local' (default) or 'tcp://HOST:PORT' to "
+             "bind a chunk coordinator that `mlec-sim workers` processes "
+             "connect to (results are identical either way)",
+    )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=None, metavar="SECONDS",
+        help="tcp backend: seconds before a straggler's chunk lease is "
+             "speculatively re-dispatched to another worker (default 300)",
+    )
+
+
 def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--checkpoint", metavar="FILE", default=None,
@@ -116,6 +138,25 @@ def _make_runner(args: argparse.Namespace) -> TrialRunner:
 
     if args.max_retries < 0:
         raise ValueError(f"--max-retries must be >= 0, got {args.max_retries}")
+    backend = None
+    spec = getattr(args, "backend", None) or "local"
+    if spec != "local":
+        from .runtime.executors import make_backend
+
+        backend = make_backend(
+            spec,
+            workers=args.workers,
+            lease_timeout=getattr(args, "lease_timeout", None),
+        )
+        if backend is not None:
+            backend.start()
+            host, port = backend.address
+            # stderr, so stdout stays byte-identical to a local run.
+            print(
+                f"mlec-sim: tcp backend listening on {host}:{port}; start "
+                f"workers with: mlec-sim workers --connect {host}:{port}",
+                file=sys.stderr,
+            )
     return ResilientRunner(
         workers=args.workers,
         checkpoint=args.checkpoint,
@@ -123,6 +164,7 @@ def _make_runner(args: argparse.Namespace) -> TrialRunner:
         policy=RetryPolicy(max_attempts=args.max_retries + 1),
         chunk_timeout=args.chunk_timeout,
         argv=getattr(args, "_argv", None),
+        backend=backend,
     )
 
 
@@ -134,6 +176,8 @@ def _report_recovery(runner: TrialRunner) -> None:
     if not isinstance(runner, ResilientRunner):
         return
     runner.close()
+    if runner.backend is not None:
+        runner.backend.shutdown()
     counters = runner.ops_metrics.snapshot()["counters"]
     if any(isinstance(v, (int, float)) and v for v in counters.values()):
         print(runner.recovery_summary(), file=sys.stderr)
@@ -424,6 +468,40 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if report.total_invariant_violations else 0
 
 
+def cmd_workers(args: argparse.Namespace) -> int:
+    """Serve trial chunks to a ``--backend tcp://...`` coordinator.
+
+    Stateless by design: all scheduling, retry, and checkpoint state
+    lives with the coordinator, so workers can be added, killed, or
+    partitioned at any time without affecting results.
+    """
+    from .runtime.executors import parse_backend_spec
+    from .runtime.executors.worker import run_worker_fleet
+
+    _kind, address = parse_backend_spec(f"tcp://{args.connect}")
+    assert address is not None
+    host, port = address
+    if args.processes < 1:
+        raise ValueError(f"--processes must be >= 1, got {args.processes}")
+    print(
+        f"mlec-sim: {args.processes} worker(s) serving {host}:{port}",
+        file=sys.stderr,
+    )
+    code = run_worker_fleet(
+        host,
+        port,
+        processes=args.processes,
+        connect_timeout=args.connect_timeout,
+    )
+    if code == 2:
+        print(
+            f"mlec-sim: error: no coordinator reachable at {host}:{port} "
+            f"within {args.connect_timeout:g}s",
+            file=sys.stderr,
+        )
+    return code
+
+
 def cmd_resume(args: argparse.Namespace) -> int:
     """Continue an interrupted sweep by replaying its recorded command.
 
@@ -454,6 +532,26 @@ def cmd_resume(args: argparse.Namespace) -> int:
         new_args.workers = args.workers
     if args.max_retries is not None:
         new_args.max_retries = args.max_retries
+    if args.backend is not None and args.connect is not None:
+        raise ValueError("pass --backend or --connect, not both")
+    override = args.backend
+    if args.connect is not None:
+        override = f"tcp://{args.connect}"
+    if override is not None:
+        from .runtime.executors import parse_backend_spec
+
+        # Fail fast with the spec diagnostic before replaying anything.
+        parse_backend_spec(override)
+        if not hasattr(new_args, "backend"):
+            raise CheckpointError(
+                f"{args.file} was written by `mlec-sim {argv[0]}`, which "
+                "does not run trial sweeps; --backend/--connect do not apply"
+            )
+        # Safe to swap: the journal header pins fn/args/seed/trials by
+        # sha256 (validated when the sweep reopens), and chunk records
+        # are host-independent, so the backend can only change *where*
+        # chunks run, never what the resumed artifacts contain.
+        new_args.backend = override
     new_args._argv = argv
     result: int = new_args.func(new_args)
     return result
@@ -499,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     _add_workers_arg(p)
+    _add_backend_args(p)
     _add_resilience_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_burst)
@@ -542,6 +641,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent missions to simulate (seeds seed..seed+trials-1)",
     )
     _add_workers_arg(p)
+    _add_backend_args(p)
     _add_resilience_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_simulate)
@@ -565,6 +665,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
     _add_workers_arg(p)
+    _add_backend_args(p)
     _add_resilience_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_chaos)
@@ -587,7 +688,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=None,
         help="override the retry budget of the original command",
     )
+    p.add_argument(
+        "--backend", default=None, metavar="SPEC",
+        help="override the executor backend of the original command "
+             "('local' or 'tcp://HOST:PORT'); the journal's chunk records "
+             "are host-independent, so results are identical either way",
+    )
+    p.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="shorthand for --backend tcp://HOST:PORT",
+    )
     p.set_defaults(func=cmd_resume, checkpoint=None, resume=False)
+
+    p = sub.add_parser(
+        "workers",
+        help="serve Monte-Carlo trial chunks to a tcp:// coordinator",
+    )
+    p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (printed on stderr by the campaign "
+             "command run with --backend tcp://HOST:PORT)",
+    )
+    p.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes to run; each holds one chunk lease at a "
+             "time (default 1)",
+    )
+    p.add_argument(
+        "--connect-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="keep retrying the initial connection this long, so workers "
+             "may be started before the coordinator (default 30)",
+    )
+    p.set_defaults(func=cmd_workers)
 
     p = sub.add_parser(
         "trace-report",
@@ -626,6 +758,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     checkpoint is in play), Ctrl-C exits 130 with a resume hint.
     """
     from .runtime import CheckpointError, TrialExecutionError
+    from .runtime.executors import BackendUnavailable
 
     def hint_resume() -> None:
         checkpoint = getattr(args, "checkpoint", None)
@@ -656,7 +789,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         print("mlec-sim: interrupted", file=sys.stderr)
         hint_resume()
         return 130
-    except (ValueError, OSError) as exc:
+    except (BackendUnavailable, ValueError, OSError) as exc:
         print(f"mlec-sim: error: {exc}", file=sys.stderr)
         return 2
 

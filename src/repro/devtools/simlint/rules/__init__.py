@@ -7,6 +7,15 @@ subclass decorated with ``@register_rule``, and import it below.
 
 from __future__ import annotations
 
-from . import events, floats, pickling, printing, rng, units, writes
+from . import events, executors, floats, pickling, printing, rng, units, writes
 
-__all__ = ["rng", "events", "floats", "units", "pickling", "printing", "writes"]
+__all__ = [
+    "rng",
+    "events",
+    "floats",
+    "units",
+    "pickling",
+    "printing",
+    "writes",
+    "executors",
+]

@@ -1,0 +1,79 @@
+"""SL009 executor-bypass: process pools come from the executors package.
+
+The runtime's placement layer (:mod:`repro.runtime.executors`) is the one
+place allowed to construct a ``ProcessPoolExecutor``: it wraps pool
+creation in :class:`~repro.runtime.executors.LocalProcessBackend`, which
+the runners know how to rebuild after a crash, reset on abnormal exit,
+and swap for the TCP work-queue backend without touching sweep code.  A
+``ProcessPoolExecutor(...)`` constructed anywhere else bypasses all of
+that -- no ``BackendUnavailable`` fallback, no recovery accounting, no
+``--backend`` override -- and silently re-couples the caller to
+single-host execution.
+
+The rule flags any call whose callee names ``ProcessPoolExecutor``
+(bare or attribute-qualified), in ``repro`` library modules outside
+``runtime/executors/``.  The ``devtools`` tree is exempt, and the usual
+``# simlint: disable=SL009`` suppression comment is honored.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["ExecutorBypass"]
+
+_EXEMPT_DIRS = frozenset({"devtools"})
+_POOL_NAMES = frozenset({"ProcessPoolExecutor"})
+
+
+def _callee_name(call: ast.Call) -> str | None:
+    """The terminal name of the callee (``X`` in ``a.b.X(...)``/``X(...)``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register_rule
+class ExecutorBypass(Rule):
+    """SL009: construct process pools only inside repro.runtime.executors."""
+
+    rule_id = "SL009"
+    title = "executor-bypass"
+    rationale = (
+        "ProcessPoolExecutor(...) outside repro/runtime/executors/ bypasses "
+        "the ChunkExecutor backends (no rebuild-on-crash, no recovery "
+        "accounting, no --backend override); use LocalProcessBackend or "
+        "accept a ChunkExecutor instead."
+    )
+
+    @staticmethod
+    def _in_scope(ctx: FileContext) -> bool:
+        parts = ctx.path.parts
+        if "repro" not in parts:
+            return False
+        if _EXEMPT_DIRS.intersection(parts):
+            return False
+        # The placement layer itself is the one legitimate construction site.
+        return "executors" not in parts
+
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        if not self._in_scope(ctx):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _callee_name(node)
+                if name in _POOL_NAMES:
+                    findings.append(ctx.finding(
+                        self.rule_id, node,
+                        f"{name}(...) constructed outside "
+                        "repro/runtime/executors/; use LocalProcessBackend "
+                        "(or accept a ChunkExecutor) so the runner can "
+                        "rebuild, account for, and swap the pool",
+                    ))
+        return findings

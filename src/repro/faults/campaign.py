@@ -36,7 +36,7 @@ from ..core.scheme import MLEC_SCHEME_NAMES, MLECScheme, mlec_scheme_from_name
 from ..core.types import RepairMethod
 from ..obs import MetricsRegistry, TraceRecorder
 from ..reporting import format_matrix, format_table
-from ..runtime import TrialContext, TrialRunner
+from ..runtime import ChunkExecutor, TrialContext, TrialRunner
 from ..sim.failures import ExponentialFailures
 from ..sim.simulator import MLECSystemSimulator
 from .events import (
@@ -364,6 +364,12 @@ class ChaosCampaign:
         campaign checkpointable and crash-tolerant (the flattened sweep is
         one journal sweep, so resume skips completed scenario/scheme/trial
         chunks).
+    backend:
+        Optional :class:`~repro.runtime.ChunkExecutor` deciding where
+        trial chunks run (e.g. a
+        :class:`~repro.runtime.TcpWorkQueueBackend` coordinating remote
+        ``mlec-sim workers`` hosts).  Mutually exclusive with ``runner``
+        -- pass the backend to your runner instead when you build one.
     """
 
     def __init__(
@@ -379,6 +385,7 @@ class ChaosCampaign:
         check_invariants: bool = True,
         workers: int = 1,
         runner: TrialRunner | None = None,
+        backend: ChunkExecutor | None = None,
     ) -> None:
         if trials <= 0:
             raise ValueError(f"trials must be positive, got {trials}")
@@ -401,7 +408,16 @@ class ChaosCampaign:
         if not self.scenarios:
             raise ValueError("campaign needs at least one scenario")
         self.check_invariants = check_invariants
-        self.runner = runner if runner is not None else TrialRunner(workers=workers)
+        if runner is not None and backend is not None:
+            raise ValueError(
+                "pass either runner or backend, not both; give the backend "
+                "to your runner instead"
+            )
+        self.runner = (
+            runner
+            if runner is not None
+            else TrialRunner(workers=workers, backend=backend)
+        )
 
     # ------------------------------------------------------------------
     def run(

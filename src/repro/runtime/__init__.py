@@ -6,8 +6,24 @@ durability campaigns, and chaos sweeps all fan out through, plus the
 fault-tolerant wrapper (:class:`ResilientRunner`) that journals chunk
 results to a resumable checkpoint and retries crashed workers under a
 deterministic :class:`RetryPolicy`.
+
+*Where* chunks run is pluggable: the :mod:`~repro.runtime.executors`
+package defines the :class:`ChunkExecutor` protocol with a single-host
+:class:`LocalProcessBackend` and a multi-host
+:class:`TcpWorkQueueBackend` whose remote workers
+(``mlec-sim workers``) survive host death, stragglers, and partitions
+without changing a result byte.
 """
 
+from .executors import (
+    BackendEvent,
+    BackendUnavailable,
+    ChunkExecutor,
+    LocalProcessBackend,
+    TcpWorkQueueBackend,
+    make_backend,
+    parse_backend_spec,
+)
 from .resilience import (
     CHECKPOINT_SCHEMA_VERSION,
     CheckpointError,
@@ -24,14 +40,21 @@ from .runner import (
 )
 
 __all__ = [
+    "BackendEvent",
+    "BackendUnavailable",
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointError",
+    "ChunkExecutor",
+    "LocalProcessBackend",
     "ResilientRunner",
     "RetryPolicy",
     "RunTelemetry",
+    "TcpWorkQueueBackend",
     "TrialAggregate",
     "TrialContext",
     "TrialExecutionError",
     "TrialRunner",
+    "make_backend",
+    "parse_backend_spec",
     "read_checkpoint_argv",
 ]

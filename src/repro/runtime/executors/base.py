@@ -1,0 +1,291 @@
+"""The chunk-executor protocol: where trial chunks actually run.
+
+The trial runners (:class:`~repro.runtime.TrialRunner`,
+:class:`~repro.runtime.ResilientRunner`) decide *what* runs -- chunk
+boundaries, retry budgets, checkpointing, the deterministic fold -- while
+a :class:`ChunkExecutor` backend decides *where*: a local process pool
+(:class:`~repro.runtime.executors.LocalProcessBackend`) or a fleet of
+remote hosts pulling work over TCP
+(:class:`~repro.runtime.executors.TcpWorkQueueBackend`).  The contract
+every backend must honor is the determinism invariant the runners were
+built on: a chunk is a pure function of ``(fn, lo, children, args)``, so
+*which* backend (and which host) executed it can never change a result --
+only wall-clock facts and operational telemetry.
+
+This module holds the pieces shared by every backend:
+
+* :func:`run_chunk` -- the chunk execution primitive (runs in a pool
+  worker, a remote worker process, or in-process).
+* :class:`ChunkPayload` / :class:`ChunkFailure` -- its result types,
+  shipped back as data so they survive any transport (pipe, socket,
+  checkpoint journal).
+* :class:`ChunkJob` -- one dispatchable unit of work.
+* :class:`ChunkExecutor` -- the backend protocol.
+* :class:`BackendEvent` -- operational facts (steals, worker deaths)
+  backends surface for the runner's ops telemetry.
+* :func:`parse_backend_spec` / :func:`make_backend` -- the CLI-facing
+  backend factory (``local`` | ``tcp://HOST:PORT``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import traceback
+from collections.abc import Callable, Mapping, Sequence
+from concurrent.futures import Future
+from multiprocessing.context import BaseContext
+from typing import TYPE_CHECKING, Any, Protocol, Union
+
+import numpy as np
+
+from repro.obs import MetricsRegistry, TraceRecorder
+
+if TYPE_CHECKING:
+    from .tcp import TcpWorkQueueBackend
+
+__all__ = [
+    "BackendEvent",
+    "BackendUnavailable",
+    "ChunkExecutor",
+    "ChunkFailure",
+    "ChunkFuture",
+    "ChunkJob",
+    "ChunkPayload",
+    "ChunkResult",
+    "make_backend",
+    "parse_backend_spec",
+    "run_chunk",
+]
+
+
+class BackendUnavailable(RuntimeError):
+    """An executor backend cannot be brought up (or has gone away).
+
+    Subclasses ``RuntimeError`` deliberately: the resilient runner's
+    worker-crash handling already treats ``RuntimeError`` from a chunk
+    future as a retryable infrastructure failure, so backend loss flows
+    through the same retry/teardown/serial-fallback machinery.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkFailure:
+    """Worker-side trial failure, shipped back as data (always picklable)."""
+
+    index: int
+    message: str
+    worker_traceback: str
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkPayload:
+    """One chunk's results plus its telemetry, shipped back from a worker."""
+
+    values: list[Any]
+    seconds: float
+    metrics: MetricsRegistry | None
+    records: list[dict[str, Any]]
+
+
+#: What a dispatched chunk resolves to: results or an in-trial failure.
+ChunkResult = Union[ChunkPayload, ChunkFailure]
+#: The future type every backend's ``submit`` returns.
+ChunkFuture = Future[ChunkResult]
+
+
+def run_chunk(
+    fn: Callable[..., Any],
+    start: int,
+    children: Sequence[np.random.SeedSequence],
+    args: tuple[Any, ...],
+    collect_metrics: bool = False,
+    collect_trace: bool = False,
+) -> ChunkResult:
+    """Run one contiguous chunk of trials; runs wherever the backend puts it.
+
+    Trial ``start + i`` receives ``children[i]`` as its private seed
+    stream, so the result is a pure function of the arguments -- identical
+    on a pool worker, a remote TCP worker, or in-process.
+    """
+    began = time.perf_counter()
+    metrics = MetricsRegistry() if collect_metrics else None
+    records: list[dict[str, Any]] = []
+    out: list[Any] = []
+    for offset, child in enumerate(children):
+        trace = TraceRecorder(trial=start + offset) if collect_trace else None
+        ctx = _trial_context(start + offset, child, metrics, trace)
+        try:
+            out.append(fn(ctx, *args))
+        except Exception as exc:  # surfaced as TrialExecutionError upstream
+            return ChunkFailure(
+                index=ctx.index,
+                message=f"{type(exc).__name__}: {exc}",
+                worker_traceback=traceback.format_exc(),
+            )
+        if trace is not None:
+            records.extend(trace.records)
+    return ChunkPayload(
+        values=out,
+        seconds=time.perf_counter() - began,
+        metrics=metrics,
+        records=records,
+    )
+
+
+def _trial_context(
+    index: int,
+    child: np.random.SeedSequence,
+    metrics: MetricsRegistry | None,
+    trace: TraceRecorder | None,
+) -> Any:
+    # Imported late: runner.py imports this module, and TrialContext
+    # lives next to the runner.
+    from ..runner import TrialContext
+
+    return TrialContext(
+        index=index, seed_sequence=child, metrics=metrics, trace=trace
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkJob:
+    """One dispatchable unit: a contiguous range of trials of a sweep.
+
+    ``index`` is the chunk ordinal within the sweep (stable across
+    retries); ``[lo, hi)`` the trial range; ``children`` the spawned
+    per-trial seed streams; ``collect`` the ``(metrics, trace)``
+    telemetry flags.  Everything here must be picklable: the local
+    backend ships jobs over a pipe, the TCP backend over a socket.
+    """
+
+    index: int
+    lo: int
+    hi: int
+    fn: Callable[..., Any]
+    children: tuple[np.random.SeedSequence, ...]
+    args: tuple[Any, ...]
+    collect: tuple[bool, bool]
+
+    def run(self) -> ChunkResult:
+        """Execute the job in the calling process (fallback/serial path)."""
+        return run_chunk(self.fn, self.lo, self.children, self.args, *self.collect)
+
+
+@dataclasses.dataclass(frozen=True)
+class BackendEvent:
+    """One operational fact a backend surfaces (steal, worker death, ...).
+
+    ``kind`` is one of ``"steal"``, ``"worker_death"``, ``"duplicate"``,
+    ``"fallback"``, ``"worker_join"``; ``data`` holds JSON-compatible
+    scalars only, so the runner can fold events straight into its
+    operational trace.  Events never carry results -- results travel
+    exclusively through chunk futures, which is what keeps the
+    at-most-once aggregation contract auditable.
+    """
+
+    kind: str
+    data: Mapping[str, Any]
+
+
+class ChunkExecutor(Protocol):
+    """Where chunks run.  Implementations: local pool, TCP work queue.
+
+    Lifecycle: ``start()`` brings the backend up (idempotent; raises
+    :class:`BackendUnavailable` when the environment cannot support it),
+    ``submit()`` dispatches a job and returns its future, ``rebuild()``
+    replaces wedged compute after a charged failure, ``reset()``
+    abandons all outstanding work (abnormal sweep exit), ``shutdown()``
+    releases everything.  ``drain_events()`` hands the runner the
+    operational facts (steals, worker deaths) accumulated since the
+    last drain; ``capacity()`` is how many chunks the runner should
+    keep in flight.
+    """
+
+    @property
+    def name(self) -> str:
+        """Short backend identifier (``"local"``, ``"tcp"``) for telemetry."""
+        ...
+
+    def start(self) -> None: ...
+
+    def submit(self, job: ChunkJob) -> ChunkFuture: ...
+
+    def capacity(self) -> int: ...
+
+    def drain_events(self) -> list[BackendEvent]: ...
+
+    def rebuild(self) -> bool: ...
+
+    def reset(self) -> None: ...
+
+    def shutdown(self, wait: bool = True) -> None: ...
+
+
+# ----------------------------------------------------------------------
+# Backend factory (the CLI's --backend flag)
+# ----------------------------------------------------------------------
+def parse_backend_spec(spec: str) -> tuple[str, tuple[str, int] | None]:
+    """Parse ``local`` or ``tcp://HOST:PORT`` into ``(kind, address)``.
+
+    Raises ``ValueError`` with a one-line diagnostic on anything else,
+    so the CLI surfaces a clear error instead of silently diverging.
+    """
+    text = spec.strip()
+    if text == "local":
+        return ("local", None)
+    for prefix in ("tcp://", "tcp:"):
+        if text.startswith(prefix):
+            host, port = _parse_hostport(text[len(prefix):], spec)
+            return ("tcp", (host, port))
+    raise ValueError(
+        f"unknown executor backend {spec!r}; expected 'local' or "
+        "'tcp://HOST:PORT'"
+    )
+
+
+def _parse_hostport(text: str, spec: str) -> tuple[str, int]:
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"backend spec {spec!r} needs HOST:PORT (e.g. tcp://127.0.0.1:9123)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"backend spec {spec!r} has a non-numeric port {port_text!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"backend spec {spec!r} port out of range: {port}")
+    return host, port
+
+
+def make_backend(
+    spec: str,
+    *,
+    workers: int = 1,
+    mp_context: BaseContext | None = None,
+    lease_timeout: float | None = None,
+) -> "TcpWorkQueueBackend | None":
+    """Build the executor backend a ``--backend`` spec names.
+
+    ``"local"`` returns ``None`` -- the runners' built-in local path,
+    which preserves the ``workers=1`` never-touches-multiprocessing
+    contract.  ``"tcp://HOST:PORT"`` returns a coordinator that binds
+    that address; ``workers`` sizes its local fallback pool (used when
+    no remote worker connects).
+    """
+    kind, address = parse_backend_spec(spec)
+    if kind == "local":
+        return None
+    from .tcp import TcpWorkQueueBackend
+
+    assert address is not None
+    host, port = address
+    kwargs: dict[str, Any] = {}
+    if lease_timeout is not None:
+        kwargs["lease_timeout"] = lease_timeout
+    return TcpWorkQueueBackend(
+        host, port, fallback_workers=workers, mp_context=mp_context, **kwargs
+    )

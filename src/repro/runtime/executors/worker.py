@@ -1,0 +1,188 @@
+"""Worker-side client for the TCP work queue (``mlec-sim workers``).
+
+A worker connects to a coordinator, announces itself, then loops:
+receive a lease, execute the chunk with the same :func:`run_chunk`
+primitive every other backend uses, ship the result back.  A sidecar
+thread heartbeats on the same socket even while a chunk is running, so
+the coordinator can tell "busy" from "dead".
+
+Workers are deliberately stateless: all scheduling, retry, and
+checkpoint state lives on the coordinator, which is what lets any
+number of workers join, die, or straggle without touching the journal
+format or the result bytes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from multiprocessing.context import BaseContext
+
+from .base import ChunkResult, run_chunk
+from .tcp import decode_blob, encode_blob, recv_frame, send_frame
+
+__all__ = ["run_worker", "run_worker_fleet"]
+
+
+def _connect_with_retry(
+    host: str, port: int, timeout: float
+) -> socket.socket | None:
+    """Dial the coordinator, retrying until ``timeout`` elapses.
+
+    Retrying matters operationally: it lets workers be started before
+    the coordinator (or ride out a coordinator restart at boot).
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=10.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(0.2)
+
+
+def _heartbeat_loop(
+    sock: socket.socket,
+    send_lock: threading.Lock,
+    interval: float,
+    stop: threading.Event,
+) -> None:
+    while not stop.wait(interval):
+        try:
+            send_frame(sock, {"t": "heartbeat"}, send_lock)
+        except (OSError, ValueError):
+            return
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    worker_id: str | None = None,
+    heartbeat_interval: float = 2.0,
+    connect_timeout: float = 30.0,
+) -> int:
+    """Serve chunk leases from ``host:port`` until the coordinator goes away.
+
+    Returns a process exit code: ``0`` on a clean finish (coordinator
+    shut down or closed the connection), ``2`` when the coordinator was
+    never reachable within ``connect_timeout``.
+    """
+    if heartbeat_interval <= 0:
+        raise ValueError(f"heartbeat_interval must be > 0, got {heartbeat_interval}")
+    label = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    sock = _connect_with_retry(host, port, connect_timeout)
+    if sock is None:
+        return 2
+    sock.settimeout(None)
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    try:
+        send_frame(sock, {"t": "hello", "worker": label}, send_lock)
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(sock, send_lock, heartbeat_interval, stop),
+            name="mlec-heartbeat",
+            daemon=True,
+        )
+        beat.start()
+        while True:
+            try:
+                frame = recv_frame(sock)
+            except ValueError:
+                return 1
+            if frame is None or frame.get("t") == "shutdown":
+                return 0
+            if frame.get("t") != "lease":
+                continue
+            try:
+                task_id = int(frame["task"])
+                fn, children, args, collect = decode_blob(str(frame["job"]))
+            except (KeyError, TypeError, ValueError):
+                return 1
+            result: ChunkResult = run_chunk(
+                fn, int(frame["lo"]), children, args, *collect
+            )
+            try:
+                send_frame(
+                    sock,
+                    {"t": "result", "task": task_id, "payload": encode_blob(result)},
+                    send_lock,
+                )
+            except (OSError, ValueError):
+                return 0  # coordinator gone; its lease machinery recovers
+    except OSError:
+        return 0
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _fleet_entry(
+    host: str,
+    port: int,
+    worker_id: str,
+    heartbeat_interval: float,
+    connect_timeout: float,
+) -> None:
+    raise SystemExit(
+        run_worker(
+            host,
+            port,
+            worker_id=worker_id,
+            heartbeat_interval=heartbeat_interval,
+            connect_timeout=connect_timeout,
+        )
+    )
+
+
+def run_worker_fleet(
+    host: str,
+    port: int,
+    *,
+    processes: int,
+    heartbeat_interval: float = 2.0,
+    connect_timeout: float = 30.0,
+    mp_context: BaseContext | None = None,
+) -> int:
+    """Run ``processes`` worker processes against one coordinator.
+
+    Each process owns a private connection (one lease slot each), so
+    the coordinator sees -- and survives the death of -- each process
+    independently.  Returns the worst child exit code.
+    """
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    if processes == 1:
+        return run_worker(
+            host,
+            port,
+            heartbeat_interval=heartbeat_interval,
+            connect_timeout=connect_timeout,
+        )
+    ctx: BaseContext = mp_context or multiprocessing.get_context()
+    procs = []
+    base = f"{socket.gethostname()}-{os.getpid()}"
+    for slot in range(processes):
+        proc = ctx.Process(
+            target=_fleet_entry,
+            args=(host, port, f"{base}.{slot}", heartbeat_interval, connect_timeout),
+            daemon=False,
+        )
+        proc.start()
+        procs.append(proc)
+    worst = 0
+    for proc in procs:
+        proc.join()
+        code = proc.exitcode
+        if code is None:
+            code = 1
+        worst = max(worst, abs(code))
+    return worst

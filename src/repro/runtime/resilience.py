@@ -57,7 +57,7 @@ import time
 import warnings
 from collections import deque
 from collections.abc import Callable, Mapping, Sequence
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing.context import BaseContext
 from pathlib import Path
@@ -66,6 +66,8 @@ from typing import Any, TextIO
 import numpy as np
 
 from ..obs import MetricsRegistry, TraceRecorder
+from .executors.base import BackendUnavailable, ChunkExecutor, ChunkJob
+from .executors.local import LocalProcessBackend
 from .runner import (
     RunTelemetry,
     TrialAggregate,
@@ -367,6 +369,12 @@ class ResilientRunner(TrialRunner):
     argv:
         Command line to record in the journal so ``mlec-sim resume``
         can re-execute the producing command.
+    backend:
+        Optional :class:`~repro.runtime.executors.ChunkExecutor`
+        deciding where chunks run (see :class:`TrialRunner`).  The
+        checkpoint journal records *chunk ranges*, never hosts, so a
+        sweep journaled under one backend (or host count) resumes
+        byte-identically under any other.
     """
 
     def __init__(
@@ -380,8 +388,9 @@ class ResilientRunner(TrialRunner):
         policy: RetryPolicy | None = None,
         chunk_timeout: float | None = None,
         argv: Sequence[str] | None = None,
+        backend: ChunkExecutor | None = None,
     ) -> None:
-        super().__init__(workers, chunk_size, mp_context)
+        super().__init__(workers, chunk_size, mp_context, backend)
         if chunk_timeout is not None and chunk_timeout <= 0:
             raise ValueError(f"chunk_timeout must be > 0, got {chunk_timeout}")
         if resume and checkpoint is None:
@@ -474,6 +483,8 @@ class ResilientRunner(TrialRunner):
         salvaged = count("runtime.chunks_salvaged")
         retries = count("runtime.chunk_retries")
         rebuilds = count("runtime.pool_rebuilds")
+        steals = count("runtime.steals")
+        deaths = count("runtime.worker_deaths")
         written = count("checkpoint.chunk_writes")
         if self.checkpoint_path is None:
             parts = ["no journal"]
@@ -482,6 +493,10 @@ class ResilientRunner(TrialRunner):
         parts.append(f"{salvaged} salvaged from checkpoint")
         parts.append(f"{retries} chunk retries")
         parts.append(f"{rebuilds} pool rebuilds")
+        if steals:
+            parts.append(f"{steals} chunk steals")
+        if deaths:
+            parts.append(f"{deaths} worker deaths")
         return "resilience: " + ", ".join(parts)
 
     # ------------------------------------------------------------------
@@ -545,7 +560,9 @@ class ResilientRunner(TrialRunner):
             children = np.random.SeedSequence(seed).spawn(trials)
             collect = (metrics is not None, trace is not None)
             if pending:
-                if self.workers > 1 and len(pending) > 1:
+                if self.backend is not None or (
+                    self.workers > 1 and len(pending) > 1
+                ):
                     self._execute_pooled(
                         fn,
                         children,
@@ -764,44 +781,98 @@ class ResilientRunner(TrialRunner):
         return self.policy.backoff_seconds(failures, index)
 
     # ------------------------------------------------------------------
-    # Pool path
+    # Pool path (any ChunkExecutor backend)
     # ------------------------------------------------------------------
-    def _make_pool(self, n_pending: int) -> ProcessPoolExecutor | None:
-        try:
-            return ProcessPoolExecutor(
+    def _acquire_backend(self, n_pending: int) -> tuple[ChunkExecutor | None, bool]:
+        """The backend to dispatch on, plus whether this runner owns it."""
+        if self.backend is not None:
+            executor: ChunkExecutor = self.backend
+            owns = False
+        else:
+            executor = LocalProcessBackend(
                 max_workers=min(self.workers, n_pending),
                 mp_context=self.mp_context,
             )
-        except Exception as exc:  # sandboxes without semaphores/fork
+            owns = True
+        try:
+            executor.start()
+        except BackendUnavailable as exc:  # sandboxes without semaphores
             warnings.warn(
-                f"process pool unavailable ({exc!r}); "
-                "running trials in-process",
+                f"{exc}; running trials in-process",
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return None
+            return None, owns
+        return executor, owns
 
-    def _teardown_pool(
+    def _rebuild_backend(
         self,
-        executor: ProcessPoolExecutor,
+        executor: ChunkExecutor,
         inflight: dict[Future[Any], tuple[int, _Bounds, float]],
         queue: deque[tuple[int, _Bounds]],
-        n_pending: int,
-    ) -> ProcessPoolExecutor | None:
-        """Kill a broken/stuck pool, requeue collateral chunks, rebuild.
+    ) -> bool:
+        """Requeue collateral chunks and rebuild the backend's compute.
 
-        Chunks still in flight when the pool dies are *collateral*: they
-        are rescheduled without an attempt charge (the chunk that caused
-        the teardown was charged by the caller and sits in its backoff
-        window already).
+        Chunks still in flight when the backend dies are *collateral*:
+        they are rescheduled without an attempt charge (the chunk that
+        caused the teardown was charged by the caller and sits in its
+        backoff window already).
         """
-        self._kill_pool(executor, list(inflight))
         for index, bounds, _started in inflight.values():
             queue.append((index, bounds))
         inflight.clear()
         self.ops_metrics.counter("runtime.pool_rebuilds").inc()
-        self.ops_trace.event(self._elapsed(), "pool.rebuild", pending=len(queue))
-        return self._make_pool(n_pending)
+        self.ops_trace.event(
+            self._elapsed(),
+            "pool.rebuild",
+            pending=len(queue),
+            backend=executor.name,
+        )
+        if executor.rebuild():
+            return True
+        warnings.warn(
+            f"{executor.name} backend cannot be rebuilt; "
+            "running remaining trials in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return False
+
+    def _drain_backend_events(self, executor: ChunkExecutor) -> None:
+        """Fold backend facts (steals, worker deaths) into ops telemetry.
+
+        Accounting contract: a steal charges exactly one retry (the
+        straggler's lease expired -- that *is* the retry); a worker
+        death charges one retry per lease it forfeited; a duplicate
+        completion (steal loser finishing late) charges nothing and is
+        recorded only as a trace event, which is what "losers uncharged,
+        at-most-once aggregation" means in numbers.  Backend-internal
+        requeues never consume the runner's ``RetryPolicy`` attempt
+        budget -- that budget is for chunks that *failed*, not chunks a
+        dying host happened to hold.
+        """
+        for event in executor.drain_events():
+            data = dict(event.data)
+            if event.kind == "steal":
+                self.ops_metrics.counter("runtime.steals").inc()
+                self.ops_metrics.counter("runtime.chunk_retries").inc()
+                self.ops_trace.event(self._elapsed(), "chunk.steal", **data)
+            elif event.kind == "worker_death":
+                requeued = int(data.get("requeued", 0))
+                self.ops_metrics.counter("runtime.worker_deaths").inc()
+                if requeued:
+                    self.ops_metrics.counter("runtime.chunk_retries").inc(requeued)
+                self.ops_trace.event(self._elapsed(), "worker.death", **data)
+            elif event.kind == "duplicate":
+                self.ops_trace.event(self._elapsed(), "chunk.duplicate", **data)
+            elif event.kind == "worker_join":
+                self.ops_trace.event(self._elapsed(), "worker.join", **data)
+            elif event.kind == "fallback":
+                self.ops_trace.event(self._elapsed(), "backend.fallback", **data)
+            else:
+                self.ops_trace.event(
+                    self._elapsed(), f"backend.{event.kind}", **data
+                )
 
     def _next_wakeup(
         self,
@@ -837,10 +908,11 @@ class ResilientRunner(TrialRunner):
 
         Completed chunks land in ``payloads`` (and the journal) the
         moment they arrive, in *completion* order -- determinism is
-        restored by the caller's chunk-ordered fold.  If the pool cannot
-        be (re)built, remaining chunks are left for the serial fallback.
+        restored by the caller's chunk-ordered fold.  If the backend
+        cannot be (re)built, remaining chunks are left for the serial
+        fallback.
         """
-        executor = self._make_pool(len(pending))
+        executor, owns_backend = self._acquire_backend(len(pending))
         if executor is None:
             return
         queue: deque[tuple[int, _Bounds]] = deque(pending)
@@ -855,10 +927,18 @@ class ResilientRunner(TrialRunner):
                 for index in [i for i, (t, _b) in retry_at.items() if t <= now]:
                     _due, bounds = retry_at.pop(index)
                     queue.append((index, bounds))
-                while queue and len(inflight) < self.workers:
+                while queue and len(inflight) < max(1, executor.capacity()):
                     index, (lo, hi) = queue.popleft()
                     future = executor.submit(
-                        _run_chunk, fn, lo, children[lo:hi], args, *collect
+                        ChunkJob(
+                            index=index,
+                            lo=lo,
+                            hi=hi,
+                            fn=fn,
+                            children=tuple(children[lo:hi]),
+                            args=args,
+                            collect=collect,
+                        )
                     )
                     inflight[future] = (index, (lo, hi), time.monotonic())
                 if not inflight:
@@ -872,6 +952,7 @@ class ResilientRunner(TrialRunner):
                     timeout=self._next_wakeup(inflight, retry_at, deadline),
                     return_when=FIRST_COMPLETED,
                 )
+                self._drain_backend_events(executor)
                 broken = False
                 for future in done:
                     index, bounds, _started = inflight.pop(future)
@@ -910,12 +991,8 @@ class ResilientRunner(TrialRunner):
                         payloads[bounds] = result
                         self._record_chunk(sweep, bounds, result)
                 if broken:
-                    rebuilt = self._teardown_pool(
-                        executor, inflight, queue, len(pending)
-                    )
-                    if rebuilt is None:
+                    if not self._rebuild_backend(executor, inflight, queue):
                         return  # serial fallback finishes the remainder
-                    executor = rebuilt
                     continue
                 # Watchdog: runs every iteration, not just when wait()
                 # comes back empty -- a hung chunk must be detected even
@@ -939,18 +1016,15 @@ class ResilientRunner(TrialRunner):
                                 "chunk timeout",
                             )
                             retry_at[index] = (time.monotonic() + delay, bounds)
-                        rebuilt = self._teardown_pool(
-                            executor, inflight, queue, len(pending)
-                        )
-                        if rebuilt is None:
+                        if not self._rebuild_backend(executor, inflight, queue):
                             return
-                        executor = rebuilt
         finally:
+            self._drain_backend_events(executor)
             if inflight or queue or retry_at:
                 # Abnormal exit: workers may be stuck mid-trial.
-                self._kill_pool(executor, list(inflight))
-            else:
-                executor.shutdown(wait=True, cancel_futures=True)
+                executor.reset()
+            if owns_backend:
+                executor.shutdown(wait=not (inflight or queue or retry_at))
 
     # ------------------------------------------------------------------
     # Serial path (workers=1, single chunk, or pool unavailable)

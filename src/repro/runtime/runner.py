@@ -18,6 +18,11 @@ as infrastructure:
   if the process pool cannot be created at all (sandboxes, missing
   semaphores), the runner warns once and falls back to in-process
   execution with identical results.
+* **Pluggable placement.**  *Where* chunks execute is delegated to a
+  :class:`~repro.runtime.executors.ChunkExecutor` backend -- the default
+  local process pool or a multi-host TCP work queue (``backend=``) --
+  and because chunk results are pure data folded in trial order, the
+  backend choice can never change a result byte.
 * **Failure surfacing.**  A trial that raises, a worker process that dies,
   or a sweep that exceeds ``timeout`` all raise
   :class:`TrialExecutionError` naming the trial range involved (with the
@@ -44,10 +49,8 @@ from __future__ import annotations
 import dataclasses
 import math
 import time
-import traceback
 import warnings
 from collections.abc import Callable, Iterator, Sequence
-from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing.context import BaseContext
 from typing import Any
@@ -55,6 +58,16 @@ from typing import Any
 import numpy as np
 
 from repro.obs import MetricsRegistry, TraceRecorder
+
+from .executors.base import (
+    BackendUnavailable,
+    ChunkExecutor,
+    ChunkFailure,
+    ChunkJob,
+    ChunkPayload,
+    run_chunk,
+)
+from .executors.local import LocalProcessBackend
 
 __all__ = [
     "TrialContext",
@@ -222,62 +235,13 @@ class RunTelemetry:
         return self.trials / self.wall_seconds
 
 
-@dataclasses.dataclass(frozen=True)
-class _ChunkError:
-    """Worker-side trial failure, shipped back as data (always picklable)."""
-
-    index: int
-    message: str
-    worker_traceback: str
-
-
-@dataclasses.dataclass(frozen=True)
-class _ChunkPayload:
-    """One chunk's results plus its telemetry, shipped back from a worker."""
-
-    values: list[Any]
-    seconds: float
-    metrics: MetricsRegistry | None
-    records: list[dict[str, Any]]
-
-
-def _run_chunk(
-    fn: Callable[..., Any],
-    start: int,
-    children: Sequence[np.random.SeedSequence],
-    args: tuple[Any, ...],
-    collect_metrics: bool = False,
-    collect_trace: bool = False,
-) -> _ChunkPayload | _ChunkError:
-    """Run one contiguous chunk of trials; runs in the worker process."""
-    began = time.perf_counter()
-    metrics = MetricsRegistry() if collect_metrics else None
-    records: list[dict[str, Any]] = []
-    out: list[Any] = []
-    for offset, child in enumerate(children):
-        trace = TraceRecorder(trial=start + offset) if collect_trace else None
-        ctx = TrialContext(
-            index=start + offset,
-            seed_sequence=child,
-            metrics=metrics,
-            trace=trace,
-        )
-        try:
-            out.append(fn(ctx, *args))
-        except Exception as exc:  # surfaced as TrialExecutionError upstream
-            return _ChunkError(
-                index=ctx.index,
-                message=f"{type(exc).__name__}: {exc}",
-                worker_traceback=traceback.format_exc(),
-            )
-        if trace is not None:
-            records.extend(trace.records)
-    return _ChunkPayload(
-        values=out,
-        seconds=time.perf_counter() - began,
-        metrics=metrics,
-        records=records,
-    )
+# Chunk execution now lives in repro.runtime.executors.base (shared by
+# every backend).  The private aliases keep two things working: existing
+# imports, and -- critically -- *old checkpoint journals*, whose pickled
+# chunk payloads reference these names by module path.
+_ChunkError = ChunkFailure
+_ChunkPayload = ChunkPayload
+_run_chunk = run_chunk
 
 
 class TrialRunner:
@@ -295,6 +259,14 @@ class TrialRunner:
     mp_context:
         Optional ``multiprocessing`` context for the pool (e.g.
         ``multiprocessing.get_context("fork")``).
+    backend:
+        Optional :class:`~repro.runtime.executors.ChunkExecutor`
+        deciding *where* chunks run (e.g. a
+        :class:`~repro.runtime.executors.TcpWorkQueueBackend`
+        coordinating remote hosts).  ``None`` (the default) keeps the
+        built-in local path: in-process for ``workers=1``, a local
+        process pool otherwise.  The runner never shuts down a caller-
+        provided backend -- ownership stays with the caller.
     """
 
     def __init__(
@@ -302,6 +274,7 @@ class TrialRunner:
         workers: int | None = 1,
         chunk_size: int | None = None,
         mp_context: BaseContext | None = None,
+        backend: ChunkExecutor | None = None,
     ) -> None:
         if workers is None:
             import os
@@ -314,8 +287,14 @@ class TrialRunner:
         self.workers = int(workers)
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        self.backend = backend
         #: Wall-clock facts about the most recent ``run``/``map`` call.
         self.last_telemetry: RunTelemetry | None = None
+
+    @property
+    def backend_name(self) -> str:
+        """Telemetry label of the executor backend in use."""
+        return self.backend.name if self.backend is not None else "local"
 
     # ------------------------------------------------------------------
     def run(
@@ -417,17 +396,22 @@ class TrialRunner:
                 worker_seconds=worker_seconds,
             )
 
-        executor: ProcessPoolExecutor | None = None
-        if self.workers > 1 and len(bounds) > 1:
+        executor: ChunkExecutor | None = None
+        owns_backend = False
+        if self.backend is not None:
+            executor = self.backend
+        elif self.workers > 1 and len(bounds) > 1:
+            executor = LocalProcessBackend(
+                max_workers=min(self.workers, len(bounds)),
+                mp_context=self.mp_context,
+            )
+            owns_backend = True
+        if executor is not None:
             try:
-                executor = ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(bounds)),
-                    mp_context=self.mp_context,
-                )
-            except Exception as exc:  # sandboxes without semaphores/fork
+                executor.start()
+            except BackendUnavailable as exc:  # sandboxes without semaphores
                 warnings.warn(
-                    f"process pool unavailable ({exc!r}); "
-                    "running trials in-process",
+                    f"{exc}; running trials in-process",
                     RuntimeWarning,
                     stacklevel=3,
                 )
@@ -435,17 +419,26 @@ class TrialRunner:
 
         if executor is None:
             for lo, hi in bounds:
-                yield absorb(_run_chunk(fn, lo, children[lo:hi], args, *collect))
+                yield absorb(run_chunk(fn, lo, tuple(children[lo:hi]), args, *collect))
             finish()
             return
 
         deadline = None if timeout is None else time.monotonic() + timeout
+        futures = []
         try:
             futures = [
                 executor.submit(
-                    _run_chunk, fn, lo, children[lo:hi], args, *collect
+                    ChunkJob(
+                        index=index,
+                        lo=lo,
+                        hi=hi,
+                        fn=fn,
+                        children=tuple(children[lo:hi]),
+                        args=args,
+                        collect=collect,
+                    )
                 )
-                for lo, hi in bounds
+                for index, (lo, hi) in enumerate(bounds)
             ]
             # Consume in index order: buffering out-of-order completions in
             # the executor keeps the downstream fold deterministic.
@@ -456,15 +449,14 @@ class TrialRunner:
                 try:
                     chunk = future.result(timeout=remaining)
                 except TimeoutError as exc:
-                    self._kill_pool(executor, futures)
-                    executor = None
+                    executor.reset()
                     raise TrialExecutionError(
                         f"trial sweep timed out after {timeout:g}s waiting "
                         f"for trials [{lo}, {hi}) "
                         f"(salvaged {len(salvaged)} completed trials)",
                         partial_values=salvaged,
                     ) from exc
-                except BrokenProcessPool as exc:
+                except (BrokenProcessPool, BackendUnavailable) as exc:
                     raise TrialExecutionError(
                         f"worker process crashed while running trials "
                         f"[{lo}, {hi}); the pool is no longer usable "
@@ -474,30 +466,23 @@ class TrialRunner:
                 yield absorb(chunk)
             finish()
         finally:
-            if executor is not None:
-                executor.shutdown(wait=True, cancel_futures=True)
+            if owns_backend:
+                executor.shutdown(wait=True)
+            elif futures and not all(f.done() for f in futures):
+                # Caller-owned backend with work still in flight (early
+                # generator close, timeout, chunk failure): abandon it so
+                # the backend does not keep executing a dead sweep.
+                executor.reset()
 
     @staticmethod
     def _check_chunk(
-        chunk: _ChunkPayload | _ChunkError,
+        chunk: ChunkPayload | ChunkFailure,
         salvaged: Sequence[Any] | None = None,
-    ) -> _ChunkPayload:
-        if isinstance(chunk, _ChunkError):
+    ) -> ChunkPayload:
+        if isinstance(chunk, ChunkFailure):
             raise TrialExecutionError(
                 f"trial {chunk.index} raised {chunk.message}\n"
                 f"--- worker traceback ---\n{chunk.worker_traceback}",
                 partial_values=salvaged,
             )
         return chunk
-
-    @staticmethod
-    def _kill_pool(
-        executor: ProcessPoolExecutor, futures: Sequence[Future[Any]]
-    ) -> None:
-        """Tear down a pool whose workers may be stuck mid-trial."""
-        for future in futures:
-            future.cancel()
-        processes = getattr(executor, "_processes", None) or {}
-        for process in list(processes.values()):
-            process.terminate()
-        executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,490 @@
+"""Executor backends: the protocol, the local pool, and the TCP work queue.
+
+The acceptance bar is the one every runner test enforces: no matter
+which backend runs the chunks -- local pool, one TCP worker host, three
+hosts, or the degraded in-process fallback -- the final aggregate,
+merged metrics snapshot, and trace stream must be bitwise identical to
+an uninterrupted ``workers=1`` run.  SIGKILLing a worker host
+mid-campaign, stealing a straggler's lease, or partitioning a worker
+off the network may only ever change wall-clock time and operational
+telemetry.
+"""
+
+import multiprocessing
+import os
+import signal
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.obs import MetricsRegistry, TraceRecorder
+from repro.runtime import (
+    BackendUnavailable,
+    LocalProcessBackend,
+    ResilientRunner,
+    RetryPolicy,
+    TcpWorkQueueBackend,
+    TrialExecutionError,
+    TrialRunner,
+    make_backend,
+    parse_backend_spec,
+)
+from repro.runtime.executors.base import ChunkJob, ChunkPayload
+from repro.runtime.executors.tcp import encode_blob, recv_frame, send_frame
+from repro.runtime.executors.worker import run_worker
+
+#: Retries without wall-clock pauses (the backoff arithmetic is pinned
+#: in the resilience suite).
+FAST = RetryPolicy(max_attempts=3, backoff_base=0.0)
+
+
+# ----------------------------------------------------------------------
+# Module-level trial functions (workers must be able to pickle them)
+# ----------------------------------------------------------------------
+def _value_trial(ctx):
+    return float(ctx.rng().random())
+
+
+def _telemetry_trial(ctx, marker=None):
+    """Returns a random value; SIGKILLs its host process once if markered."""
+    if marker is not None and ctx.index == 5 and not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    value = float(ctx.rng().random())
+    if ctx.metrics is not None:
+        ctx.metrics.counter("sim.trials_done").inc()
+    if ctx.trace is not None:
+        ctx.trace.event(0.0, "sim.trial_done", value=value)
+    return value
+
+
+def _telemetry_trial_failing(ctx, marker):
+    """Telemetry trial whose trial 9 fails until the marker appears."""
+    if ctx.index == 9 and not os.path.exists(marker):
+        raise RuntimeError("transient outage")
+    return _telemetry_trial(ctx)
+
+
+def _run_telemetry(runner, trials, seed, marker=None, fn=_telemetry_trial):
+    metrics, trace = MetricsRegistry(), TraceRecorder()
+    agg = runner.run(
+        fn, trials, seed=seed, args=(marker,), metrics=metrics, trace=trace,
+    )
+    return agg, metrics.snapshot(), trace.records
+
+
+def _make_job(index=0, lo=0, hi=4, seed=3):
+    children = np.random.SeedSequence(seed).spawn(hi)
+    return ChunkJob(
+        index=index, lo=lo, hi=hi, fn=_value_trial,
+        children=tuple(children[lo:hi]), args=(), collect=(False, False),
+    )
+
+
+def _spawn_worker_procs(address, count):
+    """Real worker processes dialing the coordinator (they retry-connect)."""
+    host, port = address
+    ctx = multiprocessing.get_context()
+    procs = []
+    for slot in range(count):
+        proc = ctx.Process(
+            target=run_worker, args=(host, port),
+            kwargs={"worker_id": f"w{slot}"}, daemon=True,
+        )
+        proc.start()
+        procs.append(proc)
+    return procs
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class _FakeWorker:
+    """A scripted raw-socket worker, for driving lease edge cases."""
+
+    def __init__(self, address, label):
+        self.sock = socket.create_connection(address, timeout=10.0)
+        send_frame(self.sock, {"t": "hello", "worker": label})
+
+    def recv(self, timeout=10.0):
+        self.sock.settimeout(timeout)
+        return recv_frame(self.sock)
+
+    def send_result(self, task_id, payload):
+        send_frame(
+            self.sock,
+            {"t": "result", "task": task_id, "payload": encode_blob(payload)},
+        )
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def _drain_until(runner, backend, kind, timeout=10.0):
+    """Fold backend events into the runner until ``kind`` shows up."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        runner._drain_backend_events(backend)
+        if any(r["kind"] == kind for r in runner.ops_trace.records):
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"never saw {kind!r} in the ops trace")
+
+
+class TestBackendSpec:
+    def test_local(self):
+        assert parse_backend_spec("local") == ("local", None)
+        assert make_backend("local") is None
+
+    def test_tcp_forms(self):
+        assert parse_backend_spec("tcp://127.0.0.1:9123") == (
+            "tcp", ("127.0.0.1", 9123)
+        )
+        assert parse_backend_spec("tcp:host:1") == ("tcp", ("host", 1))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            parse_backend_spec("carrier-pigeon")
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_backend_spec("tcp://nohost")
+        with pytest.raises(ValueError, match="non-numeric port"):
+            parse_backend_spec("tcp://host:http")
+        with pytest.raises(ValueError, match="out of range"):
+            parse_backend_spec("tcp://host:70000")
+
+    def test_make_backend_tcp(self):
+        backend = make_backend("tcp://127.0.0.1:0", workers=3, lease_timeout=7.0)
+        assert isinstance(backend, TcpWorkQueueBackend)
+        assert backend.name == "tcp"
+        assert backend._fallback_workers == 3
+        assert backend._lease_timeout == 7.0
+
+    def test_tcp_parameter_validation(self):
+        with pytest.raises(ValueError, match="fallback_workers"):
+            TcpWorkQueueBackend(fallback_workers=0)
+        with pytest.raises(ValueError, match="lease_timeout"):
+            TcpWorkQueueBackend(lease_timeout=0.0)
+        with pytest.raises(ValueError, match="connect_grace"):
+            TcpWorkQueueBackend(connect_grace=-1.0)
+
+    def test_address_requires_start(self):
+        backend = TcpWorkQueueBackend()
+        with pytest.raises(BackendUnavailable, match="not started"):
+            backend.address
+
+
+class TestLocalBackend:
+    def test_submit_matches_inline_run(self):
+        backend = LocalProcessBackend(2)
+        backend.start()
+        try:
+            job = _make_job()
+            got = backend.submit(job).result(timeout=60.0)
+        finally:
+            backend.shutdown()
+        assert isinstance(got, ChunkPayload)
+        assert got.values == job.run().values
+
+    def test_runner_with_explicit_backend_bitwise_identical(self):
+        reference = _run_telemetry(TrialRunner(workers=1), 20, 5)
+        backend = LocalProcessBackend(2)
+        runner = TrialRunner(workers=2, chunk_size=4, backend=backend)
+        try:
+            got = _run_telemetry(runner, 20, 5)
+        finally:
+            backend.shutdown()
+        assert got == reference
+        assert runner.backend_name == "local"
+
+
+class TestTcpRoundTrip:
+    def test_one_vs_three_hosts_bitwise_identical(self):
+        reference = _run_telemetry(TrialRunner(workers=1), 24, 11)
+        for hosts in (1, 3):
+            backend = TcpWorkQueueBackend(connect_grace=60.0)
+            backend.start()
+            procs = _spawn_worker_procs(backend.address, hosts)
+            runner = ResilientRunner(workers=2, chunk_size=3, backend=backend)
+            try:
+                got = _run_telemetry(runner, 24, 11)
+            finally:
+                backend.shutdown()
+            assert got == reference, f"hosts={hosts}"
+            assert runner.backend_name == "tcp"
+            for proc in procs:
+                proc.join(timeout=30.0)
+                assert proc.exitcode == 0  # clean exit on coordinator close
+
+    def test_no_workers_degrades_to_local_fallback(self):
+        reference = _run_telemetry(TrialRunner(workers=1), 16, 7)
+        backend = TcpWorkQueueBackend(connect_grace=0.2, poll_interval=0.02)
+        backend.start()
+        runner = ResilientRunner(workers=2, chunk_size=4, backend=backend)
+        try:
+            got = _run_telemetry(runner, 16, 7)
+        finally:
+            backend.shutdown()
+        assert got == reference
+        kinds = {r["kind"] for r in runner.ops_trace.records}
+        assert "backend.fallback" in kinds
+
+    def test_sigkill_worker_host_never_loses_or_double_counts(self, tmp_path):
+        """The acceptance bar: a worker host dying mid-campaign costs
+        telemetry, never a lost or double-counted chunk."""
+        reference = _run_telemetry(TrialRunner(workers=1), 24, 11)
+        marker = str(tmp_path / "host-killed-once")
+        backend = TcpWorkQueueBackend(connect_grace=60.0, poll_interval=0.02)
+        backend.start()
+        procs = _spawn_worker_procs(backend.address, 2)
+        runner = ResilientRunner(
+            workers=2, chunk_size=3, policy=FAST, backend=backend
+        )
+        try:
+            got = _run_telemetry(runner, 24, 11, marker=marker)
+        finally:
+            backend.shutdown()
+        for proc in procs:
+            proc.join(timeout=30.0)
+        assert os.path.exists(marker), "the kill trial never fired"
+        assert got == reference
+        counters = runner.ops_metrics.snapshot()["counters"]
+        assert counters["runtime.worker_deaths"] >= 1
+        # The forfeited lease reschedules without consuming the chunk's
+        # RetryPolicy attempt budget: one charged retry, no more.
+        assert counters["runtime.chunk_retries"] >= 1
+        kinds = {r["kind"] for r in runner.ops_trace.records}
+        assert "worker.death" in kinds
+        assert "worker.join" in kinds
+
+
+class TestLeaseAccounting:
+    """Satellite invariants: steals charge one retry, losers are free."""
+
+    def test_steal_completed_by_original_owner_charged_once(self):
+        backend = TcpWorkQueueBackend(
+            lease_timeout=0.3, heartbeat_timeout=60.0, connect_grace=60.0,
+            poll_interval=0.02,
+        )
+        backend.start()
+        runner = ResilientRunner(workers=1)
+        straggler = _FakeWorker(backend.address, "straggler")
+        thief = None
+        try:
+            job = _make_job()
+            future = backend.submit(job)
+            lease = straggler.recv()
+            assert lease is not None and lease["t"] == "lease"
+
+            # The lease expires; a second worker joins and receives the
+            # speculative copy of the *same* task.
+            thief = _FakeWorker(backend.address, "thief")
+            stolen = thief.recv()
+            assert stolen is not None and stolen["t"] == "lease"
+            assert stolen["task"] == lease["task"]
+
+            # First result wins: the original owner finishes first.
+            expected = job.run()
+            straggler.send_result(lease["task"], expected)
+            got = future.result(timeout=30.0)
+            assert isinstance(got, ChunkPayload)
+            assert got.values == expected.values
+
+            # The thief's late result is discarded, not aggregated.
+            thief.send_result(stolen["task"], job.run())
+            _drain_until(runner, backend, "chunk.duplicate")
+        finally:
+            straggler.close()
+            if thief is not None:
+                thief.close()
+            backend.shutdown()
+        counters = runner.ops_metrics.snapshot()["counters"]
+        assert counters["runtime.steals"] == 1
+        assert counters["runtime.chunk_retries"] == 1  # the steal, only
+        assert "runtime.worker_deaths" not in counters
+        kinds = [r["kind"] for r in runner.ops_trace.records]
+        assert kinds.count("chunk.steal") == 1
+        assert kinds.count("chunk.duplicate") == 1
+
+    def test_partitioned_worker_reaped_and_chunk_requeued(self):
+        """A worker that stops heartbeating (socket still open: the
+        network-partition shape) is declared dead and its lease rescued
+        by the fallback pool."""
+        backend = TcpWorkQueueBackend(
+            lease_timeout=60.0, heartbeat_timeout=0.4, connect_grace=60.0,
+            poll_interval=0.02,
+        )
+        backend.start()
+        runner = ResilientRunner(workers=1)
+        silent = _FakeWorker(backend.address, "partitioned")
+        try:
+            job = _make_job()
+            future = backend.submit(job)
+            lease = silent.recv()
+            assert lease is not None and lease["t"] == "lease"
+            # Never heartbeat, never answer: the coordinator must reap
+            # the worker and still complete the chunk.
+            got = future.result(timeout=60.0)
+            assert isinstance(got, ChunkPayload)
+            assert got.values == job.run().values
+            _drain_until(runner, backend, "worker.death")
+        finally:
+            silent.close()
+            backend.shutdown()
+        counters = runner.ops_metrics.snapshot()["counters"]
+        assert counters["runtime.worker_deaths"] == 1
+        assert counters["runtime.chunk_retries"] == 1  # the forfeited lease
+
+
+class TestCheckpointAcrossBackends:
+    def test_journal_written_locally_resumes_under_tcp(self, tmp_path):
+        """Chunk records are host-independent: a journal written by the
+        local backend resumes under the TCP backend byte-identically."""
+        reference = _run_telemetry(TrialRunner(workers=1), 24, 11)
+        marker = str(tmp_path / "marker")
+        ck = tmp_path / "ck.jsonl"
+
+        broken = ResilientRunner(
+            workers=1, chunk_size=3, checkpoint=ck,
+            policy=RetryPolicy(max_attempts=1),
+        )
+        with pytest.raises(TrialExecutionError):
+            broken.run(
+                _telemetry_trial_failing, 24, seed=11, args=(marker,),
+                metrics=MetricsRegistry(), trace=TraceRecorder(),
+            )
+        broken.close()
+
+        open(marker, "w").close()
+        backend = TcpWorkQueueBackend(connect_grace=60.0)
+        backend.start()
+        procs = _spawn_worker_procs(backend.address, 1)
+        resumed = ResilientRunner(
+            workers=2, checkpoint=ck, resume=True, policy=FAST,
+            backend=backend,
+        )
+        m2, t2 = MetricsRegistry(), TraceRecorder()
+        try:
+            agg = resumed.run(
+                _telemetry_trial_failing, 24, seed=11, args=(marker,),
+                metrics=m2, trace=t2,
+            )
+        finally:
+            resumed.close()
+            backend.shutdown()
+        for proc in procs:
+            proc.join(timeout=30.0)
+        assert (agg, m2.snapshot(), t2.records) == reference
+        counters = resumed.ops_metrics.snapshot()["counters"]
+        assert counters["runtime.chunks_salvaged"] >= 1
+
+
+class TestCli:
+    BURST = ["burst", "C/C", "-y", "3", "-x", "2", "--trials", "32"]
+
+    def _artifacts(self, tmp_path, tag):
+        return str(tmp_path / f"{tag}.trace"), str(tmp_path / f"{tag}.json")
+
+    def test_workers_bad_spec_exits_2(self, capsys):
+        assert main(["workers", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_workers_unreachable_coordinator_exits_2(self, capsys):
+        port = _free_port()
+        code = main([
+            "workers", "--connect", f"127.0.0.1:{port}",
+            "--connect-timeout", "0.3",
+        ])
+        assert code == 2
+        assert "no coordinator reachable" in capsys.readouterr().err
+
+    def test_backend_tcp_end_to_end_matches_local(self, tmp_path, capsys):
+        base_trace, base_metrics = self._artifacts(tmp_path, "base")
+        assert main(
+            self.BURST + ["--trace", base_trace, "--metrics", base_metrics]
+        ) == 0
+        capsys.readouterr()
+
+        # Workers first: they retry-connect until the coordinator binds.
+        port = _free_port()
+        procs = _spawn_worker_procs(("127.0.0.1", port), 2)
+        tcp_trace, tcp_metrics = self._artifacts(tmp_path, "tcp")
+        assert main(
+            self.BURST + [
+                "--backend", f"tcp://127.0.0.1:{port}", "--workers", "2",
+                "--trace", tcp_trace, "--metrics", tcp_metrics,
+            ]
+        ) == 0
+        for proc in procs:
+            proc.join(timeout=30.0)
+            assert proc.exitcode == 0
+        with open(base_trace, "rb") as a, open(tcp_trace, "rb") as b:
+            assert a.read() == b.read()
+        with open(base_metrics, "rb") as a, open(tcp_metrics, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_resume_backend_and_connect_conflict(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.jsonl")
+        assert main(self.BURST + ["--checkpoint", ck]) == 0
+        capsys.readouterr()
+        code = main([
+            "resume", ck, "--backend", "local", "--connect", "127.0.0.1:1",
+        ])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_resume_rejects_bad_backend_spec(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.jsonl")
+        assert main(self.BURST + ["--checkpoint", ck]) == 0
+        capsys.readouterr()
+        assert main(["resume", ck, "--backend", "smoke-signals"]) == 2
+        assert "unknown executor backend" in capsys.readouterr().err
+
+    def test_resume_with_backend_override_matches_baseline(
+        self, tmp_path, capsys
+    ):
+        base_trace, base_metrics = self._artifacts(tmp_path, "base")
+        assert main(
+            self.BURST + ["--trace", base_trace, "--metrics", base_metrics]
+        ) == 0
+        capsys.readouterr()
+
+        ck = str(tmp_path / "ck.jsonl")
+        ck_trace, ck_metrics = self._artifacts(tmp_path, "ck")
+        assert main(
+            self.BURST + [
+                "--checkpoint", ck, "--trace", ck_trace,
+                "--metrics", ck_metrics,
+            ]
+        ) == 0
+        capsys.readouterr()
+        # Kill the tail of the journal: a run interrupted mid-sweep.
+        lines = (tmp_path / "ck.jsonl").read_bytes().splitlines(keepends=True)
+        (tmp_path / "ck.jsonl").write_bytes(b"".join(lines[:-2]))
+        os.unlink(ck_trace)
+        os.unlink(ck_metrics)
+
+        assert main(["resume", ck, "--backend", "local"]) == 0
+        with open(base_trace, "rb") as a, open(ck_trace, "rb") as b:
+            assert a.read() == b.read()
+        with open(base_metrics, "rb") as a, open(ck_metrics, "rb") as b:
+            assert a.read() == b.read()
+
+
+class TestCampaignBackend:
+    def test_runner_and_backend_mutually_exclusive(self):
+        from repro.faults import ChaosCampaign
+
+        backend = TcpWorkQueueBackend()
+        with pytest.raises(ValueError, match="not both"):
+            ChaosCampaign(
+                runner=TrialRunner(workers=1), backend=backend
+            )

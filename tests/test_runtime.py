@@ -13,7 +13,7 @@ from repro.runtime import (
     TrialExecutionError,
     TrialRunner,
 )
-from repro.runtime import runner as runner_module
+from repro.runtime.executors import local as local_backend_module
 
 
 # ----------------------------------------------------------------------
@@ -233,7 +233,9 @@ class TestFallback:
             def __init__(self, *args, **kwargs):
                 raise OSError("no semaphores in this sandbox")
 
-        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", ExplodingPool)
+        monkeypatch.setattr(
+            local_backend_module, "ProcessPoolExecutor", ExplodingPool
+        )
         baseline = TrialRunner(workers=1).run(_normal_trial, 24, seed=5)
         with pytest.warns(RuntimeWarning, match="process pool unavailable"):
             fallback = TrialRunner(workers=4).run(_normal_trial, 24, seed=5)
@@ -243,7 +245,7 @@ class TestFallback:
         def _forbidden(*args, **kwargs):
             raise AssertionError("pool must not be created for one chunk")
 
-        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _forbidden)
+        monkeypatch.setattr(local_backend_module, "ProcessPoolExecutor", _forbidden)
         agg = TrialRunner(workers=8, chunk_size=100).run(_index_trial, 10, seed=0)
         assert agg.trials == 10
 

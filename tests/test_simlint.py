@@ -27,11 +27,11 @@ def rule_ids(findings):
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         Linter()  # triggers rule-module import
         assert set(RULE_REGISTRY) == {
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-            "SL008",
+            "SL008", "SL009",
         }
 
     def test_rules_carry_title_and_rationale(self):
@@ -542,6 +542,66 @@ class TestSL008AtomicResultWrite:
                 with open(path, "w") as fh:  # simlint: disable=SL008
                     fh.write(payload)
         """, rules={"SL008"}, relpath="src/repro/obs/mod.py")
+        assert findings == []
+
+
+class TestSL009ExecutorBypass:
+    def test_bare_constructor_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(jobs):
+                with ProcessPoolExecutor(4) as pool:
+                    return list(pool.map(run, jobs))
+        """, rules={"SL009"}, relpath="src/repro/sim/mod.py")
+        assert rule_ids(findings) == ["SL009"]
+
+    def test_qualified_constructor_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import concurrent.futures
+
+            def fan_out(jobs):
+                pool = concurrent.futures.ProcessPoolExecutor(max_workers=2)
+                return pool
+        """, rules={"SL009"}, relpath="src/repro/runtime/mod.py")
+        assert rule_ids(findings) == ["SL009"]
+
+    def test_executors_package_exempt(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def make_pool(n):
+                return ProcessPoolExecutor(n)
+        """, rules={"SL009"}, relpath="src/repro/runtime/executors/mod.py")
+        assert findings == []
+
+    def test_devtools_and_non_repro_exempt(self, tmp_path):
+        for relpath in (
+            "src/repro/devtools/simlint/x.py",
+            "tools/scratch.py",
+        ):
+            findings = lint_source(tmp_path, """
+                from concurrent.futures import ProcessPoolExecutor
+
+                pool = ProcessPoolExecutor(2)
+            """, rules={"SL009"}, relpath=relpath)
+            assert findings == [], relpath
+
+    def test_import_alone_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def annotate(pool: ProcessPoolExecutor) -> str:
+                return repr(pool)
+        """, rules={"SL009"}, relpath="src/repro/sim/mod.py")
+        assert findings == []
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(2)  # simlint: disable=SL009
+        """, rules={"SL009"}, relpath="src/repro/sim/mod.py")
         assert findings == []
 
 
