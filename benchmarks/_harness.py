@@ -22,6 +22,9 @@ Environment knobs for CI smoke runs:
 * ``MLEC_BENCH_WORKERS`` -- worker-process count for benchmarks that fan
   trials out through :class:`repro.runtime.TrialRunner` (results are
   worker-count-independent, so this only changes the timing).
+* ``MLEC_BENCH_BATCH`` -- batch-engine mode (``auto``/``on``/``off``)
+  for benchmarks that fan out through a runner (results are
+  batch-mode-independent; this only changes the timing).
 """
 
 from __future__ import annotations
@@ -61,6 +64,16 @@ def bench_workers() -> int:
     return max(1, int(override)) if override else 1
 
 
+def bench_batch() -> str:
+    """Batch-engine mode for runner benchmarks (``MLEC_BENCH_BATCH``)."""
+    override = os.environ.get("MLEC_BENCH_BATCH", "").strip()
+    if override and override not in ("auto", "on", "off"):
+        raise ValueError(
+            f"MLEC_BENCH_BATCH must be auto/on/off, got {override!r}"
+        )
+    return override or "auto"
+
+
 def _git_sha() -> str:
     try:
         return subprocess.run(
@@ -81,22 +94,36 @@ def _git_sha() -> str:
 _RECOVERY_COUNTERS = ("chunk_retries", "pool_rebuilds", "steals")
 
 
-def runner_telemetry(runner: TrialRunner) -> tuple[str, dict[str, int]]:
-    """``(backend, recovery)`` facts of the runner a benchmark fanned through.
+def runner_telemetry(
+    runner: TrialRunner,
+) -> tuple[str, dict[str, int], dict[str, object]]:
+    """``(backend, recovery, batch)`` facts of a benchmark's runner.
 
     ``backend`` is the executor backend's telemetry name (``"local"``,
     ``"tcp"``); ``recovery`` holds the resilience counters
-    (:data:`_RECOVERY_COUNTERS`) from the runner's ops metrics, all zero
-    for a plain :class:`~repro.runtime.TrialRunner` which keeps none.
+    (:data:`_RECOVERY_COUNTERS`) from the runner's ops metrics; ``batch``
+    records the batch-engine mode plus how many trials ran vectorized vs.
+    demoted to the scalar loop (``sim.batch_*`` ops counters).
     """
     recovery = dict.fromkeys(_RECOVERY_COUNTERS, 0)
+    batch: dict[str, object] = {
+        "mode": getattr(runner, "batch", "off"),
+        "batched": 0,
+        "demoted": 0,
+    }
     ops = getattr(runner, "ops_metrics", None)
     if ops is not None:
         counters = ops.snapshot()["counters"]
         for key in _RECOVERY_COUNTERS:
             value = counters.get(f"runtime.{key}", 0)
             recovery[key] = int(value) if isinstance(value, (int, float)) else 0
-    return runner.backend_name, recovery
+        for key, counter in (
+            ("batched", "sim.batch_trials"),
+            ("demoted", "sim.batch_demotions"),
+        ):
+            value = counters.get(counter, 0)
+            batch[key] = int(value) if isinstance(value, (int, float)) else 0
+    return runner.backend_name, recovery, batch
 
 
 def emit_bench(
@@ -107,6 +134,7 @@ def emit_bench(
     workers: int = 1,
     backend: str = "local",
     recovery: dict[str, int] | None = None,
+    batch: dict[str, object] | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> None:
     """Persist one machine-readable benchmark telemetry record.
@@ -130,6 +158,7 @@ def emit_bench(
         "workers": workers,
         "backend": backend,
         "recovery": dict.fromkeys(_RECOVERY_COUNTERS, 0) | (recovery or {}),
+        "batch": {"mode": "off", "batched": 0, "demoted": 0} | (batch or {}),
         "git_sha": _git_sha(),
         "unix_time": time.time(),
     }
@@ -167,8 +196,8 @@ def once(
     elapsed = time.perf_counter() - start
     name = getattr(benchmark, "name", None) or getattr(fn, "__name__", "bench")
     name = name.removeprefix("test_")
-    backend, recovery = (
-        runner_telemetry(runner) if runner is not None else ("local", None)
+    backend, recovery, batch = (
+        runner_telemetry(runner) if runner is not None else ("local", None, None)
     )
     emit_bench(
         name,
@@ -177,6 +206,7 @@ def once(
         workers=workers,
         backend=backend,
         recovery=recovery,
+        batch=batch,
         metrics=metrics,
     )
     return result

@@ -6,7 +6,7 @@ and asserts the paper's Findings 1-7.
 """
 
 import numpy as np
-from _harness import bench_workers, emit, once, scaled_trials
+from _harness import bench_batch, bench_workers, emit, once, scaled_trials
 
 from repro import PAPER_MLEC, mlec_scheme_from_name
 from repro.analysis.burst_dp import mlec_burst_pdl
@@ -22,7 +22,7 @@ WORKERS = bench_workers()
 # Monte-Carlo volume: every feasible (y >= x) heatmap cell of every scheme.
 N_CELLS = int(sum((FAILURES >= x).sum() for x in RACKS))
 # Module-level so the telemetry record can name the backend that ran it.
-RUNNER = TrialRunner(workers=WORKERS)
+RUNNER = TrialRunner(workers=WORKERS, batch=bench_batch())
 
 
 def build_figure():

@@ -1,0 +1,126 @@
+"""CI performance-regression gate over the tracked BENCH_*.json records.
+
+Compares freshly generated benchmark telemetry (``benchmarks/results/``)
+against the committed baselines at the repository root and fails when
+``trials_per_second`` dropped by more than the tolerated fraction.  The
+committed baselines are regenerated on any PR that intentionally changes
+performance, so the gate only trips on *unintended* slowdowns.
+
+Usage::
+
+    python benchmarks/check_regression.py [NAME ...]
+
+With no arguments the default gate set (:data:`GATED`) is checked.  Each
+NAME is the benchmark record stem, e.g. ``fig05_mlec_burst_pdl``.
+
+Environment knobs:
+
+* ``MLEC_BENCH_TOLERANCE`` -- maximum tolerated fractional drop in
+  ``trials_per_second`` (default ``0.30``; CI uses a looser value
+  because shared runners time noisily).
+* ``GITHUB_STEP_SUMMARY`` -- when set (by GitHub Actions), the
+  before/after table is appended there as Markdown too.
+
+Exit status: 0 when every gated benchmark is within tolerance, 1 on any
+regression or missing/unreadable record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+ROOT_DIR = Path(__file__).parent.parent
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmarks gated by default: the Monte-Carlo hot path (exercises the
+#: batch-trial engine) and the event-driven system simulator (exercises
+#: the scalar core the batch engine demotes to).
+GATED = ("fig05_mlec_burst_pdl", "system_simulator_quarter")
+
+DEFAULT_TOLERANCE = 0.30
+
+
+def tolerance() -> float:
+    """Tolerated fractional throughput drop (``MLEC_BENCH_TOLERANCE``)."""
+    override = os.environ.get("MLEC_BENCH_TOLERANCE", "").strip()
+    value = float(override) if override else DEFAULT_TOLERANCE
+    if not 0.0 <= value < 1.0:
+        raise SystemExit(
+            f"MLEC_BENCH_TOLERANCE must be in [0, 1), got {value!r}"
+        )
+    return value
+
+
+def _load(path: Path) -> dict | None:
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def check(names: tuple[str, ...], allowed_drop: float) -> list[dict]:
+    """Return one row per gated benchmark; ``row["ok"]`` is the verdict."""
+    rows = []
+    for name in names:
+        baseline = _load(ROOT_DIR / f"BENCH_{name}.json")
+        fresh = _load(RESULTS_DIR / f"BENCH_{name}.json")
+        row = {
+            "name": name,
+            "baseline": (baseline or {}).get("trials_per_second"),
+            "fresh": (fresh or {}).get("trials_per_second"),
+            "ok": False,
+            "note": "",
+        }
+        if row["baseline"] is None:
+            row["note"] = "missing committed baseline"
+        elif row["fresh"] is None:
+            row["note"] = "missing fresh record (did the benchmark run?)"
+        else:
+            floor = row["baseline"] * (1.0 - allowed_drop)
+            row["ok"] = row["fresh"] >= floor
+            ratio = row["fresh"] / row["baseline"] if row["baseline"] else 0.0
+            row["note"] = f"{ratio:.2f}x baseline (floor {floor:.2f}/s)"
+        rows.append(row)
+    return rows
+
+
+def _fmt(value: float | None) -> str:
+    return f"{value:.2f}" if isinstance(value, (int, float)) else "-"
+
+
+def render(rows: list[dict], allowed_drop: float) -> str:
+    """Markdown before/after table (also readable as plain text)."""
+    lines = [
+        f"### Benchmark regression gate (tolerance: -{allowed_drop:.0%})",
+        "",
+        "| benchmark | baseline trials/s | fresh trials/s | verdict |",
+        "| --- | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        verdict = "PASS" if row["ok"] else "**FAIL**"
+        lines.append(
+            f"| {row['name']} | {_fmt(row['baseline'])} "
+            f"| {_fmt(row['fresh'])} | {verdict} -- {row['note']} |"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    names = tuple(argv) or GATED
+    allowed_drop = tolerance()
+    rows = check(names, allowed_drop)
+    table = render(rows, allowed_drop)
+    print(table)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY", "").strip()
+    if summary:
+        with open(summary, "a", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+    return 0 if all(row["ok"] for row in rows) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

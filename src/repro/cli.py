@@ -43,6 +43,7 @@ from .core.scheme import MLEC_SCHEME_NAMES, MLECScheme, mlec_scheme_from_name
 from .core.tolerance import mlec_tolerance
 from .core.types import RepairMethod
 from .obs import MetricsRegistry, Stopwatch, TraceRecorder
+from .sim.batch import register_batch_impl, simulate_batch_impl
 
 if TYPE_CHECKING:
     from .runtime import TrialContext, TrialRunner
@@ -86,6 +87,12 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=1,
         help="worker processes for Monte-Carlo trials (default 1; results "
              "are identical for any worker count)",
+    )
+    parser.add_argument(
+        "--batch", choices=("auto", "on", "off"), default="auto",
+        help="vectorized batch-trial engine: 'auto' (default) engages it "
+             "for large enough chunks, 'on' forces it, 'off' disables it; "
+             "purely a speed knob -- results are bit-identical either way",
     )
 
 
@@ -165,6 +172,7 @@ def _make_runner(args: argparse.Namespace) -> TrialRunner:
         chunk_timeout=args.chunk_timeout,
         argv=getattr(args, "_argv", None),
         backend=backend,
+        batch=getattr(args, "batch", "auto"),
     )
 
 
@@ -179,7 +187,12 @@ def _report_recovery(runner: TrialRunner) -> None:
     if runner.backend is not None:
         runner.backend.shutdown()
     counters = runner.ops_metrics.snapshot()["counters"]
-    if any(isinstance(v, (int, float)) and v for v in counters.values()):
+    # sim.batch_* counters are routine speed telemetry, not recovery
+    # facts; only genuine recovery activity warrants the stderr summary.
+    if any(
+        isinstance(v, (int, float)) and v and not name.startswith("sim.batch")
+        for name, v in counters.items()
+    ):
         print(runner.recovery_summary(), file=sys.stderr)
 
 
@@ -350,6 +363,11 @@ def _simulate_trial(
         recorder=ctx.trace,
         metrics=ctx.metrics,
     )
+
+
+# Module level, not lazy: workers unpickle _simulate_trial by importing
+# this module, so the registration always precedes any registry lookup.
+register_batch_impl(_simulate_trial)(simulate_batch_impl)
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:

@@ -7,7 +7,17 @@ subclass decorated with ``@register_rule``, and import it below.
 
 from __future__ import annotations
 
-from . import events, executors, floats, pickling, printing, rng, units, writes
+from . import (
+    batching,
+    events,
+    executors,
+    floats,
+    pickling,
+    printing,
+    rng,
+    units,
+    writes,
+)
 
 __all__ = [
     "rng",
@@ -18,4 +28,5 @@ __all__ = [
     "printing",
     "writes",
     "executors",
+    "batching",
 ]

@@ -80,12 +80,19 @@ class ChunkFailure:
 
 @dataclasses.dataclass(frozen=True)
 class ChunkPayload:
-    """One chunk's results plus its telemetry, shipped back from a worker."""
+    """One chunk's results plus its telemetry, shipped back from a worker.
+
+    ``batch`` is ``(batched, demoted)`` trial counts from the batch
+    engine (``(0, 0)`` for a scalar chunk).  Payloads unpickled from
+    pre-batch checkpoint journals lack the attribute entirely; readers
+    go through ``getattr(payload, "batch", (0, 0))``.
+    """
 
     values: list[Any]
     seconds: float
     metrics: MetricsRegistry | None
     records: list[dict[str, Any]]
+    batch: tuple[int, int] = (0, 0)
 
 
 #: What a dispatched chunk resolves to: results or an in-trial failure.
@@ -101,14 +108,29 @@ def run_chunk(
     args: tuple[Any, ...],
     collect_metrics: bool = False,
     collect_trace: bool = False,
+    batch: str = "off",
 ) -> ChunkResult:
     """Run one contiguous chunk of trials; runs wherever the backend puts it.
 
     Trial ``start + i`` receives ``children[i]`` as its private seed
     stream, so the result is a pure function of the arguments -- identical
     on a pool worker, a remote TCP worker, or in-process.
+
+    ``batch`` (``auto``/``on``/``off``) selects the vectorized batch
+    engine for trial functions that have one registered
+    (:mod:`repro.sim.batch`).  The batch attempt is all-or-nothing: on
+    any error its partial state is discarded and the chunk re-runs
+    through this scalar loop, so failure semantics (a
+    :class:`ChunkFailure` naming the exact trial) are unchanged.
     """
     began = time.perf_counter()
+    if batch != "off":
+        batched = _run_chunk_batched(
+            fn, start, children, args, collect_metrics, collect_trace,
+            batch, began,
+        )
+        if batched is not None:
+            return batched
     metrics = MetricsRegistry() if collect_metrics else None
     records: list[dict[str, Any]] = []
     out: list[Any] = []
@@ -131,6 +153,56 @@ def run_chunk(
         metrics=metrics,
         records=records,
     )
+
+
+def _run_chunk_batched(
+    fn: Callable[..., Any],
+    start: int,
+    children: Sequence[np.random.SeedSequence],
+    args: tuple[Any, ...],
+    collect_metrics: bool,
+    collect_trace: bool,
+    mode: str,
+    began: float,
+) -> ChunkPayload | None:
+    """One all-or-nothing batch attempt at a chunk; ``None`` falls back.
+
+    The attempt works on its own registry and recorders, so a failed
+    attempt leaves nothing behind -- the scalar loop then recomputes the
+    chunk from the same seed streams, which re-derives every draw.
+    """
+    try:
+        from repro.sim.batch import batch_impl_for, resolve_batch_mode
+
+        if not resolve_batch_mode(mode, fn, len(children)):
+            return None
+        impl = batch_impl_for(fn)
+        assert impl is not None  # resolve_batch_mode checked the registry
+        metrics = MetricsRegistry() if collect_metrics else None
+        traces = [
+            TraceRecorder(trial=start + offset) if collect_trace else None
+            for offset in range(len(children))
+        ]
+        contexts = [
+            _trial_context(start + offset, child, metrics, traces[offset])
+            for offset, child in enumerate(children)
+        ]
+        values, stats = impl(fn, contexts, args)
+        if len(values) != len(children):
+            return None
+        records: list[dict[str, Any]] = []
+        for trace in traces:
+            if trace is not None:
+                records.extend(trace.records)
+        return ChunkPayload(
+            values=values,
+            seconds=time.perf_counter() - began,
+            metrics=metrics,
+            records=records,
+            batch=(stats.batched, stats.demoted),
+        )
+    except Exception:
+        return None  # any batch-path error: discard and go scalar
 
 
 def _trial_context(
@@ -166,10 +238,14 @@ class ChunkJob:
     children: tuple[np.random.SeedSequence, ...]
     args: tuple[Any, ...]
     collect: tuple[bool, bool]
+    batch: str = "off"
 
     def run(self) -> ChunkResult:
         """Execute the job in the calling process (fallback/serial path)."""
-        return run_chunk(self.fn, self.lo, self.children, self.args, *self.collect)
+        return run_chunk(
+            self.fn, self.lo, self.children, self.args, *self.collect,
+            batch=self.batch,
+        )
 
 
 @dataclasses.dataclass(frozen=True)

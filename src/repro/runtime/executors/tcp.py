@@ -569,7 +569,9 @@ class TcpWorkQueueBackend:
                 "task": task_id,
                 "lo": job.lo,
                 "hi": job.hi,
-                "job": encode_blob((job.fn, job.children, job.args, job.collect)),
+                "job": encode_blob(
+                    (job.fn, job.children, job.args, job.collect, job.batch)
+                ),
             }
             try:
                 send_frame(worker.conn, frame, worker.send_lock)

@@ -101,11 +101,14 @@ def run_worker(
                 continue
             try:
                 task_id = int(frame["task"])
-                fn, children, args, collect = decode_blob(str(frame["job"]))
+                job = decode_blob(str(frame["job"]))
+                # Pre-batch coordinators ship 4-tuples; tolerate both.
+                fn, children, args, collect = job[:4]
+                batch = job[4] if len(job) > 4 else "off"
             except (KeyError, TypeError, ValueError):
                 return 1
             result: ChunkResult = run_chunk(
-                fn, int(frame["lo"]), children, args, *collect
+                fn, int(frame["lo"]), children, args, *collect, batch=batch
             )
             try:
                 send_frame(

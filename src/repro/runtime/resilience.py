@@ -389,8 +389,9 @@ class ResilientRunner(TrialRunner):
         chunk_timeout: float | None = None,
         argv: Sequence[str] | None = None,
         backend: ChunkExecutor | None = None,
+        batch: str = "auto",
     ) -> None:
-        super().__init__(workers, chunk_size, mp_context, backend)
+        super().__init__(workers, chunk_size, mp_context, backend, batch)
         if chunk_timeout is not None and chunk_timeout <= 0:
             raise ValueError(f"chunk_timeout must be > 0, got {chunk_timeout}")
         if resume and checkpoint is None:
@@ -611,6 +612,7 @@ class ResilientRunner(TrialRunner):
                 metrics.merge(payload.metrics)
             if trace is not None:
                 trace.extend(payload.records)
+            self._absorb_batch_stats(payload)
             out.extend(payload.values)
         return out
 
@@ -938,6 +940,7 @@ class ResilientRunner(TrialRunner):
                             children=tuple(children[lo:hi]),
                             args=args,
                             collect=collect,
+                            batch=self.batch,
                         )
                     )
                     inflight[future] = (index, (lo, hi), time.monotonic())
@@ -1046,7 +1049,9 @@ class ResilientRunner(TrialRunner):
             while True:
                 if deadline is not None and time.monotonic() >= deadline:
                     raise self._sweep_timeout_error(timeout, payloads)
-                result = _run_chunk(fn, lo, children[lo:hi], args, *collect)
+                result = _run_chunk(
+                    fn, lo, children[lo:hi], args, *collect, batch=self.batch
+                )
                 if isinstance(result, _ChunkPayload):
                     payloads[(lo, hi)] = result
                     self._record_chunk(sweep, (lo, hi), result)

@@ -267,6 +267,15 @@ class TrialRunner:
         built-in local path: in-process for ``workers=1``, a local
         process pool otherwise.  The runner never shuts down a caller-
         provided backend -- ownership stays with the caller.
+    batch:
+        ``"auto"`` (the default), ``"on"``, or ``"off"``: whether chunks
+        may use the vectorized batch engine (:mod:`repro.sim.batch`) for
+        trial functions that have one.  Purely a speed knob -- results
+        are bit-identical in every mode.  ``auto`` skips tiny chunks;
+        ``on`` forces batching whenever an implementation exists.  How
+        trials split between the vector path and scalar demotion is
+        reported in :attr:`ops_metrics` (``sim.batch_trials`` /
+        ``sim.batch_demotions``).
     """
 
     def __init__(
@@ -275,6 +284,7 @@ class TrialRunner:
         chunk_size: int | None = None,
         mp_context: BaseContext | None = None,
         backend: ChunkExecutor | None = None,
+        batch: str = "auto",
     ) -> None:
         if workers is None:
             import os
@@ -284,12 +294,21 @@ class TrialRunner:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if batch not in ("auto", "on", "off"):
+            raise ValueError(
+                f"batch must be 'auto', 'on', or 'off', got {batch!r}"
+            )
         self.workers = int(workers)
         self.chunk_size = chunk_size
         self.mp_context = mp_context
         self.backend = backend
+        self.batch = batch
         #: Wall-clock facts about the most recent ``run``/``map`` call.
         self.last_telemetry: RunTelemetry | None = None
+        #: Operational telemetry (batch engine usage, and -- under
+        #: ``ResilientRunner`` -- recovery counters).  Never folded into
+        #: result artifacts.
+        self.ops_metrics = MetricsRegistry()
 
     @property
     def backend_name(self) -> str:
@@ -384,6 +403,7 @@ class TrialRunner:
                 metrics.merge(payload.metrics)
             if trace is not None:
                 trace.extend(payload.records)
+            self._absorb_batch_stats(payload)
             salvaged.extend(payload.values)
             return payload.values
 
@@ -419,7 +439,12 @@ class TrialRunner:
 
         if executor is None:
             for lo, hi in bounds:
-                yield absorb(run_chunk(fn, lo, tuple(children[lo:hi]), args, *collect))
+                yield absorb(
+                    run_chunk(
+                        fn, lo, tuple(children[lo:hi]), args, *collect,
+                        batch=self.batch,
+                    )
+                )
             finish()
             return
 
@@ -436,6 +461,7 @@ class TrialRunner:
                         children=tuple(children[lo:hi]),
                         args=args,
                         collect=collect,
+                        batch=self.batch,
                     )
                 )
                 for index, (lo, hi) in enumerate(bounds)
@@ -473,6 +499,19 @@ class TrialRunner:
                 # generator close, timeout, chunk failure): abandon it so
                 # the backend does not keep executing a dead sweep.
                 executor.reset()
+
+    def _absorb_batch_stats(self, payload: ChunkPayload) -> None:
+        """Fold a chunk's batch-engine split into the ops telemetry.
+
+        Operational only -- never part of result artifacts, so batch=on
+        and batch=off runs stay byte-identical.  ``getattr`` covers
+        payloads unpickled from pre-batch checkpoint journals.
+        """
+        batched, demoted = getattr(payload, "batch", (0, 0))
+        if batched:
+            self.ops_metrics.counter("sim.batch_trials").inc(batched)
+        if demoted:
+            self.ops_metrics.counter("sim.batch_demotions").inc(demoted)
 
     @staticmethod
     def _check_chunk(

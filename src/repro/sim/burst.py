@@ -339,6 +339,7 @@ def burst_pdl_stats(
     runner: TrialRunner | None = None,
     metrics: MetricsRegistry | None = None,
     trace: TraceRecorder | None = None,
+    batch: str = "auto",
 ) -> TrialAggregate:
     """Monte-Carlo PDL with confidence interval, fanned out over a runner.
 
@@ -347,10 +348,14 @@ def burst_pdl_stats(
     ``trace`` telemetry -- is bitwise identical for any worker count.
     Passing a :class:`~repro.runtime.ResilientRunner` adds chunk-level
     checkpointing, retry, and resume with the same determinism guarantee.
+    ``batch`` configures the vectorized batch engine when this function
+    constructs its own runner (a speed knob only -- results are
+    bit-identical in every mode); a caller-provided ``runner`` keeps its
+    own setting.
     """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
-    runner = runner if runner is not None else TrialRunner()
+    runner = runner if runner is not None else TrialRunner(batch=batch)
     dc = dc if dc is not None else evaluator.scheme.dc
     return runner.run(
         _burst_trial,
@@ -416,6 +421,7 @@ def burst_pdl_grid(
     seed: int = 0,
     runner: TrialRunner | None = None,
     workers: int = 1,
+    batch: str = "auto",
 ) -> AnyArray:
     """A full heatmap: PDL[i, j] for failures[i] x racks[j].
 
@@ -424,7 +430,9 @@ def burst_pdl_grid(
     ``runner`` (or ``workers > 1``, which constructs one) the feasible
     cells fan out in parallel, one spawned stream per cell; otherwise the
     legacy serial path threads a single generator through the grid
-    (bitwise-stable with historical results).
+    (bitwise-stable with historical results).  ``batch`` configures the
+    vectorized batch engine for a self-constructed runner (speed only;
+    bit-identical results); a caller-provided ``runner`` keeps its own.
     """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
@@ -434,7 +442,7 @@ def burst_pdl_grid(
             "the serial in-process path"
         )
     if runner is None and workers > 1:
-        runner = TrialRunner(workers=workers)
+        runner = TrialRunner(workers=workers, batch=batch)
     failure_counts = np.asarray(failure_counts)
     rack_counts = np.asarray(rack_counts)
     grid = np.full((len(failure_counts), len(rack_counts)), np.nan)

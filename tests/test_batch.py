@@ -1,0 +1,240 @@
+"""Batch-trial engine: scalar-vs-batch bitwise identity and demotion.
+
+The batch engine (:mod:`repro.sim.batch`) is a speed knob with a hard
+contract: for every trial function, every scheme family, and every
+telemetry collector, ``batch="on"`` must produce byte-identical results
+to ``batch="off"``.  These tests pin that contract -- aggregate fields,
+metrics snapshots, and trace records compare with ``==``, never with
+tolerances -- and exercise both demotion paths (catastrophic pools and
+window-overlapping repairs) plus the ``auto`` engagement heuristic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import YEAR, LRCParams, MLECParams, SLECParams
+from repro.core.scheme import LRCScheme, SLECScheme, mlec_scheme_from_name
+from repro.core.types import Level, Placement, RepairMethod
+from repro.obs import MetricsRegistry, TraceRecorder
+from repro.runtime import TrialRunner
+from repro.sim.batch import (
+    BATCH_MIN_TRIALS,
+    batch_impl_for,
+    resolve_batch_mode,
+)
+from repro.sim.burst import (
+    LRCBurstEvaluator,
+    MLECBurstEvaluator,
+    SLECBurstEvaluator,
+    _burst_trial,
+    burst_pdl_grid,
+    burst_pdl_stats,
+)
+
+PARAMS = MLECParams(10, 2, 17, 3)
+
+
+def mlec_evaluator(name):
+    return MLECBurstEvaluator(mlec_scheme_from_name(name, PARAMS))
+
+
+def slec_evaluator(level, placement, k=7, p=3):
+    return SLECBurstEvaluator(SLECScheme(SLECParams(k, p), level, placement))
+
+
+def batch_counters(runner):
+    counters = runner.ops_metrics.snapshot()["counters"]
+    return (
+        int(counters.get("sim.batch_trials", 0)),
+        int(counters.get("sim.batch_demotions", 0)),
+    )
+
+
+class TestResolveBatchMode:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="batch mode"):
+            resolve_batch_mode("sometimes", _burst_trial, 100)
+
+    def test_off_never_batches(self):
+        assert resolve_batch_mode("off", _burst_trial, 10_000) is False
+
+    def test_on_batches_any_size_with_impl(self):
+        assert resolve_batch_mode("on", _burst_trial, 1) is True
+
+    def test_no_impl_never_batches(self):
+        def unregistered(ctx):
+            return 0.0
+
+        assert batch_impl_for(unregistered) is None
+        assert resolve_batch_mode("on", unregistered, 10_000) is False
+        assert resolve_batch_mode("auto", unregistered, 10_000) is False
+
+    def test_auto_heuristic_threshold(self):
+        below = BATCH_MIN_TRIALS - 1
+        assert resolve_batch_mode("auto", _burst_trial, below) is False
+        assert resolve_batch_mode("auto", _burst_trial, BATCH_MIN_TRIALS) is True
+
+    def test_runner_validates_mode(self):
+        with pytest.raises(ValueError, match="batch"):
+            TrialRunner(batch="fast")
+
+
+def burst_identity_case(evaluator, failures, racks, trials=40, seed=7):
+    """Run one burst sweep batched and scalar; return both sides' facts."""
+    sides = {}
+    for mode in ("on", "off"):
+        runner = TrialRunner(batch=mode)
+        metrics = MetricsRegistry()
+        trace = TraceRecorder()
+        agg = burst_pdl_stats(
+            evaluator, failures, racks, trials=trials, seed=seed,
+            runner=runner, metrics=metrics, trace=trace,
+        )
+        sides[mode] = (agg, metrics.snapshot(), trace.records, runner)
+    return sides
+
+
+class TestBurstIdentity:
+    @pytest.mark.parametrize("name", ["C/C", "C/D", "D/C", "D/D"])
+    def test_mlec_schemes_identical(self, name):
+        sides = burst_identity_case(mlec_evaluator(name), 60, 3)
+        assert sides["on"][0] == sides["off"][0]
+        assert sides["on"][1] == sides["off"][1]
+        assert sides["on"][2] == sides["off"][2]
+
+    @pytest.mark.parametrize("level", list(Level))
+    @pytest.mark.parametrize("placement", list(Placement))
+    def test_slec_schemes_identical(self, level, placement):
+        sides = burst_identity_case(slec_evaluator(level, placement), 60, 6)
+        assert sides["on"][0] == sides["off"][0]
+        assert sides["on"][1] == sides["off"][1]
+        assert sides["on"][2] == sides["off"][2]
+
+    def test_lrc_demotes_all_and_stays_identical(self):
+        ev = LRCBurstEvaluator(LRCScheme(LRCParams(14, 2, 4)))
+        sides = burst_identity_case(ev, 60, 6)
+        assert sides["on"][0] == sides["off"][0]
+        assert sides["on"][1] == sides["off"][1]
+        assert sides["on"][2] == sides["off"][2]
+        # LRC has no vector form: every trial takes the scalar evaluator.
+        batched, demoted = batch_counters(sides["on"][3])
+        assert batched == 0
+        assert demoted == 40
+
+    def test_undecided_mlec_trials_demote(self):
+        """D/D at 60/3 mixes guaranteed zeros with demoted loss trials."""
+        sides = burst_identity_case(mlec_evaluator("D/D"), 60, 3)
+        batched, demoted = batch_counters(sides["on"][3])
+        assert batched + demoted == 40
+        assert demoted > 0  # loss-exposed trials need the scalar evaluator
+        assert sides["on"][0].losses > 0
+
+    def test_workers_and_batch_modes_all_identical(self):
+        ev = mlec_evaluator("D/D")
+        reference = None
+        for workers in (1, 2):
+            for mode in ("on", "off", "auto"):
+                agg = burst_pdl_stats(
+                    ev, 60, 3, trials=24, seed=3,
+                    runner=TrialRunner(workers=workers, batch=mode),
+                )
+                reference = reference if reference is not None else agg
+                assert agg == reference
+
+
+class TestGridIdentity:
+    def test_grid_batch_on_off_identical(self):
+        ev = mlec_evaluator("D/D")
+        failures = np.array([12, 60])
+        racks = np.array([1, 3])
+        on = burst_pdl_grid(ev, failures, racks, trials=10, seed=3,
+                            runner=TrialRunner(batch="on"))
+        off = burst_pdl_grid(ev, failures, racks, trials=10, seed=3,
+                             runner=TrialRunner(batch="off"))
+        assert np.array_equal(on, off, equal_nan=True)
+
+
+def simulate_case(scheme_name, afr, mission_time, trials, *, mode,
+                  workers=1, trace=None):
+    """One CLI-equivalent simulate sweep; returns (results, metrics, runner)."""
+    from repro.cli import _simulate_trial
+
+    scheme = mlec_scheme_from_name(scheme_name, PARAMS)
+    runner = TrialRunner(workers=workers, batch=mode)
+    metrics = MetricsRegistry()
+    results = runner.map(
+        _simulate_trial, trials, seed=11,
+        args=(scheme, RepairMethod.R_ALL, afr, mission_time, 11),
+        metrics=metrics, trace=trace,
+    )
+    return results, metrics.snapshot(), runner
+
+
+class TestSimulateIdentity:
+    def test_nominal_afr_fully_batched_and_identical(self):
+        on, on_metrics, runner = simulate_case(
+            "C/C", 0.02, YEAR / 12, 16, mode="on")
+        off, off_metrics, _ = simulate_case(
+            "C/C", 0.02, YEAR / 12, 16, mode="off")
+        assert on == off
+        assert on_metrics == off_metrics
+        batched, demoted = batch_counters(runner)
+        assert batched == 16  # nominal rates never reach the parity budget
+        assert demoted == 0
+
+    def test_catastrophe_demotes_and_stays_identical(self):
+        """Clustered pools at p_l concurrent failures leave the fast path."""
+        on, on_metrics, runner = simulate_case(
+            "C/C", 0.9, YEAR / 24, 4, mode="on")
+        off, off_metrics, _ = simulate_case(
+            "C/C", 0.9, YEAR / 24, 4, mode="off")
+        assert on == off
+        assert on_metrics == off_metrics
+        _batched, demoted = batch_counters(runner)
+        assert demoted > 0
+        assert any(r.n_catastrophic_events > 0 for r in on)
+
+    def test_multi_failure_repair_demotes_and_stays_identical(self):
+        """Declustered repair planning (work promotion) demotes too."""
+        on, on_metrics, runner = simulate_case(
+            "D/D", 0.9, YEAR / 24, 4, mode="on")
+        off, off_metrics, _ = simulate_case(
+            "D/D", 0.9, YEAR / 24, 4, mode="off")
+        assert on == off
+        assert on_metrics == off_metrics
+        _batched, demoted = batch_counters(runner)
+        assert demoted > 0
+
+    def test_traced_trials_always_demote(self):
+        """The scalar event interleaving is the trace contract."""
+        trace_on = TraceRecorder()
+        trace_off = TraceRecorder()
+        on, _, runner = simulate_case(
+            "C/C", 0.02, YEAR / 12, 8, mode="on", trace=trace_on)
+        off, _, _ = simulate_case(
+            "C/C", 0.02, YEAR / 12, 8, mode="off", trace=trace_off)
+        assert on == off
+        assert trace_on.records == trace_off.records
+        batched, demoted = batch_counters(runner)
+        assert batched == 0
+        assert demoted == 8
+
+    def test_workers_identical_under_batching(self):
+        w1, m1, _ = simulate_case("C/C", 0.02, YEAR / 12, 16, mode="on")
+        w2, m2, _ = simulate_case(
+            "C/C", 0.02, YEAR / 12, 16, mode="on", workers=2)
+        assert w1 == w2
+        assert m1 == m2
+
+
+class TestOpsTelemetrySegregation:
+    def test_batch_counters_never_reach_result_metrics(self):
+        ev = mlec_evaluator("C/C")
+        runner = TrialRunner(batch="on")
+        metrics = MetricsRegistry()
+        burst_pdl_stats(ev, 24, 2, trials=20, seed=1,
+                        runner=runner, metrics=metrics)
+        result_counters = metrics.snapshot()["counters"]
+        assert not any(k.startswith("sim.batch") for k in result_counters)
+        batched, demoted = batch_counters(runner)
+        assert batched + demoted == 20

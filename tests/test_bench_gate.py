@@ -1,0 +1,94 @@
+"""Benchmark regression gate: drop detection, tolerance, missing records."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture()
+def gate(tmp_path, monkeypatch):
+    """The check_regression module, rooted at a scratch directory."""
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "ROOT_DIR", tmp_path)
+    monkeypatch.setattr(module, "RESULTS_DIR", tmp_path / "results")
+    (tmp_path / "results").mkdir()
+    return module
+
+
+def write_record(directory, name, tps):
+    (directory / f"BENCH_{name}.json").write_text(
+        json.dumps({"name": name, "trials_per_second": tps})
+    )
+
+
+class TestCheck:
+    def test_within_tolerance_passes(self, gate):
+        write_record(gate.ROOT_DIR, "fig", 100.0)
+        write_record(gate.RESULTS_DIR, "fig", 80.0)
+        rows = gate.check(("fig",), 0.30)
+        assert rows[0]["ok"] is True
+
+    def test_drop_beyond_tolerance_fails(self, gate):
+        write_record(gate.ROOT_DIR, "fig", 100.0)
+        write_record(gate.RESULTS_DIR, "fig", 60.0)
+        rows = gate.check(("fig",), 0.30)
+        assert rows[0]["ok"] is False
+
+    def test_tolerance_widens_the_floor(self, gate):
+        write_record(gate.ROOT_DIR, "fig", 100.0)
+        write_record(gate.RESULTS_DIR, "fig", 60.0)
+        rows = gate.check(("fig",), 0.50)
+        assert rows[0]["ok"] is True
+
+    def test_speedup_always_passes(self, gate):
+        write_record(gate.ROOT_DIR, "fig", 100.0)
+        write_record(gate.RESULTS_DIR, "fig", 1500.0)
+        assert gate.check(("fig",), 0.30)[0]["ok"] is True
+
+    def test_missing_baseline_fails(self, gate):
+        write_record(gate.RESULTS_DIR, "fig", 100.0)
+        rows = gate.check(("fig",), 0.30)
+        assert rows[0]["ok"] is False
+        assert "baseline" in rows[0]["note"]
+
+    def test_missing_fresh_record_fails(self, gate):
+        write_record(gate.ROOT_DIR, "fig", 100.0)
+        rows = gate.check(("fig",), 0.30)
+        assert rows[0]["ok"] is False
+        assert "fresh" in rows[0]["note"]
+
+    def test_corrupt_record_fails_not_crashes(self, gate):
+        (gate.ROOT_DIR / "BENCH_fig.json").write_text("{truncated")
+        write_record(gate.RESULTS_DIR, "fig", 100.0)
+        assert gate.check(("fig",), 0.30)[0]["ok"] is False
+
+
+class TestMain:
+    def test_exit_codes_and_summary(self, gate, monkeypatch, tmp_path, capsys):
+        write_record(gate.ROOT_DIR, "fig", 100.0)
+        write_record(gate.RESULTS_DIR, "fig", 99.0)
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert gate.main(["fig"]) == 0
+        assert "| fig |" in summary.read_text()
+        assert "PASS" in capsys.readouterr().out
+
+        write_record(gate.RESULTS_DIR, "fig", 1.0)
+        assert gate.main(["fig"]) == 1
+
+    def test_bad_tolerance_rejected(self, gate, monkeypatch):
+        monkeypatch.setenv("MLEC_BENCH_TOLERANCE", "1.5")
+        with pytest.raises(SystemExit, match="MLEC_BENCH_TOLERANCE"):
+            gate.main([])
+
+    def test_default_gate_set_names_the_hot_paths(self, gate):
+        assert "fig05_mlec_burst_pdl" in gate.GATED
+        assert "system_simulator_quarter" in gate.GATED

@@ -27,11 +27,11 @@ def rule_ids(findings):
 
 
 class TestRegistry:
-    def test_all_nine_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         Linter()  # triggers rule-module import
         assert set(RULE_REGISTRY) == {
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-            "SL008", "SL009",
+            "SL008", "SL009", "SL010",
         }
 
     def test_rules_carry_title_and_rationale(self):
@@ -602,6 +602,59 @@ class TestSL009ExecutorBypass:
 
             pool = ProcessPoolExecutor(2)  # simlint: disable=SL009
         """, rules={"SL009"}, relpath="src/repro/sim/mod.py")
+        assert findings == []
+
+
+class TestSL010ScalarLoopInBatchPath:
+    BATCH_PATH = "src/repro/sim/batch.py"
+
+    def test_loop_over_contexts_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def impl(fn, contexts, args):
+                out = []
+                for ctx in contexts:
+                    out.append(fn(ctx, *args))
+                return out
+        """, rules={"SL010"}, relpath=self.BATCH_PATH)
+        assert rule_ids(findings) == ["SL010"]
+
+    def test_loop_over_trial_range_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def impl(fn, contexts, args):
+                for i in range(len(contexts)):
+                    pass
+                for k in range(trials):
+                    pass
+        """, rules={"SL010"}, relpath=self.BATCH_PATH)
+        assert rule_ids(findings) == ["SL010", "SL010"]
+
+    def test_non_trial_loops_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def walk(heap, repair_ends, pool, t):
+                for event in heap:
+                    pass
+                active = [e for e in repair_ends.get(pool, ()) if e >= t]
+                return active
+        """, rules={"SL010"}, relpath=self.BATCH_PATH)
+        assert findings == []
+
+    def test_other_sim_modules_exempt(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def scalar_engine(fn, contexts, args):
+                return [fn(ctx, *args) for ctx in contexts]
+
+            def sweep(fn, contexts, args):
+                for ctx in contexts:
+                    fn(ctx, *args)
+        """, rules={"SL010"}, relpath="src/repro/sim/burst.py")
+        assert findings == []
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def impl(fn, contexts, args):
+                for ctx in contexts:  # simlint: disable=SL010
+                    fn(ctx, *args)
+        """, rules={"SL010"}, relpath=self.BATCH_PATH)
         assert findings == []
 
 
