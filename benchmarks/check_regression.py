@@ -22,7 +22,8 @@ Environment knobs:
   before/after table is appended there as Markdown too.
 
 Exit status: 0 when every gated benchmark is within tolerance, 1 on any
-regression or missing/unreadable record.
+regression or missing/unreadable record, 2 when ``MLEC_BENCH_TOLERANCE``
+is unparsable or out of range.
 """
 
 from __future__ import annotations
@@ -46,11 +47,25 @@ DEFAULT_TOLERANCE = 0.30
 def tolerance() -> float:
     """Tolerated fractional throughput drop (``MLEC_BENCH_TOLERANCE``)."""
     override = os.environ.get("MLEC_BENCH_TOLERANCE", "").strip()
-    value = float(override) if override else DEFAULT_TOLERANCE
+    if override:
+        try:
+            value = float(override)
+        except ValueError:
+            print(
+                f"check_regression: MLEC_BENCH_TOLERANCE={override!r} is not "
+                "a number; expected a fraction in [0, 1), e.g. 0.30",
+                file=sys.stderr,
+            )
+            raise SystemExit(2) from None
+    else:
+        value = DEFAULT_TOLERANCE
     if not 0.0 <= value < 1.0:
-        raise SystemExit(
-            f"MLEC_BENCH_TOLERANCE must be in [0, 1), got {value!r}"
+        print(
+            f"check_regression: MLEC_BENCH_TOLERANCE must be in [0, 1), "
+            f"got {value!r}",
+            file=sys.stderr,
         )
+        raise SystemExit(2)
     return value
 
 

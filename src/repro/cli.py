@@ -589,6 +589,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
     argv = list(args.paths) + ["--format", args.format]
     if args.rules:
         argv += ["--rules", args.rules]
+    if args.output:
+        argv += ["--output", args.output]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline] if args.baseline else ["--baseline"]
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.cache is not None:
+        argv += ["--cache", args.cache] if args.cache else ["--cache"]
     if args.list_rules:
         argv.append("--list-rules")
     return simlint_main(argv)
@@ -756,9 +764,22 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", default=["src/repro"],
         help="files or directories to lint (default: src/repro)",
     )
-    p.add_argument("--format", choices=("human", "json"), default="human")
+    p.add_argument("--format", choices=("human", "json", "sarif"),
+                   default="human")
+    p.add_argument("--output", metavar="PATH", default=None,
+                   help="write the report to PATH instead of stdout")
     p.add_argument("--rules", metavar="IDS", default=None,
                    help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--baseline", metavar="PATH", nargs="?", const="",
+                   default=None,
+                   help="suppress findings recorded in the baseline file "
+                        "(default path: .simlint-baseline.json)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from current findings")
+    p.add_argument("--cache", metavar="PATH", nargs="?", const="",
+                   default=None,
+                   help="incremental per-file result cache "
+                        "(default path: .simlint-cache.json)")
     p.add_argument("--list-rules", action="store_true",
                    help="list the registered rules and exit")
     p.set_defaults(func=cmd_lint)

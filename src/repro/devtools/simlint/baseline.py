@@ -1,0 +1,142 @@
+"""Finding baselines: auditable suppression of pre-existing findings.
+
+When a new rule lands (or an old rule grows teeth), the tree may carry
+findings that are understood and deliberately deferred.  Scattering
+``# simlint: disable`` pragmas for those buries the decision in the code;
+a *baseline file* keeps it in one reviewable, committed place
+(``.simlint-baseline.json``): every entry records the fingerprinted
+finding plus a free-text ``justification``, CI filters exactly those, and
+any *new* finding still fails the build.
+
+Fingerprints hash ``path | rule | message | stripped source line`` -- the
+line *content*, not the line number -- so unrelated edits that shift a
+file do not invalidate the baseline, while editing the flagged line
+itself (which may well change the verdict) does.
+
+Workflow::
+
+    mlec-sim lint src/repro --update-baseline      # (re)write the baseline
+    mlec-sim lint src/repro --baseline .simlint-baseline.json
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .core import Finding, LintError
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "fingerprint",
+    "load_baseline",
+    "filter_findings",
+    "write_baseline",
+]
+
+DEFAULT_BASELINE_PATH = ".simlint-baseline.json"
+_BASELINE_VERSION = 1
+
+
+class _LineCache:
+    """Lazy per-file source lines for fingerprint computation."""
+
+    def __init__(self) -> None:
+        self._lines: dict[str, list[str]] = {}
+
+    def line(self, path: str, lineno: int) -> str:
+        if path not in self._lines:
+            try:
+                text = Path(path).read_text(encoding="utf-8")
+            except OSError:
+                text = ""
+            self._lines[path] = text.splitlines()
+        lines = self._lines[path]
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1].strip()
+        return ""
+
+
+def fingerprint(finding: Finding, cache: _LineCache | None = None) -> str:
+    """Stable identity of a finding across line-number drift."""
+    cache = cache if cache is not None else _LineCache()
+    content = cache.line(finding.path, finding.line)
+    digest = hashlib.sha256(
+        f"{finding.path}|{finding.rule}|{finding.message}|{content}".encode()
+    )
+    return digest.hexdigest()[:16]
+
+
+def load_baseline(path: str | Path) -> dict[str, dict[str, object]]:
+    """Baseline entries by fingerprint; raises :class:`LintError` if bad."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _BASELINE_VERSION
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise LintError(
+            f"baseline {path} has an unexpected shape "
+            f"(want version {_BASELINE_VERSION} with a findings list)"
+        )
+    entries: dict[str, dict[str, object]] = {}
+    for entry in payload["findings"]:
+        if isinstance(entry, dict) and isinstance(entry.get("fingerprint"), str):
+            entries[entry["fingerprint"]] = entry
+    return entries
+
+
+def filter_findings(
+    findings: list[Finding], baseline: dict[str, dict[str, object]]
+) -> tuple[list[Finding], int]:
+    """(findings not in the baseline, count of baselined ones)."""
+    cache = _LineCache()
+    fresh: list[Finding] = []
+    matched = 0
+    for finding in findings:
+        if fingerprint(finding, cache) in baseline:
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched
+
+
+def write_baseline(
+    findings: list[Finding],
+    path: str | Path,
+    previous: dict[str, dict[str, object]] | None = None,
+) -> int:
+    """Write ``path`` from ``findings``; returns the entry count.
+
+    Justifications recorded on entries that survive from ``previous`` are
+    preserved, so re-running ``--update-baseline`` never erases the audit
+    trail.
+    """
+    cache = _LineCache()
+    entries = []
+    seen: set[str] = set()
+    for finding in sorted(findings):
+        fp = fingerprint(finding, cache)
+        if fp in seen:
+            continue
+        seen.add(fp)
+        prior = (previous or {}).get(fp, {})
+        entries.append({
+            "fingerprint": fp,
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+            "justification": str(prior.get("justification", "")),
+        })
+    payload = {"version": _BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

@@ -1,7 +1,9 @@
 """Command-line front end for simlint.
 
-Exit codes: 0 -- no findings; 1 -- findings reported; 2 -- usage error
-or a target that could not be linted (missing path, syntax error).
+Exit codes: 0 -- no (non-baselined) findings; 1 -- findings reported
+(including SL000 diagnostics for files that do not parse); 2 -- usage
+error or a target that could not be linted (missing path, unreadable
+file, broken baseline).
 """
 
 from __future__ import annotations
@@ -11,7 +13,15 @@ import json
 import sys
 from typing import Sequence, TextIO
 
-from .core import RULE_REGISTRY, LintError, Linter
+from .baseline import (
+    DEFAULT_BASELINE_PATH,
+    filter_findings,
+    load_baseline,
+    write_baseline,
+)
+from .cache import DEFAULT_CACHE_PATH, run_with_cache
+from .core import RULE_REGISTRY, Finding, LintError, Linter
+from .sarif import render_sarif
 
 __all__ = ["build_parser", "main"]
 
@@ -21,8 +31,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="simlint",
         description=(
             "Domain-aware static analysis for the MLEC simulator: seeded "
-            "randomness, event-dispatch exhaustiveness, unit discipline, "
-            "and pool picklability."
+            "randomness (per-file and whole-program taint), event-dispatch "
+            "exhaustiveness, unit discipline, pool picklability, "
+            "deterministic iteration/fold order, and telemetry segregation."
         ),
     )
     parser.add_argument(
@@ -30,12 +41,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("human", "json"), default="human",
+        "--format", choices=("human", "json", "sarif"), default="human",
         help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH",
+        help="write the report to PATH instead of stdout",
     )
     parser.add_argument(
         "--rules", metavar="IDS",
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", nargs="?", const=DEFAULT_BASELINE_PATH,
+        help=(
+            "suppress findings recorded in the baseline file "
+            f"(default path: {DEFAULT_BASELINE_PATH})"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--cache", metavar="PATH", nargs="?", const=DEFAULT_CACHE_PATH,
+        help=(
+            "reuse per-file results keyed by content hash "
+            f"(default path: {DEFAULT_CACHE_PATH})"
+        ),
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -52,6 +85,26 @@ def _list_rules(out: TextIO) -> None:
         out.write(f"{rule_id}  {rule.title}\n    {rule.rationale}\n")
 
 
+def _render(
+    findings: list[Finding],
+    fmt: str,
+    rule_ids: list[str],
+    baselined: int,
+) -> str:
+    if fmt == "json":
+        return json.dumps(
+            {"findings": [f.to_json() for f in findings]}, indent=2,
+        ) + "\n"
+    if fmt == "sarif":
+        return render_sarif(findings, rule_ids)
+    chunks = [f.format() + "\n" for f in findings]
+    if findings:
+        chunks.append(f"simlint: {len(findings)} finding(s)\n")
+    if baselined:
+        chunks.append(f"simlint: {baselined} baselined finding(s) hidden\n")
+    return "".join(chunks)
+
+
 def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
@@ -65,21 +118,49 @@ def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
     if args.rules:
         selected = {r.strip() for r in args.rules.split(",") if r.strip()}
 
+    baseline_path = args.baseline
+    if args.update_baseline and baseline_path is None:
+        baseline_path = DEFAULT_BASELINE_PATH
+
     try:
         linter = Linter(rules=selected)
-        findings = linter.run(list(args.paths))
+        if args.cache:
+            findings = run_with_cache(linter, list(args.paths), args.cache)
+        else:
+            findings = linter.run(list(args.paths))
+
+        if args.update_baseline:
+            previous: dict[str, dict[str, object]] = {}
+            try:
+                previous = load_baseline(baseline_path)
+            except LintError:
+                pass  # first write, or a corrupt file being replaced
+            count = write_baseline(findings, baseline_path, previous)
+            print(
+                f"simlint: baseline {baseline_path} updated "
+                f"({count} finding(s))",
+                file=sys.stderr,
+            )
+            return 0
+
+        baselined = 0
+        if baseline_path is not None:
+            findings, baselined = filter_findings(
+                findings, load_baseline(baseline_path)
+            )
     except LintError as exc:
         print(f"simlint: error: {exc}", file=sys.stderr)
         return 2
 
-    if args.format == "json":
-        out.write(json.dumps(
-            {"findings": [f.to_json() for f in findings]}, indent=2,
-        ))
-        out.write("\n")
+    report = _render(findings, args.format, linter.rule_ids, baselined)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(report)
+        except OSError as exc:
+            print(f"simlint: error: cannot write {args.output}: {exc}",
+                  file=sys.stderr)
+            return 2
     else:
-        for finding in findings:
-            out.write(finding.format() + "\n")
-        if findings:
-            out.write(f"simlint: {len(findings)} finding(s)\n")
+        out.write(report)
     return 1 if findings else 0

@@ -6,10 +6,16 @@ exhaustive event dispatch, picklable trial functions) that ordinary linters
 cannot know about.  Everything is stdlib-only (``ast`` + ``tokenize``-free
 line scanning), so the tool adds no runtime dependency.
 
-Rules are classes registered by id (``SL001`` ...).  Each rule sees every
-file (:meth:`Rule.visit_file`) and may emit more findings once the whole
-project has been scanned (:meth:`Rule.finalize`) -- the hook cross-file
-rules like event-handler exhaustiveness use.
+Rules are classes registered by id (``SL001`` ...).  Three shapes exist:
+
+* **per-file** rules (the default) see one file at a time via
+  :meth:`Rule.visit_file`;
+* **cross-file** rules (``cross_file = True``) additionally emit findings
+  from :meth:`Rule.finalize` once every file has been visited;
+* **whole-program** rules subclass :class:`ProgramRule` and receive a
+  :class:`~repro.devtools.simlint.program.ProgramModel` -- a module graph,
+  symbol table, and call graph over every linted file -- via
+  :meth:`ProgramRule.visit_program`.
 
 Suppression is per line and per rule::
 
@@ -19,6 +25,10 @@ Suppression is per line and per rule::
 or for a whole file (anywhere in the file, conventionally at the top)::
 
     # simlint: disable-file=SL003
+
+``SL000`` is the synthetic meta-diagnostic id: it is not a registered rule
+but the id findings carry when the *input itself* is broken -- a file that
+does not parse, or a suppression pragma naming an unknown rule.
 """
 
 from __future__ import annotations
@@ -27,23 +37,35 @@ import ast
 import dataclasses
 import re
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .program import ProgramModel
 
 __all__ = [
     "Finding",
     "FileContext",
     "Rule",
+    "ProgramRule",
     "RULE_REGISTRY",
     "register_rule",
     "Linter",
     "LintError",
+    "META_RULE_ID",
 ]
 
 _DISABLE_LINE = re.compile(r"#\s*simlint:\s*disable=([A-Z0-9, ]+)")
 _DISABLE_FILE = re.compile(r"#\s*simlint:\s*disable-file=([A-Z0-9, ]+)")
+#: Loose pragma scan used to *warn* about malformed/unknown suppressions
+#: the strict patterns above would silently ignore.
+_PRAGMA_ANY = re.compile(r"#\s*simlint:\s*disable(?:-file)?=([^\s#,]+(?:\s*,\s*[^\s#,]+)*)")
+
+#: The synthetic rule id for meta diagnostics (syntax errors, bad pragmas).
+META_RULE_ID = "SL000"
 
 
 class LintError(Exception):
-    """A target could not be linted at all (missing path, syntax error)."""
+    """A target could not be linted at all (missing path, unreadable file)."""
 
 
 @dataclasses.dataclass(frozen=True, order=True)
@@ -67,6 +89,16 @@ class Finding:
             "rule": self.rule,
             "message": self.message,
         }
+
+    @classmethod
+    def from_json(cls, obj: dict[str, object]) -> Finding:
+        return cls(
+            path=str(obj["path"]),
+            line=int(obj["line"]),  # type: ignore[arg-type]
+            col=int(obj["column"]),  # type: ignore[arg-type]
+            rule=str(obj["rule"]),
+            message=str(obj["message"]),
+        )
 
 
 class FileContext:
@@ -118,21 +150,39 @@ class Rule:
     """Base class for simlint rules.
 
     Subclasses set :attr:`rule_id`, :attr:`title` and :attr:`rationale`,
-    and implement :meth:`visit_file`; cross-file rules also implement
-    :meth:`finalize`, which runs after every file has been visited.  One
-    rule instance lives for one :class:`Linter` run, so instance state is
-    the natural place to accumulate cross-file facts.
+    and implement :meth:`visit_file`; cross-file rules also set
+    ``cross_file = True`` and implement :meth:`finalize`, which runs after
+    every file has been visited.  One rule instance lives for one
+    :class:`Linter` run, so instance state is the natural place to
+    accumulate cross-file facts.
     """
 
     rule_id: str = "SL000"
     title: str = ""
     rationale: str = ""
+    #: True when :meth:`finalize` emits findings that depend on *other*
+    #: files -- such rules are excluded from the per-file result cache.
+    cross_file: bool = False
 
     def visit_file(self, ctx: FileContext) -> list[Finding]:
         del ctx
         return []
 
     def finalize(self) -> list[Finding]:
+        return []
+
+
+class ProgramRule(Rule):
+    """A rule that analyzes the whole program instead of single files.
+
+    Program rules run after every file has been parsed, against the
+    :class:`~repro.devtools.simlint.program.ProgramModel` (module graph,
+    symbol tables, call graph) built from all linted files.  They never
+    see :meth:`visit_file`.
+    """
+
+    def visit_program(self, program: ProgramModel) -> list[Finding]:
+        del program
         return []
 
 
@@ -143,10 +193,42 @@ def register_rule(cls: type[Rule]) -> type[Rule]:
     """Class decorator adding a rule to the global registry."""
     if not re.fullmatch(r"SL\d{3}", cls.rule_id):
         raise ValueError(f"bad rule id {cls.rule_id!r} (expected SLnnn)")
+    if cls.rule_id == META_RULE_ID:
+        raise ValueError(f"{META_RULE_ID} is reserved for meta diagnostics")
     if cls.rule_id in RULE_REGISTRY:
         raise ValueError(f"duplicate rule id {cls.rule_id}")
     RULE_REGISTRY[cls.rule_id] = cls
     return cls
+
+
+def _pragma_findings(ctx: FileContext) -> list[Finding]:
+    """SL000 warnings for suppression pragmas naming unknown rules.
+
+    A typo'd pragma (``disable=SL01``, ``disable=RULE``) would otherwise
+    suppress nothing *silently* -- the author believes a finding is
+    acknowledged when it is not.
+    """
+    findings: list[Finding] = []
+    for lineno, line in enumerate(ctx.lines, start=1):
+        match = _PRAGMA_ANY.search(line)
+        if not match:
+            continue
+        for token in match.group(1).split(","):
+            cleaned = token.strip().strip("`'\".()")
+            if not cleaned:
+                continue
+            if cleaned not in RULE_REGISTRY and cleaned != META_RULE_ID:
+                findings.append(Finding(
+                    path=ctx.display_path,
+                    line=lineno,
+                    col=match.start() + 1,
+                    rule=META_RULE_ID,
+                    message=(
+                        f"suppression pragma names unknown rule {cleaned!r}; "
+                        "it suppresses nothing (known rules: SL001..)"
+                    ),
+                ))
+    return findings
 
 
 class Linter:
@@ -191,12 +273,20 @@ class Linter:
                 unique.append(f)
         return unique
 
-    def run(self, paths: list[str]) -> list[Finding]:
-        """Lint ``paths`` (files or directory trees); returns findings."""
-        # Fresh rule instances per run: cross-file rules accumulate state.
-        rules = [RULE_REGISTRY[rule_id]() for rule_id in self.rule_ids]
+    # -- pipeline stages (the cache orchestrates these individually) ----
+    def parse(
+        self, files: list[Path]
+    ) -> tuple[list[FileContext], list[Finding]]:
+        """Parse ``files``; unparsable files become SL000 findings.
+
+        A syntax error is a *diagnostic*, not a crash: the broken file is
+        reported at ``path:lineno`` and skipped, while every other file is
+        still linted.  Unreadable files (permissions, vanished paths) are
+        a :class:`LintError` -- the run itself is invalid.
+        """
         contexts: list[FileContext] = []
-        for path in self.collect_files(paths):
+        findings: list[Finding] = []
+        for path in files:
             try:
                 source = path.read_text(encoding="utf-8")
             except OSError as exc:
@@ -204,16 +294,58 @@ class Linter:
             try:
                 contexts.append(FileContext(path, str(path), source))
             except SyntaxError as exc:
-                raise LintError(f"cannot parse {path}: {exc}") from exc
+                findings.append(Finding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1),
+                    rule=META_RULE_ID,
+                    message=f"syntax error: {exc.msg}",
+                ))
+        return contexts, findings
 
+    def partition_rules(self) -> tuple[list[str], list[str], list[str]]:
+        """Selected rule ids split into (per-file, cross-file, program)."""
+        per_file: list[str] = []
+        cross: list[str] = []
+        program: list[str] = []
+        for rule_id in self.rule_ids:
+            cls = RULE_REGISTRY[rule_id]
+            if issubclass(cls, ProgramRule):
+                program.append(rule_id)
+            elif cls.cross_file:
+                cross.append(rule_id)
+            else:
+                per_file.append(rule_id)
+        return per_file, cross, program
+
+    @staticmethod
+    def run_file_rules(ctx: FileContext, rule_ids: list[str]) -> list[Finding]:
+        """Per-file rules plus the SL000 pragma check on one file."""
+        findings = _pragma_findings(ctx)
+        for rule_id in rule_ids:
+            rule = RULE_REGISTRY[rule_id]()
+            findings.extend(
+                f for f in rule.visit_file(ctx)
+                if not ctx.is_suppressed(f.rule, f.line)
+            )
+        return findings
+
+    @staticmethod
+    def run_cross_rules(
+        contexts: list[FileContext], rule_ids: list[str]
+    ) -> list[Finding]:
+        """Cross-file rules: visit every file, then finalize."""
+        if not rule_ids:
+            return []
+        rules = [RULE_REGISTRY[rule_id]() for rule_id in rule_ids]
+        context_by_path = {ctx.display_path: ctx for ctx in contexts}
         findings: list[Finding] = []
-        context_by_path: dict[str, FileContext] = {}
         for ctx in contexts:
-            context_by_path[ctx.display_path] = ctx
             for rule in rules:
-                for finding in rule.visit_file(ctx):
-                    if not ctx.is_suppressed(finding.rule, finding.line):
-                        findings.append(finding)
+                findings.extend(
+                    f for f in rule.visit_file(ctx)
+                    if not ctx.is_suppressed(f.rule, f.line)
+                )
         for rule in rules:
             for finding in rule.finalize():
                 ctx_for = context_by_path.get(finding.path)
@@ -221,4 +353,38 @@ class Linter:
                     finding.rule, finding.line
                 ):
                     findings.append(finding)
+        return findings
+
+    @staticmethod
+    def run_program_rules(
+        contexts: list[FileContext], rule_ids: list[str]
+    ) -> list[Finding]:
+        """Whole-program rules over the module/call-graph model."""
+        if not rule_ids:
+            return []
+        from .program import build_program
+
+        program = build_program(contexts)
+        context_by_path = {ctx.display_path: ctx for ctx in contexts}
+        findings: list[Finding] = []
+        for rule_id in rule_ids:
+            rule = RULE_REGISTRY[rule_id]()
+            assert isinstance(rule, ProgramRule)
+            for finding in rule.visit_program(program):
+                ctx_for = context_by_path.get(finding.path)
+                if ctx_for is None or not ctx_for.is_suppressed(
+                    finding.rule, finding.line
+                ):
+                    findings.append(finding)
+        return findings
+
+    # ------------------------------------------------------------------
+    def run(self, paths: list[str]) -> list[Finding]:
+        """Lint ``paths`` (files or directory trees); returns findings."""
+        contexts, findings = self.parse(self.collect_files(paths))
+        per_file, cross, program = self.partition_rules()
+        for ctx in contexts:
+            findings.extend(self.run_file_rules(ctx, per_file))
+        findings.extend(self.run_cross_rules(contexts, cross))
+        findings.extend(self.run_program_rules(contexts, program))
         return sorted(findings)

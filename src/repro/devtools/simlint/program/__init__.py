@@ -1,0 +1,42 @@
+"""Whole-program analysis for simlint: module graph, call graph, taint.
+
+The per-file rules (SL001-SL010) see one AST at a time; the contracts they
+enforce, however, span module boundaries -- an unseeded generator built
+three calls below ``run_chunk`` is exactly as damaging as one built inline.
+This package promotes simlint to a program analysis engine in three layers:
+
+1. :mod:`.model` -- parse every linted file into a :class:`ProgramModel`:
+   dotted module names (package roots are detected via ``__init__.py``
+   chains), per-module symbol tables (functions, classes, methods) and an
+   import table that resolves absolute *and* relative imports against the
+   set of linted modules.
+2. :mod:`.callgraph` -- a :class:`CallGraph` over the model: direct calls,
+   ``from``-imported and attribute-qualified calls, ``self.method`` calls,
+   and locally-typed ``obj.method()`` calls all resolve to their defining
+   :class:`FunctionInfo`; reverse edges support reachability queries
+   ("which functions can feed a ``TrialAggregate``?").
+3. :mod:`.taint` -- RNG-provenance taint analysis: a fixpoint over function
+   summaries proving that every random draw derives from an explicitly
+   seeded stream, transitively across calls, attribute stores, and module
+   boundaries.
+
+Whole-program rules (SL011-SL015) subclass
+:class:`~repro.devtools.simlint.core.ProgramRule` and consume the model via
+``visit_program``.
+"""
+
+from __future__ import annotations
+
+from .callgraph import CallGraph, reaching
+from .model import FunctionInfo, ModuleInfo, ProgramModel, build_program
+from .taint import TaintAnalysis
+
+__all__ = [
+    "CallGraph",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProgramModel",
+    "TaintAnalysis",
+    "build_program",
+    "reaching",
+]

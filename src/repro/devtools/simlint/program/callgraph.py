@@ -1,0 +1,147 @@
+"""Call-graph construction and reachability over the program model.
+
+Resolution is deliberately *sound-ish, not complete*: an edge is added only
+when the callee can be identified with high confidence --
+
+* plain-name calls to functions of the same module;
+* calls through ``from mod import fn`` / ``import mod`` bindings that land
+  in a linted module (relative imports already canonicalized by the model);
+* ``self.method()`` / ``cls.method()`` inside a class body;
+* ``obj.method()`` where ``obj`` is a local variable (or parameter default)
+  assigned from the constructor of a class the model knows.
+
+Unresolvable calls simply contribute no edge; rules built on reachability
+therefore under-approximate, which keeps them quiet rather than noisy.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from typing import Callable, Iterator
+
+from .._ast_utils import dotted_name
+from .model import FunctionInfo, ModuleInfo, ProgramModel
+
+__all__ = ["CallGraph", "build_call_graph", "reaching"]
+
+
+def _local_class_types(
+    fn: FunctionInfo, model: ProgramModel
+) -> dict[str, tuple[ModuleInfo, str]]:
+    """Locals assigned from a known class constructor -> (module, class)."""
+    types: dict[str, tuple[ModuleInfo, str]] = {}
+    for node in ast.walk(fn.node):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and isinstance(node.value, ast.Call)):
+            continue
+        dotted = dotted_name(node.value.func)
+        if dotted is None:
+            continue
+        located = model.lookup_class(fn.module.expand(dotted))
+        if located is not None:
+            types[target.id] = located
+    return types
+
+
+def resolve_call(
+    model: ProgramModel,
+    caller: FunctionInfo,
+    call: ast.Call,
+    local_types: dict[str, tuple[ModuleInfo, str]] | None = None,
+) -> FunctionInfo | None:
+    """The :class:`FunctionInfo` a call lands in, when identifiable."""
+    module = caller.module
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in module.functions:
+            return module.functions[name]
+        if name in module.classes:
+            return module.classes[name].get("__init__")
+        bound = module.import_bindings.get(name)
+        if bound is not None:
+            target = model.lookup(bound)
+            if isinstance(target, FunctionInfo):
+                return target
+            if isinstance(target, dict):  # class constructor
+                return target.get("__init__")
+        return None
+    if isinstance(func, ast.Attribute):
+        dotted = dotted_name(func)
+        if dotted is not None:
+            target = model.lookup(module.expand(dotted))
+            if isinstance(target, FunctionInfo):
+                return target
+            if isinstance(target, dict):
+                return target.get("__init__")
+        receiver = func.value
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in ("self", "cls")
+            and caller.class_name is not None
+        ):
+            methods = module.classes.get(caller.class_name, {})
+            return methods.get(func.attr)
+        if isinstance(receiver, ast.Name) and local_types:
+            located = local_types.get(receiver.id)
+            if located is not None:
+                owner, class_name = located
+                return owner.classes.get(class_name, {}).get(func.attr)
+    return None
+
+
+class CallGraph:
+    """Resolved call edges plus per-call-site bookkeeping."""
+
+    def __init__(self, model: ProgramModel) -> None:
+        self.model = model
+        self.edges: dict[FunctionInfo, set[FunctionInfo]] = defaultdict(set)
+        self.reverse: dict[FunctionInfo, set[FunctionInfo]] = defaultdict(set)
+        #: (caller, call node) -> resolved callee, for flow-sensitive rules.
+        self.call_sites: dict[tuple[int, int], FunctionInfo] = {}
+        self._functions = model.all_functions()
+        for fn in self._functions:
+            local_types = _local_class_types(fn, model)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = resolve_call(model, fn, node, local_types)
+                if callee is None:
+                    continue
+                self.edges[fn].add(callee)
+                self.reverse[callee].add(fn)
+                self.call_sites[(id(fn), id(node))] = callee
+
+    def functions(self) -> list[FunctionInfo]:
+        return self._functions
+
+    def callee_of(self, fn: FunctionInfo, call: ast.Call) -> FunctionInfo | None:
+        return self.call_sites.get((id(fn), id(call)))
+
+    def calls(self, fn: FunctionInfo) -> Iterator[tuple[ast.Call, FunctionInfo | None]]:
+        """Every call expression in ``fn`` with its resolved callee."""
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                yield node, self.callee_of(fn, node)
+
+
+def build_call_graph(model: ProgramModel) -> CallGraph:
+    return CallGraph(model)
+
+
+def reaching(
+    graph: CallGraph, is_sink: Callable[[FunctionInfo], bool]
+) -> set[FunctionInfo]:
+    """Functions that contain a sink or reach one through resolved calls."""
+    reached: set[FunctionInfo] = {fn for fn in graph.functions() if is_sink(fn)}
+    frontier = list(reached)
+    while frontier:
+        fn = frontier.pop()
+        for caller in graph.reverse.get(fn, ()):
+            if caller not in reached:
+                reached.add(caller)
+                frontier.append(caller)
+    return reached

@@ -1,0 +1,227 @@
+"""The program model: modules, symbols, and import resolution.
+
+A :class:`ProgramModel` is built from the :class:`FileContext` objects of
+one lint run.  Each file becomes a :class:`ModuleInfo` with a dotted name
+derived from its position in the package tree (``src/repro/sim/burst.py``
+-> ``repro.sim.burst``; a loose script outside any package is just its
+stem).  Per-module symbol tables record top-level functions, classes, and
+methods; the import table maps local binding names to the dotted path they
+refer to, with ``from .. import x`` relative levels resolved against the
+module's own package.
+
+Symbol lookup (:meth:`ProgramModel.lookup`) resolves a dotted path by
+longest-known-module prefix, so ``repro.sim.burst.mc_trial`` finds the
+function even when only some of the package was linted, and fixture trees
+with bare top-level modules (``helpers.draw``) resolve the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+
+from ..core import FileContext
+
+__all__ = ["FunctionInfo", "ModuleInfo", "ProgramModel", "build_program"]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclasses.dataclass(eq=False)
+class FunctionInfo:
+    """One function or method definition in the program."""
+
+    module: "ModuleInfo"
+    qualname: str  # "fn" or "Cls.fn"
+    node: FunctionNode
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.module.name}.{self.qualname}"
+
+    @property
+    def params(self) -> list[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FunctionInfo {self.full_name}>"
+
+
+@dataclasses.dataclass(eq=False)
+class ModuleInfo:
+    """One linted source file with its symbols and import table."""
+
+    name: str
+    ctx: FileContext
+    is_package: bool = False
+    functions: dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    classes: dict[str, dict[str, FunctionInfo]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Local binding -> the dotted path it names (``np`` -> ``numpy``,
+    #: ``mc_trial`` -> ``repro.sim.burst.mc_trial``).
+    import_bindings: dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def expand(self, dotted: str) -> str:
+        """Expand an alias-rooted dotted path to its canonical form."""
+        head, _, rest = dotted.partition(".")
+        target = self.import_bindings.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ModuleInfo {self.name}>"
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, walking up ``__init__.py`` chains."""
+    resolved = path.resolve()
+    parts: list[str] = [] if resolved.stem == "__init__" else [resolved.stem]
+    cur = resolved.parent
+    while (cur / "__init__.py").exists() and cur.name:
+        parts.insert(0, cur.name)
+        parent = cur.parent
+        if parent == cur:
+            break
+        cur = parent
+    return ".".join(parts) if parts else resolved.stem
+
+
+def _collect_symbols(module: ModuleInfo) -> None:
+    for stmt in module.ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module.functions[stmt.name] = FunctionInfo(
+                module=module, qualname=stmt.name, node=stmt
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            methods: dict[str, FunctionInfo] = {}
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods[item.name] = FunctionInfo(
+                        module=module,
+                        qualname=f"{stmt.name}.{item.name}",
+                        node=item,
+                        class_name=stmt.name,
+                    )
+            module.classes[stmt.name] = methods
+
+
+def _collect_imports(module: ModuleInfo) -> None:
+    pkg_parts = module.name.split(".")
+    if not module.is_package:
+        pkg_parts = pkg_parts[:-1]
+    for node in ast.walk(module.ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    module.import_bindings[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    module.import_bindings.setdefault(top, top)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                if not base and not pkg_parts:
+                    continue  # relative import outside any package
+                prefix = ".".join(base + ([node.module] if node.module else []))
+            else:
+                prefix = node.module or ""
+            if not prefix:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                module.import_bindings[bound] = f"{prefix}.{alias.name}"
+
+
+class ProgramModel:
+    """Modules, symbols, and cross-module lookup for one lint run."""
+
+    def __init__(self, modules: list[ModuleInfo]) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        for module in modules:
+            # First definition of a dotted name wins; collisions can only
+            # happen for loose same-stem scripts in different directories.
+            self.modules.setdefault(module.name, module)
+        self.by_path: dict[str, ModuleInfo] = {
+            m.ctx.display_path: m for m in modules
+        }
+
+    # ------------------------------------------------------------------
+    def all_functions(self) -> list[FunctionInfo]:
+        out: list[FunctionInfo] = []
+        for module in self.modules.values():
+            out.extend(module.functions.values())
+            for methods in module.classes.values():
+                out.extend(methods.values())
+        return out
+
+    def lookup(self, dotted: str) -> FunctionInfo | dict[str, FunctionInfo] | None:
+        """Resolve a canonical dotted path to a function or class.
+
+        Returns a :class:`FunctionInfo` for functions and methods, the
+        method table (``dict``) for classes (i.e. a constructor
+        reference), or ``None`` when the path does not land in a linted
+        module.  Resolution takes the longest known-module prefix, so
+        partial lints still resolve what they can see.
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            module = self.modules.get(".".join(parts[:cut]))
+            if module is None:
+                continue
+            rest = parts[cut:]
+            if not rest:
+                return None  # a module, not a callable
+            if len(rest) == 1:
+                if rest[0] in module.functions:
+                    return module.functions[rest[0]]
+                if rest[0] in module.classes:
+                    return module.classes[rest[0]]
+                return None
+            if len(rest) == 2 and rest[0] in module.classes:
+                return module.classes[rest[0]].get(rest[1])
+            return None
+        return None
+
+    def lookup_class(self, dotted: str) -> tuple[ModuleInfo, str] | None:
+        """Resolve a dotted path to a (module, class-name) pair, if a class."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            module = self.modules.get(".".join(parts[:cut]))
+            if module is None:
+                continue
+            rest = parts[cut:]
+            if len(rest) == 1 and rest[0] in module.classes:
+                return module, rest[0]
+            return None
+        return None
+
+
+def build_program(contexts: list[FileContext]) -> ProgramModel:
+    """Build the program model for one lint run's parsed files."""
+    modules: list[ModuleInfo] = []
+    for ctx in contexts:
+        module = ModuleInfo(
+            name=module_name_for(ctx.path),
+            ctx=ctx,
+            is_package=ctx.path.name == "__init__.py",
+        )
+        _collect_symbols(module)
+        _collect_imports(module)
+        modules.append(module)
+    return ProgramModel(modules)

@@ -1,0 +1,67 @@
+"""Result-sink detection: which functions can affect result artifacts?
+
+Several whole-program rules only fire on *result-affecting paths* -- code
+that can reach a :class:`~repro.runtime.runner.TrialAggregate`, the result
+metrics registry, or result-trace emission.  A function is a direct sink
+when its body
+
+* constructs or merges a ``TrialAggregate`` (``TrialAggregate(...)``,
+  ``agg.add(...)``, ``aggregate.merge(...)``),
+* emits a trace event on a non-ops recorder (``trace.event(...)``), or
+* touches a non-ops metrics registry (``metrics.counter/gauge/histogram``),
+
+and is a *reaching* sink when a resolved call chain leads to a direct one.
+Receivers whose attribute chain mentions ``ops`` (``self.ops_metrics``,
+``ops_trace``) are operational telemetry and deliberately excluded: the
+byte-identity contract (PRs 5-7) segregates those from result artifacts.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .._ast_utils import attribute_chain
+from .callgraph import CallGraph, reaching
+from .model import FunctionInfo
+
+__all__ = ["is_result_sink", "result_reaching_functions"]
+
+_AGGREGATE_HINTS = ("agg", "aggregate")
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _chain_mentions(chain: list[str], *needles: str) -> bool:
+    return any(needle in segment.lower() for segment in chain for needle in needles)
+
+
+def is_result_sink(fn: FunctionInfo) -> bool:
+    """True when ``fn``'s body directly feeds result artifacts."""
+    if fn.class_name == "TrialAggregate":
+        return True
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "TrialAggregate":
+                return True
+            continue
+        if not isinstance(func, ast.Attribute):
+            continue
+        chain = attribute_chain(func.value)
+        if _chain_mentions(chain, "ops"):
+            continue  # operational telemetry, not results
+        if func.attr in ("add", "merge") and _chain_mentions(
+            chain, *_AGGREGATE_HINTS
+        ):
+            return True
+        if func.attr == "event" and _chain_mentions(chain, "trace"):
+            return True
+        if func.attr in _METRIC_METHODS and _chain_mentions(chain, "metric"):
+            return True
+    return False
+
+
+def result_reaching_functions(graph: CallGraph) -> set[FunctionInfo]:
+    """Functions that are result sinks or reach one through calls."""
+    return reaching(graph, is_result_sink)

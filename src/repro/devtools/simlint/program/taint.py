@@ -1,0 +1,300 @@
+"""RNG-provenance taint analysis (the engine behind SL011).
+
+The reproducibility contract: every random draw on a result-affecting path
+must derive from an explicitly seeded stream (ultimately the per-trial
+``SeedSequence.spawn`` children the runners hand out).  This module proves
+the property by taint: *entropy sources* -- ``np.random.default_rng()``
+with no seed, ``SeedSequence()`` with no entropy, wall-clock reads
+(``time.time`` and friends), ``os.urandom``, ``secrets.*``, ``uuid.uuid4``,
+and the stdlib ``random`` module -- produce tainted values; taint
+propagates through assignments, arithmetic, containers, attribute stores
+(``self.rng = ...``), and *function calls*, via per-function summaries
+iterated to a fixpoint over the call graph.
+
+Two kinds of sites are reported:
+
+* a **draw** (``g.random()``, ``g.integers()``, ...) whose receiver is
+  tainted -- the generator's provenance is OS entropy or wall clock,
+  possibly constructed many calls away;
+* a **seeding** (``default_rng(x)`` / ``SeedSequence(x)`` /
+  ``Generator(x)``) whose seed expression is tainted -- laundering
+  ``time.time()`` through ``int()`` does not make a run reproducible.
+
+Parameters are trusted: a generator built from a parameter
+(``default_rng(ctx.seed_sequence)``) is clean, because the runners own the
+root streams.  Plain wall-clock telemetry (``wall = time.perf_counter()``)
+is never reported -- taint only matters when it reaches a draw or a seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import NamedTuple
+
+from .._ast_utils import dotted_name
+from .callgraph import CallGraph
+from .model import FunctionInfo
+
+__all__ = ["TaintAnalysis", "TaintedSite", "DRAW_METHODS"]
+
+#: ``numpy.random.Generator`` draw methods (mirrors the SL002 set, plus
+#: ``spawn`` so tainted SeedSequence trees propagate).
+DRAW_METHODS = frozenset({
+    "random", "integers", "choice", "shuffle", "permutation", "permuted",
+    "exponential", "normal", "standard_normal", "uniform", "weibull",
+    "poisson", "binomial", "geometric", "gamma", "beta", "chisquare",
+    "lognormal", "pareto", "rayleigh", "triangular", "bytes",
+})
+
+#: Canonical dotted names whose call result is nondeterministic entropy.
+ENTROPY_SOURCES = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbits", "secrets.randbelow", "secrets.choice",
+})
+
+#: Generator/seed constructors: tainted iff unseeded or seeded with taint.
+_SEED_CTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.RandomState",
+})
+
+
+class TaintedSite(NamedTuple):
+    """One SL011-reportable location."""
+
+    fn: FunctionInfo
+    node: ast.AST
+    kind: str  # "draw" | "seed"
+    detail: str
+
+
+def walk_own(root: ast.AST) -> list[ast.AST]:
+    """Like ``ast.walk`` but stops at nested function/lambda scopes.
+
+    Locals and returns of a nested ``def`` belong to *its* scope; mixing
+    them into the enclosing function's flow pass would let a closure's
+    tainted return poison the outer summary.
+    """
+    out: list[ast.AST] = []
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+    return out
+
+
+class _FunctionPass:
+    """One flow pass over a single function with the current summaries."""
+
+    def __init__(self, analysis: "TaintAnalysis", fn: FunctionInfo) -> None:
+        self.analysis = analysis
+        self.fn = fn
+        self.tainted_locals: set[str] = set()
+        self.returns_tainted = False
+        self.sites: list[TaintedSite] = []
+
+    # ------------------------------------------------------------------
+    def run(self, report: bool) -> None:
+        # Statements in source order: simple forward dataflow over locals.
+        stmts = sorted(
+            (node for node in walk_own(self.fn.node)
+             if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign,
+                                  ast.Return))),
+            key=lambda n: (n.lineno, n.col_offset),
+        )
+        for stmt in stmts:
+            if isinstance(stmt, ast.Return):
+                if stmt.value is not None and self.expr_taint(stmt.value):
+                    self.returns_tainted = True
+                continue
+            value = stmt.value
+            if value is None:
+                continue
+            is_tainted = self.expr_taint(value)
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                self._assign(target, is_tainted, augmented=isinstance(
+                    stmt, ast.AugAssign
+                ))
+        if report:
+            self._report_sites()
+
+    def _assign(self, target: ast.expr, tainted: bool, augmented: bool) -> None:
+        if isinstance(target, ast.Name):
+            if tainted:
+                self.tainted_locals.add(target.id)
+            elif not augmented:
+                self.tainted_locals.discard(target.id)
+        elif isinstance(target, ast.Attribute):
+            # self.x = tainted  ->  the attribute is tainted class-wide.
+            if (
+                tainted
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and self.fn.class_name is not None
+            ):
+                key = (self.fn.module.name, self.fn.class_name, target.attr)
+                self.analysis.tainted_attrs.add(key)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, tainted, augmented)
+
+    # ------------------------------------------------------------------
+    def expr_taint(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted_locals
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and self.fn.class_name is not None
+            ):
+                key = (self.fn.module.name, self.fn.class_name, node.attr)
+                return key in self.analysis.tainted_attrs
+            return self.expr_taint(node.value)
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        if isinstance(node, ast.Subscript):
+            return self.expr_taint(node.value)
+        # Containers, arithmetic, comprehensions, f-strings: tainted if any
+        # sub-expression is.
+        return any(
+            self.expr_taint(child)
+            for child in ast.iter_child_nodes(node)
+            if isinstance(child, ast.expr)
+        )
+
+    def _call_taint(self, node: ast.Call) -> bool:
+        args_tainted = any(
+            self.expr_taint(a) for a in node.args
+            if not isinstance(a, ast.Starred)
+        ) or any(self.expr_taint(k.value) for k in node.keywords)
+
+        resolved = self._canonical(node)
+        if resolved is not None:
+            if resolved in ENTROPY_SOURCES:
+                return True
+            if resolved in _SEED_CTORS:
+                if not node.args and not node.keywords:
+                    return True  # unseeded: OS entropy
+                return args_tainted
+            head = resolved.split(".", 1)[0]
+            if head == "random":
+                return True  # stdlib random module state
+        callee = self.analysis.graph.callee_of(self.fn, node)
+        if callee is not None:
+            return self.analysis.summaries.get(callee, False)
+        if isinstance(node.func, ast.Attribute):
+            # method call on a tainted receiver (``.spawn``, slicing chains)
+            if self.expr_taint(node.func.value):
+                return True
+        # Unknown callable: conservatively propagate through arguments so
+        # ``int(time.time())`` stays tainted for the seed-site check.
+        return args_tainted
+
+    def _canonical(self, node: ast.Call) -> str | None:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        return self.fn.module.expand(dotted)
+
+    def _is_stdlib_random(self, node: ast.Call, resolved: str) -> bool:
+        """A call into the stdlib ``random`` module's global state.
+
+        Requires the root name to be an actual import binding so a local
+        variable that happens to be called ``random`` cannot trip it.
+        """
+        if resolved.split(".", 1)[0] != "random":
+            return False
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return False
+        bound = self.fn.module.import_bindings.get(dotted.split(".", 1)[0])
+        return bound is not None and bound.split(".", 1)[0] == "random"
+
+    # ------------------------------------------------------------------
+    def _report_sites(self) -> None:
+        for node in walk_own(self.fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self._canonical(node)
+            if resolved is not None and self._is_stdlib_random(node, resolved):
+                self.sites.append(TaintedSite(
+                    self.fn, node, "draw",
+                    "stdlib random draws from unseeded global state",
+                ))
+                continue
+            if resolved in _SEED_CTORS and (node.args or node.keywords):
+                seed_tainted = any(
+                    self.expr_taint(a) for a in node.args
+                    if not isinstance(a, ast.Starred)
+                ) or any(self.expr_taint(k.value) for k in node.keywords)
+                if seed_tainted:
+                    self.sites.append(TaintedSite(
+                        self.fn, node, "seed",
+                        "generator seeded from wall-clock/OS entropy",
+                    ))
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in DRAW_METHODS
+                and self.expr_taint(node.func.value)
+            ):
+                self.sites.append(TaintedSite(
+                    self.fn, node, "draw",
+                    "draws from a generator whose provenance is not a "
+                    "seeded stream",
+                ))
+
+
+class TaintAnalysis:
+    """Fixpoint of per-function taint summaries over the call graph."""
+
+    MAX_ROUNDS = 24
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        #: fn -> returns a tainted value.
+        self.summaries: dict[FunctionInfo, bool] = {}
+        #: (module, class, attr) stored from a tainted expression.
+        self.tainted_attrs: set[tuple[str, str, str]] = set()
+        self._solve()
+
+    def _solve(self) -> None:
+        functions = self.graph.functions()
+        for _ in range(self.MAX_ROUNDS):
+            changed = False
+            for fn in functions:
+                attrs_before = len(self.tainted_attrs)
+                single = _FunctionPass(self, fn)
+                single.run(report=False)
+                if single.returns_tainted and not self.summaries.get(fn, False):
+                    self.summaries[fn] = True
+                    changed = True
+                if len(self.tainted_attrs) != attrs_before:
+                    changed = True
+            if not changed:
+                return
+
+    def report(self) -> list[TaintedSite]:
+        """All draw/seed sites with tainted provenance, program-wide."""
+        sites: list[TaintedSite] = []
+        for fn in self.graph.functions():
+            final = _FunctionPass(self, fn)
+            final.run(report=True)
+            sites.extend(final.sites)
+        return sites

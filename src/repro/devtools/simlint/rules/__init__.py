@@ -2,19 +2,24 @@
 
 Importing this package registers every built-in rule.  To add a rule,
 create a module here with a :class:`~repro.devtools.simlint.core.Rule`
-subclass decorated with ``@register_rule``, and import it below.
+(or :class:`~repro.devtools.simlint.core.ProgramRule`) subclass decorated
+with ``@register_rule``, and import it below.
 """
 
 from __future__ import annotations
 
 from . import (
     batching,
+    boundary,
     events,
     executors,
     floats,
+    ordering,
     pickling,
     printing,
+    provenance,
     rng,
+    segregation,
     units,
     writes,
 )
@@ -29,4 +34,8 @@ __all__ = [
     "writes",
     "executors",
     "batching",
+    "provenance",
+    "ordering",
+    "boundary",
+    "segregation",
 ]

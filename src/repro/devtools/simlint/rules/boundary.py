@@ -1,0 +1,208 @@
+"""SL013 pickle-boundary reachability: what crosses to workers must pickle.
+
+SL006 catches a lambda handed *directly* to ``TrialRunner.run``.  But the
+executor refactor (PR 6) multiplied the boundaries -- ``ChunkExecutor
+.submit``, ``ChunkJob``/``ChunkPayload`` construction, the TCP transport --
+and a callable can travel through any number of plumbing functions before
+it reaches one.  SL013 computes, per function, the set of parameters that
+*flow into a pickle boundary* (directly, or by being passed on to a
+function whose parameter flows -- a fixpoint over the call graph), then
+flags call sites that feed an unpicklable value into such a parameter:
+``lambda``s, functions ``def``-ed inside the enclosing function, and
+locally-defined classes, all of which pickle by qualified name and fail
+only at ``workers > 1`` with an opaque ``PicklingError``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .._ast_utils import attribute_chain
+from ..core import Finding, ProgramRule, register_rule
+from ..program import ProgramModel
+from ..program.callgraph import CallGraph, build_call_graph
+from ..program.model import FunctionInfo
+from ..program.taint import walk_own
+
+__all__ = ["PickleBoundaryReachability"]
+
+_BOUNDARY_RECEIVER_HINTS = ("backend", "executor", "pool", "runner", "queue")
+_BOUNDARY_METHODS = frozenset({"submit", "run", "map"})
+_BOUNDARY_CTORS = frozenset({"ChunkJob", "ChunkPayload"})
+
+
+def _boundary_args(fn: FunctionInfo) -> list[ast.expr]:
+    """Expressions handed directly to a pickle boundary inside ``fn``."""
+    out: list[ast.expr] = []
+    for node in walk_own(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _BOUNDARY_METHODS:
+            chain = attribute_chain(func.value)
+            if any(
+                hint in seg.lower()
+                for seg in chain
+                for hint in _BOUNDARY_RECEIVER_HINTS
+            ):
+                out.extend(
+                    a for a in node.args if not isinstance(a, ast.Starred)
+                )
+                out.extend(k.value for k in node.keywords)
+        elif isinstance(func, ast.Name) and func.id in _BOUNDARY_CTORS:
+            out.extend(a for a in node.args if not isinstance(a, ast.Starred))
+            out.extend(k.value for k in node.keywords)
+    return out
+
+
+def _locally_defined(fn: FunctionInfo) -> set[str]:
+    """Names bound by a ``def``/``class`` nested inside ``fn``."""
+    names: set[str] = set()
+    for node in ast.walk(fn.node):
+        if node is fn.node:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+    return names
+
+
+def _positional_params(fn: FunctionInfo) -> list[str]:
+    args = fn.node.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if fn.class_name is not None and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+class _FlowSolver:
+    """Fixpoint: per function, which parameters reach a pickle boundary."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.flows: dict[FunctionInfo, set[str]] = {}
+        self._solve()
+
+    def _args_mapping(
+        self, call: ast.Call, callee: FunctionInfo
+    ) -> list[tuple[str, ast.expr]]:
+        """(callee parameter, argument expression) pairs for one call."""
+        pairs: list[tuple[str, ast.expr]] = []
+        positional = _positional_params(callee)
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            if index < len(positional):
+                pairs.append((positional[index], arg))
+        for keyword in call.keywords:
+            if keyword.arg is not None:
+                pairs.append((keyword.arg, keyword.value))
+        return pairs
+
+    def _pass(self, fn: FunctionInfo) -> set[str]:
+        params = set(fn.params)
+        # Aliases of parameters (job = fn; payload = job) count as the
+        # parameter itself for flow purposes.
+        alias_of: dict[str, str] = {p: p for p in params}
+        for node in sorted(
+            (n for n in walk_own(fn.node) if isinstance(n, ast.Assign)),
+            key=lambda n: (n.lineno, n.col_offset),
+        ):
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                if isinstance(node.value, ast.Name):
+                    source = alias_of.get(node.value.id)
+                    if source is not None:
+                        alias_of[node.targets[0].id] = source
+
+        flowing: set[str] = set()
+
+        def note(expr: ast.expr) -> None:
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Name):
+                    source = alias_of.get(sub.id)
+                    if source is not None:
+                        flowing.add(source)
+
+        for expr in _boundary_args(fn):
+            note(expr)
+        for call in walk_own(fn.node):
+            if not isinstance(call, ast.Call):
+                continue
+            callee = self.graph.callee_of(fn, call)
+            if callee is None:
+                continue
+            callee_flows = self.flows.get(callee, set())
+            if not callee_flows:
+                continue
+            for param, arg in self._args_mapping(call, callee):
+                if param in callee_flows:
+                    note(arg)
+        return flowing
+
+    def _solve(self) -> None:
+        functions = self.graph.functions()
+        for _ in range(24):
+            changed = False
+            for fn in functions:
+                updated = self._pass(fn)
+                if updated != self.flows.get(fn, set()):
+                    self.flows[fn] = updated
+                    changed = True
+            if not changed:
+                return
+
+
+@register_rule
+class PickleBoundaryReachability(ProgramRule):
+    """SL013: unpicklable values must not reach an executor boundary."""
+
+    rule_id = "SL013"
+    title = "pickle-boundary-reachability"
+    rationale = (
+        "Everything crossing ChunkExecutor.submit / ChunkJob pickles by "
+        "qualified name; a lambda or locally-defined callable passed "
+        "through any number of plumbing calls fails only at workers > 1 "
+        "with an opaque PicklingError."
+    )
+
+    def visit_program(self, program: ProgramModel) -> list[Finding]:
+        graph = build_call_graph(program)
+        solver = _FlowSolver(graph)
+        findings: list[Finding] = []
+        for fn in graph.functions():
+            local_defs = _locally_defined(fn)
+
+            def unpicklable(expr: ast.expr) -> str | None:
+                if isinstance(expr, ast.Lambda):
+                    return "a lambda"
+                if isinstance(expr, ast.Name) and expr.id in local_defs:
+                    return f"locally-defined `{expr.id}`"
+                return None
+
+            suspects: list[tuple[ast.expr, str]] = []
+            for expr in _boundary_args(fn):
+                reason = unpicklable(expr)
+                if reason is not None:
+                    suspects.append((expr, reason))
+            for call in walk_own(fn.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                callee = graph.callee_of(fn, call)
+                if callee is None:
+                    continue
+                callee_flows = solver.flows.get(callee, set())
+                if not callee_flows:
+                    continue
+                for param, arg in solver._args_mapping(call, callee):
+                    if param not in callee_flows:
+                        continue
+                    reason = unpicklable(arg)
+                    if reason is not None:
+                        suspects.append((arg, reason))
+            for expr, reason in suspects:
+                findings.append(fn.module.ctx.finding(
+                    self.rule_id, expr,
+                    f"{reason} reaches a pickle boundary (ChunkExecutor."
+                    "submit / ChunkJob) and cannot be pickled for worker "
+                    "processes; define it at module level",
+                ))
+        return findings

@@ -45,6 +45,7 @@ class EventExhaustiveness(Rule):
 
     rule_id = "SL003"
     title = "event-exhaustiveness"
+    cross_file = True
     rationale = (
         "A new event kind with no handler either crashes the simulator "
         "mid-mission or is silently ignored; the dispatch must be "

@@ -1,6 +1,7 @@
 """SL004 float-equality: no ``==`` / ``!=`` on float-typed expressions.
 
-Scoped to the numerical core (``analysis/`` and ``sim/`` directories):
+Scoped to the numerical core (``analysis/``, ``sim/``, ``runtime/``, and
+``codes/`` directories):
 exact equality on floats that went through arithmetic is almost always a
 model bug (a probability that is 0.9999999999 is not 1.0).  The rule
 flags comparisons where either side is statically float-like -- a float
@@ -19,7 +20,7 @@ from ..core import FileContext, Finding, Rule, register_rule
 
 __all__ = ["FloatEquality"]
 
-_SCOPE_DIRS = frozenset({"analysis", "sim"})
+_SCOPE_DIRS = frozenset({"analysis", "sim", "runtime", "codes"})
 
 
 @register_rule

@@ -1,0 +1,187 @@
+"""Deterministic-ordering rules: SL012 and SL014.
+
+Bitwise reproducibility is an *ordering* property as much as a seeding
+one: float addition does not commute, so the order in which trial
+outcomes, pool states, or chunk aggregates are folded is part of the
+result.  Two whole-program rules guard it on result-affecting paths
+(functions that can reach a ``TrialAggregate``, result metrics, or trace
+emission -- see :mod:`repro.devtools.simlint.program.sinks`):
+
+* **SL012 nondeterministic-iteration** -- iterating a ``set`` (or a value
+  of set provenance) yields a hash-seed-dependent order; on a path that
+  feeds results this silently breaks run-to-run identity.  Wrap the
+  iterable in ``sorted(...)`` to pin the order.
+* **SL014 fold-order-discipline** -- ``sum(...)`` over parallel per-chunk
+  results folds in whatever order the iterable yields, which is exactly
+  the order the runners worked so hard to pin.  Merge paths must use the
+  established in-order accumulation (``for r in results: agg.merge(r)``,
+  ``total += value``) or the exact ``_fold_repeated_add`` replay from
+  :mod:`repro.sim.batch`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..core import Finding, ProgramRule, register_rule
+from ..program import ProgramModel
+from ..program.callgraph import build_call_graph
+from ..program.model import FunctionInfo
+from ..program.sinks import result_reaching_functions
+from ..program.taint import walk_own
+
+__all__ = ["NondeterministicIteration", "FoldOrderDiscipline"]
+
+#: ``list``/``tuple`` preserve the (unordered) set order; ``sorted`` pins it.
+_ORDER_PRESERVING_WRAPPERS = frozenset({"list", "tuple", "iter", "reversed"})
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+
+def _is_set_provenance(node: ast.expr, set_vars: set[str]) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_vars
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return (
+            _is_set_provenance(node.left, set_vars)
+            or _is_set_provenance(node.right, set_vars)
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in ("set", "frozenset"):
+                return True
+            if func.id in _ORDER_PRESERVING_WRAPPERS and node.args:
+                return _is_set_provenance(node.args[0], set_vars)
+            return False
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return _is_set_provenance(func.value, set_vars)
+    return False
+
+
+def _iteration_sites(fn: FunctionInfo) -> list[tuple[ast.expr, ast.AST]]:
+    """(iterable expression, node to report) for every loop/comprehension.
+
+    ``SetComp`` generators are exempt: a set built from a set is itself
+    unordered, so the traversal order cannot leak into results.
+    """
+    sites: list[tuple[ast.expr, ast.AST]] = []
+    for node in walk_own(fn.node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            sites.append((node.iter, node))
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                sites.append((gen.iter, node))
+    return sites
+
+
+@register_rule
+class NondeterministicIteration(ProgramRule):
+    """SL012: no unordered-set iteration on result-affecting paths."""
+
+    rule_id = "SL012"
+    title = "nondeterministic-iteration"
+    rationale = (
+        "Set iteration order depends on the interpreter's hash seed; on a "
+        "path that reaches TrialAggregate, metrics, or trace emission it "
+        "silently breaks bitwise reproducibility -- wrap the iterable in "
+        "sorted(...)."
+    )
+
+    def visit_program(self, program: ProgramModel) -> list[Finding]:
+        graph = build_call_graph(program)
+        result_path = result_reaching_functions(graph)
+        findings: list[Finding] = []
+        for fn in graph.functions():
+            if fn not in result_path:
+                continue
+            set_vars: set[str] = set()
+            assigns = sorted(
+                (n for n in walk_own(fn.node)
+                 if isinstance(n, (ast.Assign, ast.AnnAssign))),
+                key=lambda n: (n.lineno, n.col_offset),
+            )
+            for stmt in assigns:
+                value = stmt.value
+                if value is None:
+                    continue
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                provenance = _is_set_provenance(value, set_vars)
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if provenance:
+                            set_vars.add(target.id)
+                        else:
+                            set_vars.discard(target.id)
+            for iterable, report_node in _iteration_sites(fn):
+                if _is_set_provenance(iterable, set_vars):
+                    findings.append(fn.module.ctx.finding(
+                        self.rule_id, report_node,
+                        f"function `{fn.name}` iterates a set on a "
+                        "result-affecting path; set order is "
+                        "hash-seed-dependent -- iterate sorted(...) instead",
+                    ))
+        return findings
+
+
+_MERGE_FN = re.compile(r"(merge|combine|aggregate|fold|reduce)", re.IGNORECASE)
+_PARALLEL_RESULT = re.compile(
+    r"(result|partial|aggregate|outcome)s?$|^chunks$", re.IGNORECASE
+)
+
+
+def _mentions_parallel_results(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and _PARALLEL_RESULT.search(sub.id):
+            return True
+        if isinstance(sub, ast.Attribute) and _PARALLEL_RESULT.search(sub.attr):
+            return True
+    return False
+
+
+@register_rule
+class FoldOrderDiscipline(ProgramRule):
+    """SL014: no ``sum()`` over parallel results on aggregation paths."""
+
+    rule_id = "SL014"
+    title = "fold-order-discipline"
+    rationale = (
+        "Float addition does not commute; sum() over per-chunk results "
+        "folds in iteration order and breaks the worker-count-independent "
+        "identity -- use the in-order merge loop or _fold_repeated_add."
+    )
+
+    def visit_program(self, program: ProgramModel) -> list[Finding]:
+        graph = build_call_graph(program)
+        result_path = result_reaching_functions(graph)
+        findings: list[Finding] = []
+        for fn in graph.functions():
+            on_merge_path = fn in result_path or bool(_MERGE_FN.search(fn.name))
+            if not on_merge_path:
+                continue
+            for node in walk_own(fn.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "sum"
+                    and node.args
+                ):
+                    continue
+                if _mentions_parallel_results(node.args[0]):
+                    findings.append(fn.module.ctx.finding(
+                        self.rule_id, node,
+                        f"function `{fn.name}` folds parallel results with "
+                        "sum(); the fold order is unspecified -- use the "
+                        "in-order merge loop (or _fold_repeated_add for "
+                        "repeated addends)",
+                    ))
+        return findings

@@ -1,0 +1,63 @@
+"""SL011 rng-provenance: whole-program taint proof of seeded randomness.
+
+SL001/SL002 are per-file: they catch an unseeded constructor or an
+unplumbed draw *in the file where it happens*.  SL011 closes the
+transitive gap -- a helper that returns ``np.random.default_rng()`` looks
+innocent in isolation, and the caller two modules away that draws from the
+returned generator looks innocent too.  The taint analysis
+(:mod:`repro.devtools.simlint.program.taint`) builds per-function
+summaries over the call graph and flags
+
+* draws whose receiving generator transitively derives from OS entropy or
+  wall clock (unseeded ``default_rng()`` / ``SeedSequence()``, stdlib
+  ``random``, ``time.time``, ``os.urandom``, ...), and
+* generator *seedings* from tainted values (``default_rng(int(time.time()))``).
+
+Generators built from parameters are trusted: the trial runners own the
+root ``SeedSequence`` and spawn every per-trial stream, so a parameter is
+exactly the provenance the contract demands.
+"""
+
+from __future__ import annotations
+
+from ..core import Finding, ProgramRule, register_rule
+from ..program import ProgramModel
+from ..program.callgraph import build_call_graph
+from ..program.taint import TaintAnalysis
+
+__all__ = ["RngProvenance"]
+
+
+@register_rule
+class RngProvenance(ProgramRule):
+    """SL011: every draw must derive from a seeded stream, transitively."""
+
+    rule_id = "SL011"
+    title = "rng-provenance"
+    rationale = (
+        "A random draw is only reproducible if its generator descends from "
+        "an explicit seed; taint analysis over the call graph proves the "
+        "provenance transitively, so OS entropy cannot hide behind a "
+        "helper function in another module."
+    )
+
+    def visit_program(self, program: ProgramModel) -> list[Finding]:
+        graph = build_call_graph(program)
+        analysis = TaintAnalysis(graph)
+        findings: list[Finding] = []
+        for site in analysis.report():
+            ctx = site.fn.module.ctx
+            if site.kind == "seed":
+                message = (
+                    f"function `{site.fn.name}` seeds a generator from "
+                    "wall-clock/OS entropy; derive seeds from the run's "
+                    "SeedSequence instead"
+                )
+            else:
+                message = (
+                    f"function `{site.fn.name}` {site.detail}; the value "
+                    "descends from an unseeded source (trace the call "
+                    "chain), plumb a SeedSequence-spawned stream through"
+                )
+            findings.append(ctx.finding(self.rule_id, site.node, message))
+        return findings

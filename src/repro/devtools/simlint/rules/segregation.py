@@ -1,0 +1,101 @@
+"""SL015 ops-telemetry segregation: ops metrics never touch result sinks.
+
+PRs 5-7 built a byte-identity contract: result artifacts (metrics
+snapshots, traces) from a resumed, retried, stolen, or batch-demoted run
+are byte-identical to an undisturbed one.  That only holds because every
+*operational* fact -- retries, pool rebuilds, checkpoint writes, steals --
+is recorded in runner-owned ``ops_metrics``/``ops_trace`` sinks that are
+never merged into result artifacts.  SL015 enforces the naming boundary:
+an ops-namespaced name (``runtime.*``, ``checkpoint.*`` metrics; the
+``checkpoint./chunk./pool./worker./backend.`` trace-event families) may
+only be recorded on a receiver that is visibly an ops sink (its attribute
+chain mentions ``ops``).  Recording one on a plain ``metrics``/``trace``
+receiver would leak recovery history into results and break the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .._ast_utils import attribute_chain
+from ..core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["OpsTelemetrySegregation"]
+
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+_OPS_METRIC_PREFIXES = ("runtime.", "checkpoint.")
+_OPS_EVENT_PREFIXES = (
+    "runtime.", "checkpoint.", "chunk.", "pool.", "worker.", "backend.",
+)
+
+
+def _literal_arg(node: ast.Call, position: int) -> str | None:
+    """The string literal at ``position`` (or the ``name``/``kind`` kw)."""
+    if len(node.args) > position:
+        arg = node.args[position]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return None
+    for keyword in node.keywords:
+        if keyword.arg in ("name", "kind") and isinstance(
+            keyword.value, ast.Constant
+        ) and isinstance(keyword.value.value, str):
+            return keyword.value.value
+    return None
+
+
+@register_rule
+class OpsTelemetrySegregation(Rule):
+    """SL015: ops-namespaced telemetry only on ops-owned sinks."""
+
+    rule_id = "SL015"
+    title = "ops-telemetry-segregation"
+    rationale = (
+        "Result artifacts must stay byte-identical across retries, "
+        "resumes, and steals; runtime.*/checkpoint.* facts belong to the "
+        "runner-owned ops_metrics/ops_trace sinks, never to the result "
+        "registries."
+    )
+
+    @staticmethod
+    def _in_scope(ctx: FileContext) -> bool:
+        parts = ctx.path.parts
+        return "devtools" not in parts
+
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        if not self._in_scope(ctx):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            attr = node.func.attr
+            chain = attribute_chain(node.func.value)
+            is_ops_receiver = any("ops" in seg.lower() for seg in chain)
+            if is_ops_receiver:
+                continue
+            if attr in _METRIC_METHODS:
+                name = _literal_arg(node, 0)
+                if name is not None and name.startswith(_OPS_METRIC_PREFIXES):
+                    findings.append(ctx.finding(
+                        self.rule_id, node,
+                        f"ops metric {name!r} recorded on a non-ops "
+                        "registry; route it through the runner-owned "
+                        "ops_metrics so result artifacts stay "
+                        "byte-identical",
+                    ))
+            elif attr == "event" and any(
+                "trace" in seg.lower() for seg in chain
+            ):
+                kind = _literal_arg(node, 1)
+                if kind is not None and kind.startswith(_OPS_EVENT_PREFIXES):
+                    findings.append(ctx.finding(
+                        self.rule_id, node,
+                        f"ops trace event {kind!r} emitted on a non-ops "
+                        "recorder; route it through the runner-owned "
+                        "ops_trace so result artifacts stay byte-identical",
+                    ))
+        return findings

@@ -67,6 +67,7 @@ class UnitDiscipline(Rule):
 
     rule_id = "SL005"
     title = "unit-discipline"
+    cross_file = True
     rationale = (
         "Hours-vs-years and chunks-vs-bytes mixups change durability "
         "results by orders of magnitude without crashing; unit-annotated "

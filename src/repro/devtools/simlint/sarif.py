@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 output for simlint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua franca of
+code-scanning backends: GitHub code scanning, VS Code's SARIF viewer, and
+most CI annotation tooling ingest it natively.  This module renders a lint
+run as a single-run SARIF log with full rule metadata, so findings appear
+inline on PRs without any bespoke glue.
+
+Only stdlib ``json``-serializable structures are produced; the document
+carries the fields the 2.1.0 schema marks required (``version``, ``runs``,
+``tool.driver.name``, per-result ``ruleId``/``message``/``locations``)
+plus the optional rule index table that lets viewers show rationale text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .core import META_RULE_ID, RULE_REGISTRY, Finding
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_META_RULE = {
+    "id": META_RULE_ID,
+    "name": "meta-diagnostic",
+    "shortDescription": {"text": "simlint meta diagnostic"},
+    "fullDescription": {
+        "text": (
+            "The input itself is broken: a file that does not parse, or a "
+            "suppression pragma naming an unknown rule."
+        )
+    },
+}
+
+
+def _rule_descriptors(rule_ids: list[str]) -> list[dict[str, Any]]:
+    descriptors: list[dict[str, Any]] = [_META_RULE]
+    for rule_id in sorted(rule_ids):
+        cls = RULE_REGISTRY.get(rule_id)
+        if cls is None:
+            continue
+        descriptors.append({
+            "id": rule_id,
+            "name": cls.title or rule_id,
+            "shortDescription": {"text": cls.title or rule_id},
+            "fullDescription": {"text": cls.rationale or cls.title or rule_id},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return descriptors
+
+
+def to_sarif(
+    findings: list[Finding], rule_ids: list[str] | None = None
+) -> dict[str, Any]:
+    """A SARIF 2.1.0 log object for one lint run."""
+    # Ensure built-in rules are registered for metadata lookup.
+    from . import rules as _rules  # noqa: F401
+
+    ids = rule_ids if rule_ids is not None else sorted(RULE_REGISTRY)
+    descriptors = _rule_descriptors(ids)
+    index_of = {d["id"]: i for i, d in enumerate(descriptors)}
+
+    results: list[dict[str, Any]] = []
+    for finding in findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                },
+            }],
+        }
+        if finding.rule in index_of:
+            result["ruleIndex"] = index_of[finding.rule]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "informationUri": (
+                        "https://example.invalid/mlec-sim/docs/static-analysis"
+                    ),
+                    "rules": descriptors,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(
+    findings: list[Finding], rule_ids: list[str] | None = None
+) -> str:
+    """The SARIF log serialized deterministically (sorted keys, 2-space)."""
+    return json.dumps(to_sarif(findings, rule_ids), indent=2, sort_keys=True) + "\n"

@@ -84,10 +84,23 @@ class TestMain:
         write_record(gate.RESULTS_DIR, "fig", 1.0)
         assert gate.main(["fig"]) == 1
 
-    def test_bad_tolerance_rejected(self, gate, monkeypatch):
+    def test_out_of_range_tolerance_exits_two(self, gate, monkeypatch, capsys):
         monkeypatch.setenv("MLEC_BENCH_TOLERANCE", "1.5")
-        with pytest.raises(SystemExit, match="MLEC_BENCH_TOLERANCE"):
+        with pytest.raises(SystemExit) as excinfo:
             gate.main([])
+        assert excinfo.value.code == 2
+        assert "MLEC_BENCH_TOLERANCE" in capsys.readouterr().err
+
+    def test_unparsable_tolerance_exits_two(self, gate, monkeypatch, capsys):
+        """A typo'd env knob is a configuration error (exit 2), reported
+        with the variable's name -- not a ValueError traceback."""
+        monkeypatch.setenv("MLEC_BENCH_TOLERANCE", "thirty percent")
+        with pytest.raises(SystemExit) as excinfo:
+            gate.main([])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "MLEC_BENCH_TOLERANCE" in err
+        assert "thirty percent" in err
 
     def test_default_gate_set_names_the_hot_paths(self, gate):
         assert "fig05_mlec_burst_pdl" in gate.GATED

@@ -26,12 +26,32 @@ def rule_ids(findings):
     return [f.rule for f in findings]
 
 
+def lint_sources(tmp_path, sources, *, rules=None):
+    """Lint several files at once (for whole-program rules).
+
+    ``sources`` maps a relative path (e.g. ``"pkg/core.py"``) to its
+    content; ``__init__.py`` files are created for every package
+    directory so the module graph sees real dotted names.
+    """
+    for relpath, source in sources.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+        for parent in target.relative_to(tmp_path).parents:
+            if str(parent) != ".":
+                init = tmp_path / parent / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+    return Linter(rules=rules).run([str(tmp_path)])
+
+
 class TestRegistry:
-    def test_all_ten_rules_registered(self):
+    def test_all_fifteen_rules_registered(self):
         Linter()  # triggers rule-module import
         assert set(RULE_REGISTRY) == {
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-            "SL008", "SL009", "SL010",
+            "SL008", "SL009", "SL010", "SL011", "SL012", "SL013", "SL014",
+            "SL015",
         }
 
     def test_rules_carry_title_and_rationale(self):
@@ -274,6 +294,20 @@ class TestSL004FloatEquality:
                 return pdl == 0.0
         """, rules={"SL004"}, relpath="repair/snippet.py")
         assert findings == []
+
+    def test_runtime_dir_in_scope(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def f(elapsed):
+                return elapsed == 0.5
+        """, rules={"SL004"}, relpath="runtime/snippet.py")
+        assert rule_ids(findings) == ["SL004"]
+
+    def test_codes_dir_in_scope(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def f(rate):
+                return float(rate) != 1.0
+        """, rules={"SL004"}, relpath="codes/snippet.py")
+        assert rule_ids(findings) == ["SL004"]
 
     def test_int_and_order_comparisons_clean(self, tmp_path):
         findings = lint_source(tmp_path, """
@@ -673,11 +707,23 @@ class TestDriver:
         with pytest.raises(LintError, match="no such file"):
             Linter().run(["/nonexistent/simlint-target"])
 
-    def test_syntax_error_raises(self, tmp_path):
+    def test_syntax_error_reported_as_sl000(self, tmp_path):
+        """A broken file is a finding at path:lineno, not a crash."""
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1\ndef broken(:\n")
+        findings = Linter().run([str(bad)])
+        assert rule_ids(findings) == ["SL000"]
+        assert findings[0].path == str(bad)
+        assert findings[0].line == 2
+        assert "syntax error" in findings[0].message
+
+    def test_syntax_error_does_not_block_other_files(self, tmp_path):
         bad = tmp_path / "bad.py"
         bad.write_text("def broken(:\n")
-        with pytest.raises(LintError, match="cannot parse"):
-            Linter().run([str(bad)])
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        findings = Linter().run([str(tmp_path)])
+        assert sorted(rule_ids(findings)) == ["SL000", "SL001"]
 
     def test_linter_runs_are_independent(self, tmp_path):
         """Cross-file rule state must not leak between run() calls."""
@@ -754,9 +800,546 @@ class TestCli:
         assert mlec_main(["lint", "--list-rules"]) == 0
 
 
+class TestSL000MetaDiagnostics:
+    def test_cli_exit_one_on_syntax_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert simlint_main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert f"{bad}:1:" in out
+        assert "SL000" in out
+        assert "syntax error" in out
+
+    def test_unknown_pragma_rule_warns(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            x = 1  # simlint: disable=SL001,SL999
+        """)
+        assert rule_ids(findings) == ["SL000"]
+        assert "SL999" in findings[0].message
+
+    def test_known_pragma_rules_do_not_warn(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import random  # simlint: disable=SL001
+        """)
+        assert findings == []
+
+    def test_sl000_not_registrable(self):
+        from repro.devtools.simlint.core import Rule, register_rule
+
+        class Bogus(Rule):
+            rule_id = "SL000"
+
+        with pytest.raises(ValueError, match="SL000"):
+            register_rule(Bogus)
+
+
+class TestSuppressionEdgeCases:
+    def test_pragma_on_decorated_def(self, tmp_path):
+        """A finding anchored on a decorated ``def`` is suppressed by a
+        pragma on the def line: ``node.lineno`` points at ``def``, not at
+        the decorator, so that is where the pragma must live."""
+        import ast
+
+        from repro.devtools.simlint.core import FileContext
+
+        source = textwrap.dedent("""
+            @decorator
+            def fn():  # simlint: disable=SL006
+                pass
+        """)
+        target = tmp_path / "snippet.py"
+        target.write_text(source)
+        ctx = FileContext(target, str(target), source)
+        fn = next(
+            n for n in ast.walk(ctx.tree) if isinstance(n, ast.FunctionDef)
+        )
+        finding = ctx.finding("SL006", fn, "demo")
+        assert finding.line == 3  # the def line, below the decorator
+        assert ctx.is_suppressed("SL006", finding.line)
+        assert not ctx.is_suppressed("SL006", 2)  # decorator line: no
+
+    def test_disable_file_effective_anywhere_in_file(self, tmp_path):
+        """disable-file applies file-wide even below the first finding."""
+        findings = lint_source(tmp_path, """
+            import numpy as np
+
+            rng = np.random.default_rng()
+
+            # simlint: disable-file=SL001
+        """, rules={"SL001"})
+        assert findings == []
+
+    def test_multiple_rules_in_one_pragma(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import numpy as np
+
+            def f(pdl):
+                return np.random.default_rng(), pdl == 0.0  # simlint: disable=SL001,SL004
+        """, rules={"SL001", "SL004"}, relpath="analysis/snippet.py")
+        assert findings == []
+
+    def test_pragma_suppresses_only_named_rules(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import numpy as np
+
+            def f(pdl):
+                return np.random.default_rng(), pdl == 0.0  # simlint: disable=SL004
+        """, rules={"SL001", "SL004"}, relpath="analysis/snippet.py")
+        assert rule_ids(findings) == ["SL001"]
+
+
+class TestSL011RngProvenance:
+    def test_cross_module_two_call_chain_flagged(self, tmp_path):
+        """The acceptance fixture: taint crosses two calls and a module."""
+        findings = lint_sources(tmp_path, {
+            "pkg/factory.py": """
+                import numpy as np
+
+                def fresh_rng():
+                    return np.random.default_rng()
+            """,
+            "pkg/middle.py": """
+                from pkg.factory import fresh_rng
+
+                def get_stream():
+                    return fresh_rng()
+            """,
+            "pkg/use.py": """
+                from pkg.middle import get_stream
+
+                def trial():
+                    rng = get_stream()
+                    return rng.random()
+            """,
+        }, rules={"SL011"})
+        assert rule_ids(findings) == ["SL011"]
+        assert findings[0].path.endswith("use.py")
+
+    def test_seeded_cross_module_chain_clean(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "pkg/factory.py": """
+                import numpy as np
+
+                def fresh_rng(seed_seq):
+                    return np.random.default_rng(seed_seq)
+            """,
+            "pkg/use.py": """
+                from pkg.factory import fresh_rng
+
+                def trial(seed_seq):
+                    rng = fresh_rng(seed_seq)
+                    return rng.random()
+            """,
+        }, rules={"SL011"})
+        assert findings == []
+
+    def test_seed_from_wallclock_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import time
+            import numpy as np
+
+            def make(seed_seq):
+                return np.random.default_rng(int(time.time()))
+        """, rules={"SL011"})
+        assert rule_ids(findings) == ["SL011"]
+
+    def test_wallclock_telemetry_not_flagged(self, tmp_path):
+        """Timing telemetry uses the clock without feeding randomness."""
+        findings = lint_source(tmp_path, """
+            import time
+
+            def timed(fn):
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+        """, rules={"SL011"})
+        assert findings == []
+
+    def test_stdlib_random_draw_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import random
+
+            def trial():
+                return random.random()
+        """, rules={"SL011"})
+        assert rule_ids(findings) == ["SL011"]
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import numpy as np
+
+            def trial():
+                rng = np.random.default_rng()
+                return rng.random()  # simlint: disable=SL011
+        """, rules={"SL011"})
+        assert findings == []
+
+
+class TestSL012NondeterministicIteration:
+    SINKY = """
+        class TrialAggregate:
+            def add(self, x):
+                pass
+    """
+
+    def test_set_iteration_on_result_path_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "pkg/agg.py": self.SINKY,
+            "pkg/run.py": """
+                from pkg.agg import TrialAggregate
+
+                def collect(pools):
+                    agg = TrialAggregate()
+                    failed = {p for p in pools if p.dead}
+                    for pool in failed:
+                        agg.add(pool)
+                    return agg
+            """,
+        }, rules={"SL012"})
+        assert rule_ids(findings) == ["SL012"]
+
+    def test_sorted_iteration_clean(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "pkg/agg.py": self.SINKY,
+            "pkg/run.py": """
+                from pkg.agg import TrialAggregate
+
+                def collect(pools):
+                    agg = TrialAggregate()
+                    failed = {p for p in pools if p.dead}
+                    for pool in sorted(failed):
+                        agg.add(pool)
+                    return agg
+            """,
+        }, rules={"SL012"})
+        assert findings == []
+
+    def test_set_iteration_off_result_path_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def helper(items):
+                return [x for x in {i for i in items}]
+        """, rules={"SL012"})
+        assert findings == []
+
+    def test_suppression(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "pkg/agg.py": self.SINKY,
+            "pkg/run.py": """
+                from pkg.agg import TrialAggregate
+
+                def collect(commutative_ints):
+                    agg = TrialAggregate()
+                    for n in {i for i in commutative_ints}:  # simlint: disable=SL012
+                        agg.add(n)
+                    return agg
+            """,
+        }, rules={"SL012"})
+        assert findings == []
+
+
+class TestSL013PickleBoundary:
+    def test_lambda_through_transitive_call_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "pkg/dispatch.py": """
+                def dispatch(executor, fn):
+                    return executor.submit(fn)
+            """,
+            "pkg/run.py": """
+                from pkg.dispatch import dispatch
+
+                def go(executor):
+                    return dispatch(executor, lambda: 1)
+            """,
+        }, rules={"SL013"})
+        assert rule_ids(findings) == ["SL013"]
+        assert findings[0].path.endswith("run.py")
+
+    def test_module_level_callable_clean(self, tmp_path):
+        findings = lint_sources(tmp_path, {
+            "pkg/work.py": """
+                def trial(n):
+                    return n + 1
+            """,
+            "pkg/run.py": """
+                from pkg.work import trial
+
+                def go(executor):
+                    return executor.submit(trial)
+            """,
+        }, rules={"SL013"})
+        assert findings == []
+
+    def test_locally_defined_function_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def go(executor):
+                def closure():
+                    return 1
+                return executor.submit(closure)
+        """, rules={"SL013"})
+        assert rule_ids(findings) == ["SL013"]
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def go(executor):
+                return executor.submit(lambda: 1)  # simlint: disable=SL013
+        """, rules={"SL013"})
+        assert findings == []
+
+
+class TestSL014FoldOrderDiscipline:
+    def test_sum_over_parallel_results_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def merge_chunks(results):
+                return sum(results)
+        """, rules={"SL014"})
+        assert rule_ids(findings) == ["SL014"]
+
+    def test_in_order_merge_loop_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def merge_chunks(results):
+                total = 0.0
+                for r in results:
+                    total += r
+                return total
+        """, rules={"SL014"})
+        assert findings == []
+
+    def test_sum_of_unrelated_iterable_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def merge_chunks(weights):
+                return sum(weights)
+        """, rules={"SL014"})
+        assert findings == []
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def merge_chunks(int_results):
+                return sum(int_results)  # simlint: disable=SL014
+        """, rules={"SL014"})
+        assert findings == []
+
+
+class TestSL015OpsTelemetrySegregation:
+    def test_ops_counter_on_result_metrics_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def record(metrics):
+                metrics.counter("runtime.chunks_retried")
+        """, rules={"SL015"})
+        assert rule_ids(findings) == ["SL015"]
+
+    def test_ops_counter_on_ops_metrics_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def record(ops_metrics):
+                ops_metrics.counter("runtime.chunks_retried")
+        """, rules={"SL015"})
+        assert findings == []
+
+    def test_result_counter_on_result_metrics_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def record(metrics):
+                metrics.counter("trial.data_loss")
+        """, rules={"SL015"})
+        assert findings == []
+
+    def test_ops_event_on_result_trace_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def record(trace):
+                trace.event(1.0, "checkpoint.flush", {})
+        """, rules={"SL015"})
+        assert rule_ids(findings) == ["SL015"]
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def record(metrics):
+                metrics.counter("runtime.x")  # simlint: disable=SL015
+        """, rules={"SL015"})
+        assert findings == []
+
+
+class TestSarifOutput:
+    def test_sarif_document_structure(self, tmp_path, capsys):
+        from repro.devtools.simlint.sarif import SARIF_VERSION
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert simlint_main([str(dirty), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+
+        # Fields the 2.1.0 schema marks required.
+        assert log["version"] == SARIF_VERSION
+        assert "$schema" in log
+        run = log["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "simlint"
+        rule_index = {r["id"]: i for i, r in enumerate(driver["rules"])}
+        assert "SL001" in rule_index and "SL015" in rule_index
+        result = run["results"][0]
+        assert result["ruleId"] == "SL001"
+        assert result["message"]["text"]
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("dirty.py")
+        assert loc["region"]["startLine"] == 1
+        assert driver["rules"][result["ruleIndex"]]["id"] == "SL001"
+
+    def test_sarif_output_to_file(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        out = tmp_path / "report.sarif"
+        assert simlint_main([
+            str(dirty), "--format", "sarif", "--output", str(out),
+        ]) == 1
+        log = json.loads(out.read_text())
+        assert log["runs"][0]["results"][0]["ruleId"] == "SL001"
+
+    def test_clean_run_is_valid_empty_sarif(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert simlint_main([str(clean), "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path, capsys):
+        """--update-baseline makes the tree pass; new findings still fail."""
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        baseline = tmp_path / "baseline.json"
+
+        assert simlint_main([
+            str(dirty), "--update-baseline", "--baseline", str(baseline),
+        ]) == 0
+        capsys.readouterr()
+
+        # The recorded finding is now hidden.
+        assert simlint_main([str(dirty), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+        # A *new* finding is not.
+        dirty.write_text("import random\nimport numpy as np\n"
+                         "r = np.random.default_rng()\n")
+        assert simlint_main([str(dirty), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "SL001" in out
+
+    def test_baseline_survives_line_drift(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        baseline = tmp_path / "baseline.json"
+        assert simlint_main([
+            str(dirty), "--update-baseline", "--baseline", str(baseline),
+        ]) == 0
+        # Shift the finding down two lines without changing its content.
+        dirty.write_text("x = 1\ny = 2\nimport random\n")
+        assert simlint_main([str(dirty), "--baseline", str(baseline)]) == 0
+
+    def test_update_preserves_justifications(self, tmp_path):
+        from repro.devtools.simlint.baseline import (
+            load_baseline, write_baseline,
+        )
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        baseline = tmp_path / "baseline.json"
+        findings = Linter().run([str(dirty)])
+        write_baseline(findings, baseline)
+
+        entries = load_baseline(baseline)
+        (fp,) = entries
+        payload = json.loads(baseline.read_text())
+        payload["findings"][0]["justification"] = "stdlib import is a demo"
+        baseline.write_text(json.dumps(payload))
+
+        write_baseline(findings, baseline, load_baseline(baseline))
+        assert (
+            load_baseline(baseline)[fp]["justification"]
+            == "stdlib import is a demo"
+        )
+
+    def test_corrupt_baseline_exits_two(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json")
+        assert simlint_main([str(clean), "--baseline", str(baseline)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestIncrementalCache:
+    def _run(self, paths, cache, capsys):
+        code = simlint_main([*paths, "--cache", str(cache)])
+        return code, capsys.readouterr().out
+
+    def test_warm_run_byte_identical(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+
+        cold_code, cold_out = self._run([str(tmp_path)], cache, capsys)
+        assert cache.exists()
+        warm_code, warm_out = self._run([str(tmp_path)], cache, capsys)
+        assert (cold_code, cold_out) == (warm_code, warm_out) == (1, cold_out)
+
+    def test_edit_invalidates_only_that_file(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        cache = tmp_path / "cache.json"
+        self._run([str(tmp_path)], cache, capsys)
+
+        dirty.write_text("x = 1\n")  # fixed: the finding must disappear
+        code, out = self._run([str(tmp_path)], cache, capsys)
+        assert code == 0
+        assert "SL001" not in out
+
+    def test_warm_cache_skips_reparsing(self, tmp_path):
+        """A full-tree hit replays findings without touching the parser."""
+        from unittest import mock
+
+        from repro.devtools.simlint.cache import run_with_cache
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        cache = tmp_path / "cache.json"
+        linter = Linter()
+        cold = run_with_cache(linter, [str(tmp_path)], cache)
+        with mock.patch.object(
+            Linter, "parse", side_effect=AssertionError("reparsed")
+        ):
+            warm = run_with_cache(linter, [str(tmp_path)], cache)
+        assert [f.to_json() for f in warm] == [f.to_json() for f in cold]
+
+    def test_warm_run_over_src_repro_faster(self, tmp_path):
+        """The whole-program pass is skipped entirely on a full-tree hit."""
+        import time
+
+        from repro.devtools.simlint.cache import run_with_cache
+
+        cache = tmp_path / "cache.json"
+        linter = Linter()
+        t0 = time.perf_counter()
+        cold = run_with_cache(linter, [str(SRC_TREE)], cache)
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_with_cache(linter, [str(SRC_TREE)], cache)
+        t_warm = time.perf_counter() - t0
+        assert [f.to_json() for f in warm] == [f.to_json() for f in cold]
+        assert t_warm < t_cold / 2
+
+
 class TestCleanTree:
     def test_src_repro_lints_clean(self):
         """The acceptance gate: the shipped tree has zero findings."""
         assert SRC_TREE.is_dir()
         findings = Linter().run([str(SRC_TREE)])
         assert findings == []
+
+    def test_committed_baseline_is_empty(self):
+        """The committed baseline carries no entries: the tree is clean,
+        so every new finding must fail CI rather than hide."""
+        payload = json.loads(
+            (REPO_ROOT / ".simlint-baseline.json").read_text()
+        )
+        assert payload == {"version": 1, "findings": []}
