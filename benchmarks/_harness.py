@@ -8,8 +8,9 @@ reproduced tables on disk for EXPERIMENTS.md-style comparison.
 
 Alongside the text artifact, every :func:`once` run emits a
 machine-readable ``BENCH_<name>.json`` record -- wall-clock seconds, trial
-throughput, worker count, the git SHA, and (when the benchmark collects
-one) the merged :class:`repro.obs.MetricsRegistry` snapshot.  The record
+throughput, worker count, per-phase wall times, the process's peak RSS,
+the git SHA, and (when the benchmark collects one) the merged
+:class:`repro.obs.MetricsRegistry` snapshot.  The record
 is written twice: under ``benchmarks/results/`` (gitignored scratch, CI
 uploads it as a workflow artifact) and at the repository root, which *is*
 tracked -- that copy is how the perf trajectory accumulates across
@@ -32,8 +33,15 @@ from __future__ import annotations
 import json
 import os
 import subprocess
+import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-Unix platforms
+    resource = None  # type: ignore[assignment]
 
 from repro.core.atomic import atomic_write_text
 from repro.obs import MetricsRegistry
@@ -72,6 +80,47 @@ def bench_batch() -> str:
             f"MLEC_BENCH_BATCH must be auto/on/off, got {override!r}"
         )
     return override or "auto"
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown).
+
+    A benchmark that got faster by doubling its working set is not an
+    unqualified win; recording the high-water mark alongside the timing
+    lets the perf trajectory catch memory-for-speed trades.
+    """
+    if resource is None:  # pragma: no cover - non-Unix platforms
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # getrusage(2) divergence: Linux reports KiB, macOS reports bytes.
+    return int(peak) * (1 if sys.platform == "darwin" else 1024)
+
+
+class PhaseTimer:
+    """Named wall-clock phases of one benchmark run.
+
+    ``once`` always records the ``run`` (measured callable) and
+    ``report`` (runner-telemetry collection) phases; a
+    benchmark with interesting internal structure can pass its own
+    timer and wrap setup/compute/render sections in :meth:`phase` --
+    repeated phase names accumulate.
+    """
+
+    def __init__(self) -> None:
+        self._phases: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._phases[name] = self._phases.get(name, 0.0) + elapsed
+
+    def snapshot(self) -> dict[str, float]:
+        """Phase name -> accumulated seconds, insertion-ordered."""
+        return dict(self._phases)
 
 
 def _git_sha() -> str:
@@ -135,6 +184,7 @@ def emit_bench(
     backend: str = "local",
     recovery: dict[str, int] | None = None,
     batch: dict[str, object] | None = None,
+    phases: dict[str, float] | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> None:
     """Persist one machine-readable benchmark telemetry record.
@@ -159,6 +209,8 @@ def emit_bench(
         "backend": backend,
         "recovery": dict.fromkeys(_RECOVERY_COUNTERS, 0) | (recovery or {}),
         "batch": {"mode": "off", "batched": 0, "demoted": 0} | (batch or {}),
+        "phases": {k: float(v) for k, v in (phases or {}).items()},
+        "rss_peak_bytes": peak_rss_bytes(),
         "git_sha": _git_sha(),
         "unix_time": time.time(),
     }
@@ -179,6 +231,7 @@ def once(
     workers: int = 1,
     runner: TrialRunner | None = None,
     metrics: MetricsRegistry | None = None,
+    phases: PhaseTimer | None = None,
 ):
     """Run an expensive experiment exactly once under pytest-benchmark.
 
@@ -191,14 +244,19 @@ def once(
     and its backend name and recovery counters are recorded too --
     captured *after* ``fn`` ran, so they reflect this run's facts.
     """
+    timer = phases if phases is not None else PhaseTimer()
     start = time.perf_counter()
-    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    with timer.phase("run"):
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
     elapsed = time.perf_counter() - start
     name = getattr(benchmark, "name", None) or getattr(fn, "__name__", "bench")
     name = name.removeprefix("test_")
-    backend, recovery, batch = (
-        runner_telemetry(runner) if runner is not None else ("local", None, None)
-    )
+    with timer.phase("report"):
+        backend, recovery, batch = (
+            runner_telemetry(runner)
+            if runner is not None
+            else ("local", None, None)
+        )
     emit_bench(
         name,
         seconds=elapsed,
@@ -207,6 +265,7 @@ def once(
         backend=backend,
         recovery=recovery,
         batch=batch,
+        phases=timer.snapshot(),
         metrics=metrics,
     )
     return result

@@ -36,6 +36,7 @@ import argparse
 import math
 import re
 import sys
+from collections.abc import Callable
 from typing import TYPE_CHECKING
 
 from .core.config import MLECParams, YEAR
@@ -187,10 +188,12 @@ def _report_recovery(runner: TrialRunner) -> None:
     if runner.backend is not None:
         runner.backend.shutdown()
     counters = runner.ops_metrics.snapshot()["counters"]
-    # sim.batch_* counters are routine speed telemetry, not recovery
+    # sim.batch_* and runtime.trials_* counters are routine throughput
+    # telemetry (batch-engine usage, progress bookkeeping), not recovery
     # facts; only genuine recovery activity warrants the stderr summary.
+    routine = ("sim.batch", "runtime.trials_")
     if any(
-        isinstance(v, (int, float)) and v and not name.startswith("sim.batch")
+        isinstance(v, (int, float)) and v and not name.startswith(routine)
         for name, v in counters.items()
     ):
         print(runner.recovery_summary(), file=sys.stderr)
@@ -205,6 +208,97 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics", metavar="FILE", default=None,
         help="write merged run metrics (counters/histograms) as JSON",
+    )
+    parser.add_argument(
+        "--ops-trace", metavar="FILE", default=None,
+        help="write the runner's operational trace -- schema-v2 span "
+             "records (campaign/sweep/chunk/attempt, with host "
+             "attribution) plus recovery events -- as JSONL; wall-clock "
+             "timed and scheduling-dependent, unlike --trace",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="live trials/sec + ETA status line on stderr "
+             "(stdout stays byte-identical to an unobserved run)",
+    )
+    parser.add_argument(
+        "--progress-jsonl", metavar="FILE", default=None,
+        help="append machine-readable progress snapshots to FILE (JSONL, "
+             "one schema-versioned object per emission) for tailing",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve live OpenMetrics of the runner's operational counters "
+             "on 127.0.0.1:PORT while the campaign runs (0 picks a free "
+             "port; the bound address is printed on stderr)",
+    )
+
+
+def _attach_observability(
+    args: argparse.Namespace,
+    runner: TrialRunner,
+    metrics: MetricsRegistry | None = None,
+) -> Callable[[], None]:
+    """Attach the live observability surfaces requested on the command line.
+
+    Wires a :class:`~repro.obs.ProgressReporter` into the runner
+    (``--progress`` / ``--progress-jsonl``) and starts the
+    :class:`~repro.obs.MetricsExporter` pull endpoint
+    (``--metrics-port``).  Everything renders to stderr or a sidecar
+    file/socket -- stdout and the result artifacts stay byte-identical
+    to an unobserved run.  Returns a stop callback the caller must
+    invoke when the campaign ends (forces the final progress emission
+    and unbinds the endpoint).
+    """
+    from .obs import MetricsExporter, ProgressReporter
+    from .obs.export import to_openmetrics
+
+    closers: list[Callable[[], None]] = []
+    want_line = bool(getattr(args, "progress", False))
+    jsonl_path = getattr(args, "progress_jsonl", None)
+    if want_line or jsonl_path:
+        reporter = ProgressReporter(
+            stream=sys.stderr if want_line else None,
+            jsonl_path=jsonl_path,
+        )
+        runner.progress = reporter
+        closers.append(reporter.close)
+    port = getattr(args, "metrics_port", None)
+    if port is not None:
+        registries = [runner.ops_metrics]
+        if metrics is not None:
+            registries.append(metrics)
+        exporter = MetricsExporter(
+            lambda: to_openmetrics(*registries), port=port
+        )
+        host, bound = exporter.start()
+        print(
+            f"mlec-sim: serving OpenMetrics on http://{host}:{bound}/metrics",
+            file=sys.stderr,
+        )
+        closers.append(exporter.close)
+
+    def stop() -> None:
+        for close in closers:
+            close()
+
+    return stop
+
+
+def _write_ops_trace(args: argparse.Namespace, runner: TrialRunner) -> None:
+    """Write the runner-owned ops trace requested via ``--ops-trace``.
+
+    Reported on stderr: span counts depend on wall clock and scheduling,
+    so stdout must stay byte-identical to an unobserved run.
+    """
+    path = getattr(args, "ops_trace", None)
+    if not path:
+        return
+    runner.ops_trace.write_jsonl(path)
+    print(
+        f"mlec-sim: wrote {len(runner.ops_trace)} ops trace records "
+        f"to {path}",
+        file=sys.stderr,
     )
 
 
@@ -259,6 +353,16 @@ def cmd_burst(args: argparse.Namespace) -> int:
                 "--trace/--metrics need Monte-Carlo trials; "
                 "drop --exact to collect telemetry"
             )
+        if (
+            args.ops_trace
+            or args.progress
+            or args.progress_jsonl
+            or args.metrics_port is not None
+        ):
+            raise ValueError(
+                "--ops-trace/--progress/--progress-jsonl/--metrics-port "
+                "observe a Monte-Carlo campaign; drop --exact to use them"
+            )
         if args.checkpoint or args.resume:
             raise ValueError(
                 "--checkpoint/--resume need Monte-Carlo trials; "
@@ -274,13 +378,18 @@ def cmd_burst(args: argparse.Namespace) -> int:
 
         trace, metrics = _make_obs(args)
         runner = _make_runner(args)
-        stats = burst_pdl_stats(
-            MLECBurstEvaluator(scheme), args.failures, args.racks,
-            trials=args.trials, seed=args.seed,
-            runner=runner,
-            metrics=metrics, trace=trace,
-        )
+        obs_stop = _attach_observability(args, runner, metrics)
+        try:
+            stats = burst_pdl_stats(
+                MLECBurstEvaluator(scheme), args.failures, args.racks,
+                trials=args.trials, seed=args.seed,
+                runner=runner,
+                metrics=metrics, trace=trace,
+            )
+        finally:
+            obs_stop()
         _report_recovery(runner)
+        _write_ops_trace(args, runner)
         _write_obs(args, trace, metrics)
         pdl = stats.mean
         kind = f"Monte-Carlo ({args.trials} trials)"
@@ -381,14 +490,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
     trace, metrics = _make_obs(args)
     runner = _make_runner(args)
+    obs_stop = _attach_observability(args, runner, metrics)
     watch = Stopwatch()
-    results = runner.map(
-        _simulate_trial, args.trials, seed=args.seed,
-        args=(scheme, method, args.afr, mission_time, args.seed),
-        metrics=metrics, trace=trace,
-    )
+    try:
+        results = runner.map(
+            _simulate_trial, args.trials, seed=args.seed,
+            args=(scheme, method, args.afr, mission_time, args.seed),
+            metrics=metrics, trace=trace,
+        )
+    finally:
+        obs_stop()
     watch.stop()
     _report_recovery(runner)
+    _write_ops_trace(args, runner)
     _write_obs(args, trace, metrics)
     if args.trials == 1:
         result = results[0]
@@ -475,10 +589,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         scenarios=scenarios, workers=args.workers, runner=runner,
     )
     trace, metrics = _make_obs(args)
+    obs_stop = _attach_observability(args, runner, metrics)
     watch = Stopwatch()
-    report = campaign.run(seed=args.seed, trace=trace, metrics=metrics)
+    try:
+        report = campaign.run(seed=args.seed, trace=trace, metrics=metrics)
+    finally:
+        obs_stop()
     watch.stop()
     _report_recovery(runner)
+    _write_ops_trace(args, runner)
     _write_obs(args, trace, metrics)
     print(report.to_text())
     total_trials = len(report.scenarios) * len(report.schemes) * report.trials
@@ -749,11 +868,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "trace-report",
-        help="summarize a JSONL trace written via --trace",
+        help="summarize a JSONL trace written via --trace or --ops-trace",
     )
-    p.add_argument("file", help="trace file (JSONL, schema v1)")
+    p.add_argument("file", help="trace file (JSONL; v1 event records and "
+                                "v2 span records both understood)")
     p.add_argument("--top", type=int, default=10,
-                   help="event kinds / pools to show (default 10)")
+                   help="event kinds / pools / span children to show "
+                        "(default 10)")
     p.set_defaults(func=cmd_trace_report)
 
     p = sub.add_parser(

@@ -20,6 +20,7 @@ from . import (
     provenance,
     rng,
     segregation,
+    spans,
     units,
     writes,
 )
@@ -38,4 +39,5 @@ __all__ = [
     "ordering",
     "boundary",
     "segregation",
+    "spans",
 ]

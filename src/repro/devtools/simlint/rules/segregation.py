@@ -7,7 +7,8 @@ are byte-identical to an undisturbed one.  That only holds because every
 is recorded in runner-owned ``ops_metrics``/``ops_trace`` sinks that are
 never merged into result artifacts.  SL015 enforces the naming boundary:
 an ops-namespaced name (``runtime.*``, ``checkpoint.*`` metrics; the
-``checkpoint./chunk./pool./worker./backend.`` trace-event families) may
+``checkpoint./chunk./pool./worker./backend./span.`` trace-event
+families) may
 only be recorded on a receiver that is visibly an ops sink (its attribute
 chain mentions ``ops``).  Recording one on a plain ``metrics``/``trace``
 receiver would leak recovery history into results and break the contract.
@@ -26,6 +27,7 @@ _METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
 _OPS_METRIC_PREFIXES = ("runtime.", "checkpoint.")
 _OPS_EVENT_PREFIXES = (
     "runtime.", "checkpoint.", "chunk.", "pool.", "worker.", "backend.",
+    "span.",
 )
 
 

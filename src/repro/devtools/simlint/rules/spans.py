@@ -1,0 +1,84 @@
+"""SL016 span-discipline: spans open inside ``with``, never bare.
+
+The span tracer (PR 9) offers two emission styles: ``span()`` -- a
+context manager that guarantees the matching end record (with error
+status) even when the body raises -- and ``emit()``, which records an
+already-completed span retrospectively and so cannot leak.  The
+low-level ``begin_span`` primitive underlying ``span()`` has neither
+guarantee: a bare call followed by an exception leaves the span open
+forever, which silently corrupts the trace-report span tree and the
+critical-path computation built on top of it.
+
+SL016 flags any ``begin_span`` attribute-call whose call site is *not*
+the context expression of a ``with`` item.  The tracer's own ``span()``
+wrapper (which pairs ``begin_span`` with ``try/finally``) lives in
+:mod:`repro.obs` and is out of scope; everywhere else -- runners,
+executors, campaign drivers, the CLI -- must use ``with tracer.span``
+or ``tracer.emit``.  Deliberate exceptions (e.g. a long-lived span
+closed from another callback) carry ``# simlint: disable=SL016``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["SpanDiscipline"]
+
+
+def _with_item_calls(tree: ast.AST) -> set[int]:
+    """``id()``s of Call nodes that are a ``with`` item's context expr."""
+    calls: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    calls.add(id(item.context_expr))
+    return calls
+
+
+@register_rule
+class SpanDiscipline(Rule):
+    """SL016: ``begin_span`` only as a ``with`` item's context expression."""
+
+    rule_id = "SL016"
+    title = "span-discipline"
+    rationale = (
+        "A bare begin_span call leaks an open span when the body raises, "
+        "corrupting the span tree and critical path in trace-report; use "
+        "`with tracer.span(...)` for scoped spans or tracer.emit(...) for "
+        "retrospective ones, or mark a deliberate split-phase span with "
+        "# simlint: disable=SL016."
+    )
+
+    @staticmethod
+    def _in_scope(ctx: FileContext) -> bool:
+        parts = ctx.path.parts
+        # The tracer implementation (repro.obs) legitimately wraps
+        # begin_span in try/finally; the linter's own fixtures live
+        # under devtools.  Everything else is instrumentation code.
+        return "devtools" not in parts and "obs" not in parts
+
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        if not self._in_scope(ctx):
+            return []
+        findings: list[Finding] = []
+        with_calls = _with_item_calls(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "begin_span"
+            ):
+                continue
+            if id(node) in with_calls:
+                continue
+            findings.append(ctx.finding(
+                self.rule_id, node,
+                "bare begin_span call; an exception before the matching "
+                "end leaks an open span -- use `with tracer.span(...)` "
+                "(scoped) or tracer.emit(...) (retrospective), or mark a "
+                "deliberate split-phase span with # simlint: disable=SL016",
+            ))
+        return findings

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections.abc import Sequence
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -439,18 +440,42 @@ class ChaosCampaign:
             for ci in range(len(self.schemes))
             for trial in range(self.trials)
         )
-        outcomes = self.runner.map(
-            _campaign_trial,
-            len(tasks),
-            seed=seed,
-            args=(
-                tasks, self.scenarios, self.schemes, self.trials, self.dc,
-                self.method, self.bw, self.failures, self.check_invariants,
+        # Root the runner's span tree in a campaign span with a trace id
+        # derived from the campaign's structural config (first seeding
+        # wins, so the sweep inherits this identity).  getattr keeps
+        # pre-span custom runners working.
+        spans = getattr(self.runner, "spans", None)
+        if spans is not None:
+            spans.seed_trace(
+                "chaos",
                 seed,
-            ),
-            trace=trace,
-            metrics=metrics,
-        )
+                len(tasks),
+                ",".join(s.name for s in self.scenarios),
+                ",".join(s.name for s in self.schemes),
+            )
+        with (
+            spans.span(
+                "span.campaign",
+                key=("campaign", seed),
+                scenarios=len(self.scenarios),
+                schemes=len(self.schemes),
+                trials=self.trials,
+            )
+            if spans is not None
+            else nullcontext()
+        ):
+            outcomes = self.runner.map(
+                _campaign_trial,
+                len(tasks),
+                seed=seed,
+                args=(
+                    tasks, self.scenarios, self.schemes, self.trials, self.dc,
+                    self.method, self.bw, self.failures, self.check_invariants,
+                    seed,
+                ),
+                trace=trace,
+                metrics=metrics,
+            )
         cells: dict[tuple[str, str], CampaignCell] = {}
         cursor = 0
         for scenario in self.scenarios:

@@ -18,16 +18,38 @@ where the wall-clock went -- through three stdlib-only primitives:
   source of elapsed/throughput numbers for the CLI and the benchmark
   harness, so the two can never drift apart.
 
-See ``docs/observability.md`` for the record schema, the metric naming
+On top of these, the *distributed campaign* layer (all operational --
+never folded into result artifacts):
+
+* :class:`SpanTracer` (:mod:`repro.obs.spans`) -- hierarchical span
+  tracing (campaign -> sweep -> chunk -> attempt) with deterministic
+  ids, recorded as schema-v2 records in the runner-owned ops trace.
+* :class:`ProgressReporter` (:mod:`repro.obs.progress`) -- streaming
+  trials/sec, ETA, and per-host utilization, rendered as a throttled
+  status line and a ``--progress-jsonl`` stream.
+* :func:`to_openmetrics` / :class:`MetricsExporter`
+  (:mod:`repro.obs.export`) -- OpenMetrics text exposition of any
+  registry plus the ``--metrics-port`` pull endpoint.
+
+See ``docs/observability.md`` for the record schemas, the metric naming
 conventions, and measured overhead.
 """
 
 from __future__ import annotations
 
+from .export import (
+    OPENMETRICS_CONTENT_TYPE,
+    MetricsExporter,
+    parse_openmetrics,
+    to_openmetrics,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .report import summarize_trace
+from .progress import ProgressReporter, ProgressSnapshot, ProgressTracker
+from .report import summarize_spans, summarize_trace
+from .spans import Span, SpanTracer, derive_id
 from .timing import DISABLED_TIMERS, Stopwatch, Timers
 from .trace import (
+    SPAN_SCHEMA_VERSION,
     TRACE_SCHEMA_VERSION,
     TraceRecorder,
     read_jsonl,
@@ -42,6 +64,7 @@ __all__ = [
     "MetricsRegistry",
     "TraceRecorder",
     "TRACE_SCHEMA_VERSION",
+    "SPAN_SCHEMA_VERSION",
     "read_jsonl",
     "write_jsonl",
     "validate_record",
@@ -49,4 +72,15 @@ __all__ = [
     "DISABLED_TIMERS",
     "Stopwatch",
     "summarize_trace",
+    "summarize_spans",
+    "Span",
+    "SpanTracer",
+    "derive_id",
+    "ProgressTracker",
+    "ProgressReporter",
+    "ProgressSnapshot",
+    "MetricsExporter",
+    "to_openmetrics",
+    "parse_openmetrics",
+    "OPENMETRICS_CONTENT_TYPE",
 ]

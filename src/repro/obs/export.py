@@ -1,0 +1,315 @@
+"""OpenMetrics exposition: render, parse, and serve a MetricsRegistry.
+
+Long campaigns should be scrape-able mid-flight.  This module turns any
+:class:`~repro.obs.MetricsRegistry` snapshot into OpenMetrics text
+exposition (:func:`to_openmetrics`), parses that text back
+(:func:`parse_openmetrics` -- the round-trip is pinned in tests and CI),
+and serves it over HTTP (:class:`MetricsExporter`, behind the CLI's
+``--metrics-port`` flag).
+
+Mapping conventions:
+
+* Dotted metric names become underscored families
+  (``runtime.chunk_retries`` -> ``runtime_chunk_retries``); the metric
+  name grammar guarantees the result is a valid OpenMetrics name.
+* Counters expose one ``<family>_total`` sample; gauges one bare
+  sample; histograms cumulative ``_bucket{le="..."}`` samples (the
+  registry's inclusive upper bounds map directly onto ``le``), a
+  ``+Inf`` bucket, ``_count``, and ``_sum``.
+* The exposition ends with the mandatory ``# EOF`` terminator.
+
+Everything is stdlib-only, and the HTTP endpoint is read-only: one GET
+of ``/metrics`` (or ``/``) returns the current exposition.  Scrapes are
+served from a snapshot taken at request time, so a scrape observes the
+campaign mid-flight without pausing it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "OPENMETRICS_CONTENT_TYPE",
+    "to_openmetrics",
+    "parse_openmetrics",
+    "MetricsExporter",
+]
+
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+def _family(name: str) -> str:
+    return name.replace(".", "_")
+
+
+def _format_value(value: float) -> str:
+    """Shortest float rendering that parses back to the same value."""
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_openmetrics(*registries: MetricsRegistry) -> str:
+    """Render one or more registries as OpenMetrics text exposition.
+
+    Later registries win on (unlikely) family collisions, mirroring
+    :meth:`MetricsRegistry.merge` gauge semantics.  Families are emitted
+    sorted within each section, so the exposition of a given snapshot is
+    deterministic.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, Any]] = {}
+    for registry in registries:
+        snap = registry.snapshot()
+        for name, value in snap["counters"].items():
+            counters[_family(name)] = float(value)  # type: ignore[arg-type]
+        for name, value in snap["gauges"].items():
+            gauges[_family(name)] = float(value)  # type: ignore[arg-type]
+        for name, hist in snap["histograms"].items():
+            histograms[_family(name)] = dict(hist)  # type: ignore[arg-type]
+
+    lines: list[str] = []
+    for family in sorted(counters):
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family}_total {_format_value(counters[family])}")
+    for family in sorted(gauges):
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format_value(gauges[family])}")
+    for family in sorted(histograms):
+        hist = histograms[family]
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += int(count)
+            lines.append(
+                f'{family}_bucket{{le="{_format_value(float(bound))}"}} '
+                f"{cumulative}"
+            )
+        lines.append(f'{family}_bucket{{le="+Inf"}} {int(hist["count"])}')
+        lines.append(f"{family}_count {int(hist['count'])}")
+        lines.append(f"{family}_sum {_format_value(float(hist['total']))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_number(text: str, where: str) -> float:
+    special = {"NaN": float("nan"), "+Inf": float("inf"), "-Inf": float("-inf")}
+    if text in special:
+        return special[text]
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"{where}: not a number: {text!r}") from None
+
+
+def parse_openmetrics(text: str) -> dict[str, dict[str, Any]]:
+    """Parse OpenMetrics text back into a snapshot-shaped structure.
+
+    Returns ``{"counters": {family: value}, "gauges": {family: value},
+    "histograms": {family: {"buckets": [(le, cumulative), ...],
+    "count": int, "sum": float}}}`` with underscored family names.
+    Validates the structural rules this exporter (and any compliant
+    producer) must follow: a ``# TYPE`` line before a family's samples,
+    samples matching the declared type, and a final ``# EOF``.
+    """
+    types: dict[str, str] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, Any]] = {}
+    saw_eof = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        where = f"openmetrics:{lineno}"
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError(f"{where}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram"):
+                    raise ValueError(
+                        f"{where}: unsupported metric type {parts[3]!r}"
+                    )
+                types[parts[2]] = parts[3]
+            continue  # HELP/UNIT and other comments are ignored
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"{where}: malformed sample line {line!r}")
+        value = _parse_number(value_part, where)
+        name, labels = _split_labels(name_part, where)
+        family, kind = _resolve_family(name, types, where)
+        if kind == "counter":
+            counters[family] = value
+        elif kind == "gauge":
+            gauges[family] = value
+        else:
+            hist = histograms.setdefault(
+                family, {"buckets": [], "count": 0, "sum": 0.0}
+            )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    raise ValueError(f"{where}: histogram bucket without le=")
+                hist["buckets"].append((labels["le"], value))
+            elif name.endswith("_count"):
+                hist["count"] = int(value)
+            elif name.endswith("_sum"):
+                hist["sum"] = value
+            else:
+                raise ValueError(
+                    f"{where}: unexpected histogram sample {name!r}"
+                )
+    if not saw_eof:
+        raise ValueError("openmetrics: missing # EOF terminator")
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def _split_labels(
+    name_part: str, where: str
+) -> tuple[str, dict[str, str]]:
+    if "{" not in name_part:
+        return name_part, {}
+    name, _, rest = name_part.partition("{")
+    if not rest.endswith("}"):
+        raise ValueError(f"{where}: unterminated label set in {name_part!r}")
+    labels: dict[str, str] = {}
+    body = rest[:-1]
+    if body:
+        for item in body.split(","):
+            key, eq, value = item.partition("=")
+            if not eq or not (value.startswith('"') and value.endswith('"')):
+                raise ValueError(f"{where}: malformed label {item!r}")
+            labels[key.strip()] = value[1:-1]
+    return name, labels
+
+
+def _resolve_family(
+    name: str, types: dict[str, str], where: str
+) -> tuple[str, str]:
+    """Map a sample name back to its declared family and type."""
+    candidates = [name]
+    for suffix in ("_total", "_bucket", "_count", "_sum"):
+        if name.endswith(suffix):
+            candidates.append(name[: -len(suffix)])
+    for candidate in candidates:
+        if candidate in types:
+            return candidate, types[candidate]
+    raise ValueError(f"{where}: sample {name!r} precedes its # TYPE line")
+
+
+class _MetricsServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    render: Callable[[], str]
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server: _MetricsServer
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+            self.send_error(404, "only /metrics is served")
+            return
+        try:
+            body = self.server.render().encode("utf-8")
+        except Exception as exc:  # scrape must not kill the campaign
+            self.send_error(500, f"exposition failed: {exc}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", OPENMETRICS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silenced: scrapes must not interleave with campaign stderr."""
+
+
+class MetricsExporter:
+    """A pull endpoint serving live OpenMetrics from a source callback.
+
+    ``source`` is called per scrape and returns the exposition text
+    (typically ``lambda: to_openmetrics(runner.ops_metrics)``); it runs
+    on the server thread, so it must only *read* shared state.  The
+    registry mutation paths are single-writer and
+    :meth:`~repro.obs.MetricsRegistry.snapshot` materializes its key
+    lists up front, so a scrape racing a campaign sees a slightly stale
+    but well-formed view.  Retries absorb the rare concurrent-resize
+    window.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._source = source
+        self._host = host
+        self._port = port
+        self._server: _MetricsServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def _render(self) -> str:
+        last: Exception | None = None
+        for _ in range(3):
+            try:
+                return self._source()
+            except RuntimeError as exc:  # dict resized during snapshot
+                last = exc
+        raise RuntimeError(f"metrics exposition failed: {last}")
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve in a daemon thread; returns ``(host, port)``."""
+        if self._server is not None:
+            return self.address
+        server = _MetricsServer((self._host, self._port), _MetricsHandler)
+        server.render = self._render
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="mlec-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("exporter is not started")
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

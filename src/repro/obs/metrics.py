@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import math
 import re
 from pathlib import Path
 
@@ -101,6 +102,33 @@ class Histogram:
     @property
     def count(self) -> int:
         return sum(self.counts)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating the fixed buckets.
+
+        The rank ``q * count`` is located in the cumulative counts and
+        mapped linearly across its bucket ``(lower, upper]`` -- the
+        standard fixed-bucket estimator (what a Prometheus
+        ``histogram_quantile`` computes from the same data).  The first
+        bucket interpolates from 0, and a rank landing in the overflow
+        bin clamps to the last bound (there is no upper edge to
+        interpolate toward).  Returns NaN for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        n = self.count
+        if n == 0:
+            return math.nan
+        rank = q * n
+        cumulative = 0.0
+        lower = 0.0
+        for bound, count in zip(self.bounds, self.counts):
+            if count and cumulative + count >= rank:
+                fraction = max(0.0, rank - cumulative) / count
+                return lower + fraction * (bound - lower)
+            cumulative += count
+            lower = bound
+        return self.bounds[-1]
 
 
 class MetricsRegistry:
@@ -192,11 +220,19 @@ class MetricsRegistry:
         histograms: dict[str, object] = {}
         for name in sorted(self._histograms):
             hist = self._histograms[name]
+
+            def finite(q: float, hist: Histogram = hist) -> float | None:
+                value = hist.quantile(q)
+                return None if math.isnan(value) else value
+
             histograms[name] = {
                 "bounds": list(hist.bounds),
                 "counts": list(hist.counts),
                 "count": hist.count,
                 "total": hist.total,
+                "p50": finite(0.50),
+                "p95": finite(0.95),
+                "p99": finite(0.99),
             }
         return {
             "counters": counters,

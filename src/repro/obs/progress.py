@@ -1,0 +1,341 @@
+"""Streaming campaign progress: trials/sec, ETA, per-host utilization.
+
+The runners report chunk-granular facts (sweep started, chunk done on
+host H after S seconds, retry/steal/death) to an attached *progress
+sink*; :class:`ProgressTracker` folds them into a running
+:class:`ProgressSnapshot` and :class:`ProgressReporter` renders that as
+
+* a throttled single-line status on a stream (the CLI passes stderr, so
+  stdout stays byte-identical to an unobserved run), and
+* a machine-readable JSONL stream (``--progress-jsonl PATH``): one
+  schema-versioned snapshot object per emission, append-written and
+  flushed so a supervisor -- or the future ``mlec-sim serve`` -- can
+  tail a live campaign.
+
+Everything here is operational telemetry: wall-clock rates and ETAs are
+inherently nondeterministic and never touch result artifacts.
+
+Design notes
+------------
+* **Clock monotonicity.**  The tracker clamps its injectable clock so
+  elapsed time never decreases, even if the underlying clock steps
+  backwards; rates and ETAs therefore never go negative.
+* **Salvage-aware rates.**  Chunks salvaged from a checkpoint arrive
+  "instantly" at sweep start; they count toward completion but are
+  excluded from the live trial rate, so a resumed campaign's ETA
+  reflects actual execution speed rather than journal replay.
+* **Multi-sweep totals.**  ``begin_sweep`` accumulates: a chaos campaign
+  or split-AFR study running several sweeps against one runner reports
+  campaign-wide progress, not per-sweep resets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from collections.abc import Callable
+from pathlib import Path
+from typing import IO, Any
+
+__all__ = [
+    "PROGRESS_SCHEMA_VERSION",
+    "HostStats",
+    "ProgressSnapshot",
+    "ProgressTracker",
+    "ProgressReporter",
+]
+
+#: Version stamp on every ``--progress-jsonl`` record.
+PROGRESS_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass
+class HostStats:
+    """Per-host execution facts (host = ``hostname/pid`` chunk label)."""
+
+    chunks: int = 0
+    busy_s: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgressSnapshot:
+    """One consistent view of campaign progress at ``elapsed_s``."""
+
+    elapsed_s: float
+    trials_done: int
+    trials_total: int
+    chunks_done: int
+    chunks_total: int
+    salvaged_trials: int
+    rate_trials_per_s: float
+    eta_s: float | None
+    retries: int
+    steals: int
+    worker_deaths: int
+    hosts: dict[str, HostStats]
+
+    @property
+    def fraction(self) -> float:
+        if self.trials_total <= 0:
+            return 0.0
+        return min(1.0, self.trials_done / self.trials_total)
+
+    def utilization(self, host: str) -> float:
+        """Fraction of the elapsed wall-clock ``host`` spent executing."""
+        stats = self.hosts.get(host)
+        if stats is None or self.elapsed_s <= 0:
+            return 0.0
+        return min(1.0, stats.busy_s / self.elapsed_s)
+
+    def status_line(self) -> str:
+        """The one-line human rendering used for the stderr ticker."""
+        if self.eta_s is None:
+            eta = "--"
+        elif self.eta_s >= 3600:
+            eta = f"{self.eta_s / 3600:.1f}h"
+        elif self.eta_s >= 60:
+            eta = f"{self.eta_s / 60:.1f}m"
+        else:
+            eta = f"{self.eta_s:.0f}s"
+        parts = [
+            f"{self.trials_done}/{self.trials_total} trials"
+            f" ({self.fraction:.0%})",
+            f"{self.rate_trials_per_s:.1f} trials/s",
+            f"ETA {eta}",
+        ]
+        if self.hosts:
+            parts.append(f"{len(self.hosts)} host(s)")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.steals:
+            parts.append(f"{self.steals} steals")
+        if self.worker_deaths:
+            parts.append(f"{self.worker_deaths} worker deaths")
+        return "progress: " + " | ".join(parts)
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSONL form (fixed key order, flat JSON values)."""
+        return {
+            "v": PROGRESS_SCHEMA_VERSION,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "done": self.trials_done,
+            "total": self.trials_total,
+            "chunks_done": self.chunks_done,
+            "chunks_total": self.chunks_total,
+            "salvaged": self.salvaged_trials,
+            "rate": round(self.rate_trials_per_s, 6),
+            "eta_s": None if self.eta_s is None else round(self.eta_s, 6),
+            "retries": self.retries,
+            "steals": self.steals,
+            "worker_deaths": self.worker_deaths,
+            "hosts": {
+                host: {
+                    "chunks": stats.chunks,
+                    "busy_s": round(stats.busy_s, 6),
+                }
+                for host, stats in sorted(self.hosts.items())
+            },
+        }
+
+
+class ProgressTracker:
+    """Folds chunk-granular runner events into progress snapshots."""
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock if clock is not None else time.monotonic
+        self._start: float | None = None
+        self._last = 0.0
+        self.trials_total = 0
+        self.trials_done = 0
+        self.chunks_total = 0
+        self.chunks_done = 0
+        self.salvaged_trials = 0
+        self.retries = 0
+        self.steals = 0
+        self.worker_deaths = 0
+        self.hosts: dict[str, HostStats] = {}
+
+    def _elapsed(self) -> float:
+        """Monotonic elapsed seconds since the first sweep began."""
+        if self._start is None:
+            return 0.0
+        now = self._clock()
+        # Clamp: a clock stepping backwards must never shrink elapsed
+        # time (rates and ETAs would go negative).
+        self._last = max(self._last, now - self._start)
+        return self._last
+
+    # ------------------------------------------------------------------
+    # The progress-sink protocol the runners call.
+    # ------------------------------------------------------------------
+    def begin_sweep(
+        self,
+        trials: int,
+        chunks: int,
+        *,
+        salvaged_trials: int = 0,
+        salvaged_chunks: int = 0,
+    ) -> None:
+        if self._start is None:
+            self._start = self._clock()
+        self.trials_total += trials
+        self.chunks_total += chunks
+        self.trials_done += salvaged_trials
+        self.chunks_done += salvaged_chunks
+        self.salvaged_trials += salvaged_trials
+
+    def chunk_done(
+        self, trials: int, *, host: str | None = None, busy_s: float = 0.0
+    ) -> None:
+        self.trials_done += trials
+        self.chunks_done += 1
+        if host is not None:
+            stats = self.hosts.setdefault(host, HostStats())
+            stats.chunks += 1
+            stats.busy_s += max(0.0, busy_s)
+
+    def note_retry(self) -> None:
+        self.retries += 1
+
+    def note_steal(self) -> None:
+        self.steals += 1
+
+    def note_worker_death(self) -> None:
+        self.worker_deaths += 1
+
+    def end_sweep(self) -> None:
+        """Sweep finished -- a no-op fold point (reporters force a render)."""
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ProgressSnapshot:
+        elapsed = self._elapsed()
+        live_done = self.trials_done - self.salvaged_trials
+        rate = live_done / elapsed if elapsed > 0 else 0.0
+        remaining = max(0, self.trials_total - self.trials_done)
+        eta: float | None
+        if remaining == 0:
+            eta = 0.0
+        elif rate > 0:
+            eta = remaining / rate
+        else:
+            eta = None  # nothing completed live yet: no basis for an ETA
+        return ProgressSnapshot(
+            elapsed_s=elapsed,
+            trials_done=self.trials_done,
+            trials_total=self.trials_total,
+            chunks_done=self.chunks_done,
+            chunks_total=self.chunks_total,
+            salvaged_trials=self.salvaged_trials,
+            rate_trials_per_s=rate,
+            eta_s=eta,
+            retries=self.retries,
+            steals=self.steals,
+            worker_deaths=self.worker_deaths,
+            hosts={h: dataclasses.replace(s) for h, s in self.hosts.items()},
+        )
+
+
+class ProgressReporter(ProgressTracker):
+    """A tracker that renders: throttled status line + JSONL stream.
+
+    ``min_interval`` throttles *both* sinks: under fast completion
+    (thousands of chunks/second) at most one emission per interval goes
+    out, plus a forced final one on :meth:`close`, so a tight sweep
+    cannot flood stderr or the JSONL file.  ``stream=None`` disables the
+    status line; ``jsonl_path=None`` disables the stream.
+    """
+
+    def __init__(
+        self,
+        *,
+        stream: IO[str] | None = None,
+        jsonl_path: str | Path | None = None,
+        min_interval: float = 0.5,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        super().__init__(clock=clock)
+        if min_interval < 0:
+            raise ValueError(f"min_interval must be >= 0, got {min_interval}")
+        self._stream = stream
+        self._min_interval = min_interval
+        self._last_emit: float | None = None
+        self._line_open = False
+        self._jsonl: IO[str] | None = None
+        if jsonl_path is not None:
+            # Append + per-record flush (WAL-style, like the checkpoint
+            # journal): tailers see every emission as soon as it happens.
+            self._jsonl = open(jsonl_path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def begin_sweep(
+        self,
+        trials: int,
+        chunks: int,
+        *,
+        salvaged_trials: int = 0,
+        salvaged_chunks: int = 0,
+    ) -> None:
+        super().begin_sweep(
+            trials,
+            chunks,
+            salvaged_trials=salvaged_trials,
+            salvaged_chunks=salvaged_chunks,
+        )
+        self._emit(force=self._last_emit is None)
+
+    def chunk_done(
+        self, trials: int, *, host: str | None = None, busy_s: float = 0.0
+    ) -> None:
+        super().chunk_done(trials, host=host, busy_s=busy_s)
+        self._emit()
+
+    def note_retry(self) -> None:
+        super().note_retry()
+        self._emit()
+
+    def note_steal(self) -> None:
+        super().note_steal()
+        self._emit()
+
+    def note_worker_death(self) -> None:
+        super().note_worker_death()
+        self._emit()
+
+    def end_sweep(self) -> None:
+        self._emit(force=True)
+
+    # ------------------------------------------------------------------
+    def _emit(self, force: bool = False) -> None:
+        now = self._clock()
+        if (
+            not force
+            and self._last_emit is not None
+            and now - self._last_emit < self._min_interval
+        ):
+            return
+        self._last_emit = now
+        snap = self.snapshot()
+        if self._stream is not None:
+            line = snap.status_line()
+            if getattr(self._stream, "isatty", lambda: False)():
+                self._stream.write("\r\x1b[2K" + line)
+                self._line_open = True
+            else:
+                self._stream.write(line + "\n")
+            self._stream.flush()
+        if self._jsonl is not None and not self._jsonl.closed:
+            self._jsonl.write(
+                json.dumps(snap.to_record(), separators=(",", ":")) + "\n"
+            )
+            self._jsonl.flush()
+
+    def close(self) -> None:
+        """Force a final emission and release the JSONL handle."""
+        self._emit(force=True)
+        if self._line_open and self._stream is not None:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._line_open = False
+        if self._jsonl is not None and not self._jsonl.closed:
+            self._jsonl.close()

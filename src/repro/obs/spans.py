@@ -1,0 +1,222 @@
+"""Hierarchical span tracing for distributed campaigns (schema v2).
+
+Long Monte Carlo campaigns spread their wall-clock across sweeps,
+chunks, retries, checkpoint writes, and remote hosts; flat v1 events
+cannot answer "where did the time go".  A *span* is a named interval
+with a parent, recorded into the runner-owned operational trace as a
+schema-v2 record (see :mod:`repro.obs.trace`) once it is complete:
+
+* ``span.campaign`` -> ``span.sweep`` -> ``span.chunk`` ->
+  ``span.attempt`` is the execution hierarchy; ``span.checkpoint_write``,
+  ``span.pool_rebuild``, and ``span.steal`` hang off the sweep.
+* Ids are **deterministic**: :func:`derive_id` hashes the tracer's trace
+  id (seeded from the checkpoint journal's ``fn``/``args_sha256``
+  fingerprint) with the span kind and a structural key such as the chunk
+  ordinal -- the same sweep yields the same chunk/attempt span ids on
+  any host, so cross-host traces can be joined offline.
+* Worker-side execution is attributed by host: chunk payloads carry the
+  ``hostname/pid`` label of wherever :func:`~repro.runtime.executors.base.run_chunk`
+  ran, the TCP frames echo the trace id, and the coordinator folds both
+  into attempt spans.
+
+Discipline: scoped spans (sweeps, checkpoint writes, rebuilds) must go
+through the :meth:`SpanTracer.span` context manager so no span is left
+open on an error path -- simlint SL016 enforces this on runner/executor
+code.  Retrospective facts (a chunk attempt whose duration arrives with
+its payload) use :meth:`SpanTracer.emit`, which records a completed span
+in one call and therefore cannot leak.
+
+Span records live **only** in ops telemetry.  Result trace/metrics
+artifacts never contain spans, which is what keeps them byte-identical
+at any worker or host count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from typing import Any
+
+from .trace import TraceRecorder
+
+__all__ = ["Span", "SpanTracer", "derive_id"]
+
+#: Hex digits kept from the sha256 digest; 64 bits is plenty for the
+#: thousands of spans a campaign produces and keeps records compact.
+_ID_HEX_CHARS = 16
+
+
+def derive_id(*parts: object) -> str:
+    """Deterministic 16-hex id from structural parts (no RNG, no clock)."""
+    text = "\x1f".join(str(p) for p in parts)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:_ID_HEX_CHARS]
+
+
+@dataclasses.dataclass
+class Span:
+    """One open span: identity plus its start on the operational clock."""
+
+    kind: str
+    span_id: str
+    parent_id: str | None
+    began: float
+    data: dict[str, Any]
+
+
+class SpanTracer:
+    """Builds the span tree of one runner and records it as v2 records.
+
+    ``clock`` is the runner's operational clock (seconds since the
+    runner was born, ``>= 0``); it is injectable so tests can pin exact
+    timings.  ``recorder`` is the runner-owned ops
+    :class:`~repro.obs.trace.TraceRecorder` -- never a result sink.
+
+    The trace id starts unseeded and is fixed by the first
+    :meth:`seed_trace` call (the chaos campaign seeds it from its
+    config, a resilient sweep from the journal's fn/args fingerprint);
+    later calls are ignored so the outermost owner wins.
+    """
+
+    __slots__ = ("_recorder", "_clock", "_trace_id", "_seeded", "_stack", "_seq")
+
+    def __init__(
+        self,
+        recorder: TraceRecorder,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self._recorder = recorder
+        if clock is None:
+            born = time.perf_counter()
+            clock = lambda: time.perf_counter() - born  # noqa: E731
+        self._clock = clock
+        self._trace_id = derive_id("unseeded")
+        self._seeded = False
+        self._stack: list[Span] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def trace_id(self) -> str:
+        return self._trace_id
+
+    def seed_trace(self, *parts: object) -> str:
+        """Fix the trace id from structural facts; first seeding wins."""
+        if not self._seeded:
+            self._trace_id = derive_id(*parts)
+            self._seeded = True
+        return self._trace_id
+
+    def span_id(self, kind: str, *key: object) -> str:
+        """The deterministic id the span ``(kind, key)`` has in this trace.
+
+        Lets producers parent a span under another one *before* that
+        parent's record exists (chunk spans are recorded at completion,
+        after their attempt spans).
+        """
+        return derive_id(self._trace_id, kind, *key)
+
+    def _next_key(self) -> tuple[object, ...]:
+        self._seq += 1
+        return ("seq", self._seq)
+
+    def _current_parent(self) -> str | None:
+        return self._stack[-1].span_id if self._stack else None
+
+    # ------------------------------------------------------------------
+    def begin_span(
+        self,
+        kind: str,
+        *,
+        key: tuple[object, ...] | None = None,
+        parent: str | None = None,
+        **data: Any,
+    ) -> Span:
+        """Open a span; the caller **must** guarantee :meth:`end_span`.
+
+        Prefer :meth:`span` -- on runner/executor paths a bare
+        ``begin_span`` is a simlint SL016 finding because an exception
+        between begin and end silently loses the span.
+        """
+        if key is None:
+            key = self._next_key()
+        if parent is None:
+            parent = self._current_parent()
+        return Span(
+            kind=kind,
+            span_id=self.span_id(kind, *key),
+            parent_id=parent,
+            began=max(0.0, self._clock()),
+            data=dict(data),
+        )
+
+    def end_span(self, span: Span, **data: Any) -> None:
+        """Close ``span`` and record it (duration measured on the clock)."""
+        now = max(span.began, self._clock())
+        merged = dict(span.data)
+        merged.update(data)
+        merged["dur_s"] = now - span.began
+        self._recorder.span_record(
+            span.began, span.kind, span.span_id, span.parent_id, **merged
+        )
+
+    @contextmanager
+    def span(
+        self,
+        kind: str,
+        *,
+        key: tuple[object, ...] | None = None,
+        parent: str | None = None,
+        **data: Any,
+    ) -> Iterator[Span]:
+        """Scoped span: opened on entry, recorded on exit, error-safe.
+
+        Children opened inside the block default their parent to this
+        span.  An exception (including generator close) records the span
+        with ``status="error"`` before propagating.
+        """
+        opened = self.begin_span(kind, key=key, parent=parent, **data)
+        self._stack.append(opened)
+        try:
+            yield opened
+        except BaseException:
+            self._stack.pop()
+            self.end_span(opened, status="error")
+            raise
+        else:
+            self._stack.pop()
+            self.end_span(opened, status="ok")
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        *,
+        start: float,
+        duration: float,
+        key: tuple[object, ...] | None = None,
+        parent: str | None = None,
+        **data: Any,
+    ) -> str:
+        """Record an already-completed span in one call; returns its id.
+
+        This is the retrospective path for intervals observed after the
+        fact -- a chunk attempt whose execution time arrives with its
+        payload, a steal the backend reports on drain.  Nothing is left
+        open, so it is exempt from the context-manager discipline.
+        """
+        if key is None:
+            key = self._next_key()
+        if parent is None:
+            parent = self._current_parent()
+        span_id = self.span_id(kind, *key)
+        self._recorder.span_record(
+            max(0.0, start),
+            kind,
+            span_id,
+            parent,
+            **dict(data, dur_s=max(0.0, duration)),
+        )
+        return span_id

@@ -15,6 +15,21 @@ A trace is a stream of flat JSON objects, one per line, every one shaped::
 * ``data`` -- free-form but JSON-primitive payload (bytes moved, degraded
   flags, method names...).
 
+Schema **v2** (:data:`SPAN_SCHEMA_VERSION`) extends v1 with *span*
+records -- the hierarchical timing facts :mod:`repro.obs.spans` emits
+into the runner-owned operational trace::
+
+    {"v": 2, "ts": <start seconds>, "kind": "span.<name>",
+     "trial": <int|null>, "pool": <int|null>,
+     "span": "<16 hex>", "parent": "<16 hex|null>", "data": {...}}
+
+``ts`` is the span's start on the producer's operational clock, ``span``
+its deterministic id, ``parent`` the enclosing span's id (``null`` for a
+root), and ``data`` carries ``dur_s`` plus attribution (host, chunk
+range, attempt).  A single stream may mix v1 and v2 records: result
+traces stay pure v1 (their bytes are compared across worker counts),
+while ops traces interleave both.
+
 Records are built with a fixed key order and serialized with stable
 separators, so the JSONL bytes of a trial are identical for any worker
 count -- the property ``tests/test_runtime.py`` pins down.
@@ -31,6 +46,7 @@ from repro.core.atomic import atomic_write_text
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
+    "SPAN_SCHEMA_VERSION",
     "TraceRecorder",
     "validate_record",
     "read_jsonl",
@@ -38,29 +54,52 @@ __all__ = [
 ]
 
 TRACE_SCHEMA_VERSION = 1
+#: Schema version of span records (v1 plus ``span``/``parent`` keys).
+SPAN_SCHEMA_VERSION = 2
 
 _RECORD_KEYS = ("v", "ts", "kind", "trial", "pool", "data")
+_SPAN_KEYS = ("v", "ts", "kind", "trial", "pool", "span", "parent", "data")
 _PRIMITIVES = (str, int, float, bool, type(None))
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _check_span_id(value: object, field: str) -> None:
+    if (
+        not isinstance(value, str)
+        or not 8 <= len(value) <= 64
+        or not set(value) <= _HEX_DIGITS
+    ):
+        raise ValueError(
+            f"trace {field} must be an 8-64 char lowercase hex id, got {value!r}"
+        )
 
 
 def validate_record(obj: object) -> dict[str, Any]:
     """Check one parsed record against the schema; returns it, or raises.
 
-    Raises :class:`ValueError` naming the first violated constraint, so a
+    Accepts v1 event records and v2 span records.  Raises
+    :class:`ValueError` naming the first violated constraint, so a
     corrupt trace fails loudly in CI rather than skewing a report.
     """
     if not isinstance(obj, dict):
         raise ValueError(f"trace record must be an object, got {type(obj).__name__}")
-    if set(obj) != set(_RECORD_KEYS):
+    version = obj.get("v")
+    if version not in (TRACE_SCHEMA_VERSION, SPAN_SCHEMA_VERSION):
         raise ValueError(
-            f"trace record keys must be {sorted(_RECORD_KEYS)}, "
-            f"got {sorted(obj)}"
+            f"unsupported trace schema version {version!r} "
+            f"(this reader understands {TRACE_SCHEMA_VERSION} and "
+            f"{SPAN_SCHEMA_VERSION})"
         )
-    if obj["v"] != TRACE_SCHEMA_VERSION:
+    expected = _SPAN_KEYS if version == SPAN_SCHEMA_VERSION else _RECORD_KEYS
+    if set(obj) != set(expected):
         raise ValueError(
-            f"unsupported trace schema version {obj['v']!r} "
-            f"(this reader understands {TRACE_SCHEMA_VERSION})"
+            f"trace record keys must be {sorted(expected)} for schema "
+            f"v{version}, got {sorted(obj)}"
         )
+    if version == SPAN_SCHEMA_VERSION:
+        _check_span_id(obj["span"], "span")
+        if obj["parent"] is not None:
+            _check_span_id(obj["parent"], "parent")
     ts = obj["ts"]
     if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
         raise ValueError(f"trace ts must be a non-negative number, got {ts!r}")
@@ -119,6 +158,32 @@ class TraceRecorder:
             "kind": kind,
             "trial": self.trial,
             "pool": pool,
+            "data": data,
+        })
+
+    def span_record(
+        self,
+        ts: float,
+        kind: str,
+        span: str,
+        parent: str | None,
+        pool: int | None = None,
+        **data: object,
+    ) -> None:
+        """Append one schema-v2 span record (see :mod:`repro.obs.spans`).
+
+        ``ts`` is the span's *start*; callers put the duration in
+        ``data["dur_s"]``.  Only the runner-owned ops trace carries span
+        records -- result traces stay pure v1.
+        """
+        self.records.append({
+            "v": SPAN_SCHEMA_VERSION,
+            "ts": float(ts),
+            "kind": kind,
+            "trial": self.trial,
+            "pool": pool,
+            "span": span,
+            "parent": parent,
             "data": data,
         })
 

@@ -20,6 +20,7 @@ from .base import (
     make_backend,
     parse_backend_spec,
     run_chunk,
+    worker_label,
 )
 from .local import LocalProcessBackend
 from .tcp import TcpWorkQueueBackend
@@ -41,4 +42,5 @@ __all__ = [
     "run_chunk",
     "run_worker",
     "run_worker_fleet",
+    "worker_label",
 ]

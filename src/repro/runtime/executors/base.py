@@ -30,6 +30,8 @@ This module holds the pieces shared by every backend:
 from __future__ import annotations
 
 import dataclasses
+import os
+import socket
 import time
 import traceback
 from collections.abc import Callable, Mapping, Sequence
@@ -56,6 +58,7 @@ __all__ = [
     "make_backend",
     "parse_backend_spec",
     "run_chunk",
+    "worker_label",
 ]
 
 
@@ -83,9 +86,13 @@ class ChunkPayload:
     """One chunk's results plus its telemetry, shipped back from a worker.
 
     ``batch`` is ``(batched, demoted)`` trial counts from the batch
-    engine (``(0, 0)`` for a scalar chunk).  Payloads unpickled from
-    pre-batch checkpoint journals lack the attribute entirely; readers
-    go through ``getattr(payload, "batch", (0, 0))``.
+    engine (``(0, 0)`` for a scalar chunk).  ``host`` is the
+    :func:`worker_label` of wherever the chunk executed -- purely
+    operational attribution for the runner's attempt spans, never part
+    of result artifacts.  Payloads unpickled from journals written
+    before either field exist lack the attribute entirely; readers go
+    through ``getattr(payload, "batch", (0, 0))`` /
+    ``getattr(payload, "host", None)``.
     """
 
     values: list[Any]
@@ -93,6 +100,23 @@ class ChunkPayload:
     metrics: MetricsRegistry | None
     records: list[dict[str, Any]]
     batch: tuple[int, int] = (0, 0)
+    host: str | None = None
+
+
+_worker_label_cache: tuple[int, str] | None = None
+
+
+def worker_label() -> str:
+    """``hostname/pid`` of this process -- the chunk attribution label.
+
+    Cached per pid (a forked pool worker inherits the parent's module
+    globals, so the cache is keyed on ``os.getpid()``).
+    """
+    global _worker_label_cache
+    pid = os.getpid()
+    if _worker_label_cache is None or _worker_label_cache[0] != pid:
+        _worker_label_cache = (pid, f"{socket.gethostname()}/{pid}")
+    return _worker_label_cache[1]
 
 
 #: What a dispatched chunk resolves to: results or an in-trial failure.
@@ -152,6 +176,7 @@ def run_chunk(
         seconds=time.perf_counter() - began,
         metrics=metrics,
         records=records,
+        host=worker_label(),
     )
 
 
@@ -200,6 +225,7 @@ def _run_chunk_batched(
             metrics=metrics,
             records=records,
             batch=(stats.batched, stats.demoted),
+            host=worker_label(),
         )
     except Exception:
         return None  # any batch-path error: discard and go scalar
@@ -227,8 +253,12 @@ class ChunkJob:
     ``index`` is the chunk ordinal within the sweep (stable across
     retries); ``[lo, hi)`` the trial range; ``children`` the spawned
     per-trial seed streams; ``collect`` the ``(metrics, trace)``
-    telemetry flags.  Everything here must be picklable: the local
-    backend ships jobs over a pipe, the TCP backend over a socket.
+    telemetry flags.  ``trace_id`` is the sweep's deterministic span
+    trace id (see :mod:`repro.obs.spans`) -- observability context only,
+    propagated in the TCP lease frames so a wire capture can be joined
+    with the coordinator's ops trace; it never influences execution.
+    Everything here must be picklable: the local backend ships jobs over
+    a pipe, the TCP backend over a socket.
     """
 
     index: int
@@ -239,6 +269,7 @@ class ChunkJob:
     args: tuple[Any, ...]
     collect: tuple[bool, bool]
     batch: str = "off"
+    trace_id: str | None = None
 
     def run(self) -> ChunkResult:
         """Execute the job in the calling process (fallback/serial path)."""

@@ -25,6 +25,11 @@ class LocalProcessBackend:
     translate into the in-process fallback.  ``rebuild`` replaces a
     broken pool after a worker crash; ``reset`` tears everything down
     without waiting (abnormal sweep exit).
+
+    Host attribution needs no plumbing here: :func:`run_chunk` stamps
+    the executing process's ``hostname/pid`` label into every payload,
+    so the runner's attempt spans are attributed identically whether a
+    chunk ran in-process, in this pool, or on a remote TCP worker.
     """
 
     name = "local"

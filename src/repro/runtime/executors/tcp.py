@@ -569,6 +569,11 @@ class TcpWorkQueueBackend:
                 "task": task_id,
                 "lo": job.lo,
                 "hi": job.hi,
+                # Span-trace context (observability only): workers echo it
+                # in their result frames, so a wire capture can be joined
+                # with the coordinator's ops trace.  getattr covers jobs
+                # built by pre-span callers.
+                "trace": getattr(job, "trace_id", None),
                 "job": encode_blob(
                     (job.fn, job.children, job.args, job.collect, job.batch)
                 ),

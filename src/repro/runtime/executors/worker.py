@@ -113,7 +113,15 @@ def run_worker(
             try:
                 send_frame(
                     sock,
-                    {"t": "result", "task": task_id, "payload": encode_blob(result)},
+                    {
+                        "t": "result",
+                        "task": task_id,
+                        # Echo the lease's span-trace context so both
+                        # directions of the wire carry the trace id
+                        # (pre-span coordinators simply omit it).
+                        "trace": frame.get("trace"),
+                        "payload": encode_blob(result),
+                    },
                     send_lock,
                 )
             except (OSError, ValueError):

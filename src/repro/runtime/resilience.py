@@ -399,16 +399,14 @@ class ResilientRunner(TrialRunner):
         self.policy = policy if policy is not None else RetryPolicy()
         self.chunk_timeout = chunk_timeout
         self.checkpoint_path = Path(checkpoint) if checkpoint is not None else None
-        #: Operational telemetry: recovery counters/events.  Kept apart
-        #: from the result metrics/trace sinks, which must stay bitwise
-        #: identical whether or not the sweep was ever interrupted.
-        self.ops_metrics = MetricsRegistry()
-        self.ops_trace = TraceRecorder()
+        # Recovery counters/events go to the base class's ops_metrics /
+        # ops_trace sinks -- operational telemetry, kept apart from the
+        # result metrics/trace sinks, which must stay bitwise identical
+        # whether or not the sweep was ever interrupted.
         self._argv = list(argv) if argv is not None else None
         self._loaded: _LoadedCheckpoint | None = None
         self._writer: _JournalWriter | None = None
         self._sweep = -1
-        self._born = time.perf_counter()
         if self.checkpoint_path is not None:
             if self.checkpoint_path.exists():
                 if not resume:
@@ -530,64 +528,92 @@ class ResilientRunner(TrialRunner):
             "collect_metrics": metrics is not None,
             "collect_trace": trace is not None,
         }
+        # Deterministic trace identity: the same fingerprint that guards
+        # resume validation, so a resumed run's spans join the original
+        # run's trace.  First seeding wins (an enclosing campaign's).
+        self.spans.seed_trace(
+            header["fn"], header["args_sha256"], trials, seed
+        )
         try:
-            payloads = self._begin_sweep(sweep, header, trials)
-            chunk = int(header["chunk"])
-            bounds = [
-                (lo, min(lo + chunk, trials)) for lo in range(0, trials, chunk)
-            ]
-            stray = set(payloads) - set(bounds)
-            if stray:
-                raise CheckpointError(
-                    f"checkpoint sweep {sweep} holds chunk ranges "
-                    f"{sorted(stray)} that do not align with the recorded "
-                    f"chunking ({chunk} trials/chunk); the journal is "
-                    "inconsistent"
-                )
-            if payloads:
-                self.ops_metrics.counter("runtime.chunks_salvaged").inc(
-                    len(payloads)
-                )
-                self.ops_trace.event(
-                    self._elapsed(),
-                    "checkpoint.salvage",
-                    sweep=sweep,
-                    chunks=len(payloads),
-                )
-            pending = [(i, b) for i, b in enumerate(bounds) if b not in payloads]
+            with self.spans.span(
+                "span.sweep",
+                key=("sweep", sweep),
+                trials=trials,
+                seed=seed,
+                mode=mode,
+                backend=self.backend_name,
+            ):
+                payloads = self._begin_sweep(sweep, header, trials)
+                chunk = int(header["chunk"])
+                bounds = [
+                    (lo, min(lo + chunk, trials)) for lo in range(0, trials, chunk)
+                ]
+                stray = set(payloads) - set(bounds)
+                if stray:
+                    raise CheckpointError(
+                        f"checkpoint sweep {sweep} holds chunk ranges "
+                        f"{sorted(stray)} that do not align with the recorded "
+                        f"chunking ({chunk} trials/chunk); the journal is "
+                        "inconsistent"
+                    )
+                if payloads:
+                    self.ops_metrics.counter("runtime.chunks_salvaged").inc(
+                        len(payloads)
+                    )
+                    self.ops_trace.event(
+                        self._elapsed(),
+                        "checkpoint.salvage",
+                        sweep=sweep,
+                        chunks=len(payloads),
+                    )
+                pending = [
+                    (i, b) for i, b in enumerate(bounds) if b not in payloads
+                ]
+                self.ops_metrics.counter("runtime.trials_planned").inc(trials)
+                if self.progress is not None:
+                    self.progress.begin_sweep(
+                        trials,
+                        len(bounds),
+                        salvaged_trials=sum(
+                            len(p.values) for p in payloads.values()
+                        ),
+                        salvaged_chunks=len(payloads),
+                    )
 
-            began = time.perf_counter()
-            deadline = None if timeout is None else time.monotonic() + timeout
-            children = np.random.SeedSequence(seed).spawn(trials)
-            collect = (metrics is not None, trace is not None)
-            if pending:
-                if self.backend is not None or (
-                    self.workers > 1 and len(pending) > 1
-                ):
-                    self._execute_pooled(
-                        fn,
-                        children,
-                        args,
-                        collect,
-                        pending,
-                        payloads,
-                        sweep,
-                        deadline,
-                        timeout,
-                    )
-                remaining = [(i, b) for i, b in pending if b not in payloads]
-                if remaining:
-                    self._execute_serial(
-                        fn,
-                        children,
-                        args,
-                        collect,
-                        remaining,
-                        payloads,
-                        sweep,
-                        deadline,
-                        timeout,
-                    )
+                began = time.perf_counter()
+                deadline = None if timeout is None else time.monotonic() + timeout
+                children = np.random.SeedSequence(seed).spawn(trials)
+                collect = (metrics is not None, trace is not None)
+                if pending:
+                    if self.backend is not None or (
+                        self.workers > 1 and len(pending) > 1
+                    ):
+                        self._execute_pooled(
+                            fn,
+                            children,
+                            args,
+                            collect,
+                            pending,
+                            payloads,
+                            sweep,
+                            deadline,
+                            timeout,
+                        )
+                    remaining = [(i, b) for i, b in pending if b not in payloads]
+                    if remaining:
+                        self._execute_serial(
+                            fn,
+                            children,
+                            args,
+                            collect,
+                            remaining,
+                            payloads,
+                            sweep,
+                            deadline,
+                            timeout,
+                        )
+                if self.progress is not None:
+                    self.progress.end_sweep()
         finally:
             # Chunks journaled so far are durable (each append is
             # fsynced).  Close the journal whether the sweep completed,
@@ -619,9 +645,6 @@ class ResilientRunner(TrialRunner):
     def _resolved_chunk(self, trials: int) -> int:
         bounds = self._chunk_bounds(trials)
         return bounds[0][1] - bounds[0][0]
-
-    def _elapsed(self) -> float:
-        return max(0.0, time.perf_counter() - self._born)
 
     # ------------------------------------------------------------------
     # Journal plumbing
@@ -694,16 +717,19 @@ class ResilientRunner(TrialRunner):
         if writer is None:
             return
         lo, hi = bounds
-        writer.append(
-            {
-                "v": CHECKPOINT_SCHEMA_VERSION,
-                "kind": "chunk",
-                "sweep": sweep,
-                "lo": lo,
-                "hi": hi,
-                "payload": _encode_payload(payload),
-            }
-        )
+        with self.spans.span(
+            "span.checkpoint_write", key=("ckpt", sweep, lo, hi), lo=lo, hi=hi
+        ):
+            writer.append(
+                {
+                    "v": CHECKPOINT_SCHEMA_VERSION,
+                    "kind": "chunk",
+                    "sweep": sweep,
+                    "lo": lo,
+                    "hi": hi,
+                    "payload": _encode_payload(payload),
+                }
+            )
         self.ops_metrics.counter("checkpoint.chunk_writes").inc()
         self.ops_trace.event(
             self._elapsed(),
@@ -751,10 +777,14 @@ class ResilientRunner(TrialRunner):
         payloads: dict[_Bounds, _ChunkPayload],
         reason: str,
         worker_traceback: str | None = None,
+        duration: float = 0.0,
     ) -> float:
         """Charge one failure against a chunk.
 
-        Returns the backoff delay before the next attempt, or raises
+        ``duration`` is how long the failed attempt ran on the
+        coordinator's clock when known (the pool path tracks dispatch
+        times; a worker-reported failure arrives without one).  Returns
+        the backoff delay before the next attempt, or raises
         :class:`TrialExecutionError` (with salvage attached) once the
         policy is exhausted.
         """
@@ -780,6 +810,23 @@ class ResilientRunner(TrialRunner):
             attempt=failures,
             reason=reason[:200],
         )
+        # The failed attempt as a span, parented under the chunk whose
+        # record will exist once some attempt finally succeeds (ids are
+        # deterministic, so the parent link resolves retroactively).
+        self.spans.emit(
+            "span.attempt",
+            start=max(0.0, self._elapsed() - max(0.0, duration)),
+            duration=max(0.0, duration),
+            key=(self._sweep, index, failures),
+            parent=self.spans.span_id("span.chunk", self._sweep, index),
+            lo=lo,
+            hi=hi,
+            attempt=failures,
+            host=None,
+            status="error",
+        )
+        if self.progress is not None:
+            self.progress.note_retry()
         return self.policy.backoff_seconds(failures, index)
 
     # ------------------------------------------------------------------
@@ -824,13 +871,21 @@ class ResilientRunner(TrialRunner):
             queue.append((index, bounds))
         inflight.clear()
         self.ops_metrics.counter("runtime.pool_rebuilds").inc()
+        rebuilds = int(self.ops_metrics.counter("runtime.pool_rebuilds").value)
         self.ops_trace.event(
             self._elapsed(),
             "pool.rebuild",
             pending=len(queue),
             backend=executor.name,
         )
-        if executor.rebuild():
+        with self.spans.span(
+            "span.pool_rebuild",
+            key=("rebuild", rebuilds),
+            backend=executor.name,
+            pending=len(queue),
+        ):
+            rebuilt = executor.rebuild()
+        if rebuilt:
             return True
         warnings.warn(
             f"{executor.name} backend cannot be rebuilt; "
@@ -859,12 +914,24 @@ class ResilientRunner(TrialRunner):
                 self.ops_metrics.counter("runtime.steals").inc()
                 self.ops_metrics.counter("runtime.chunk_retries").inc()
                 self.ops_trace.event(self._elapsed(), "chunk.steal", **data)
+                # Instantaneous span: the steal decision itself (the
+                # stolen chunk's execution shows up as attempt spans).
+                self.spans.emit(
+                    "span.steal",
+                    start=self._elapsed(),
+                    duration=0.0,
+                    **{k: v for k, v in data.items() if k != "dur_s"},
+                )
+                if self.progress is not None:
+                    self.progress.note_steal()
             elif event.kind == "worker_death":
                 requeued = int(data.get("requeued", 0))
                 self.ops_metrics.counter("runtime.worker_deaths").inc()
                 if requeued:
                     self.ops_metrics.counter("runtime.chunk_retries").inc(requeued)
                 self.ops_trace.event(self._elapsed(), "worker.death", **data)
+                if self.progress is not None:
+                    self.progress.note_worker_death()
             elif event.kind == "duplicate":
                 self.ops_trace.event(self._elapsed(), "chunk.duplicate", **data)
             elif event.kind == "worker_join":
@@ -941,6 +1008,7 @@ class ResilientRunner(TrialRunner):
                             args=args,
                             collect=collect,
                             batch=self.batch,
+                            trace_id=self.spans.trace_id,
                         )
                     )
                     inflight[future] = (index, (lo, hi), time.monotonic())
@@ -958,7 +1026,8 @@ class ResilientRunner(TrialRunner):
                 self._drain_backend_events(executor)
                 broken = False
                 for future in done:
-                    index, bounds, _started = inflight.pop(future)
+                    index, bounds, started = inflight.pop(future)
+                    ran = max(0.0, time.monotonic() - started)
                     try:
                         result = future.result()
                     except (BrokenProcessPool, RuntimeError, OSError) as exc:
@@ -977,6 +1046,7 @@ class ResilientRunner(TrialRunner):
                             attempts,
                             payloads,
                             f"worker process crashed ({type(exc).__name__}: {exc})",
+                            duration=ran,
                         )
                         retry_at[index] = (time.monotonic() + delay, bounds)
                         continue
@@ -988,11 +1058,20 @@ class ResilientRunner(TrialRunner):
                             payloads,
                             f"trial {result.index} raised {result.message}",
                             worker_traceback=result.worker_traceback,
+                            duration=ran,
                         )
                         retry_at[index] = (time.monotonic() + delay, bounds)
                     else:
                         payloads[bounds] = result
                         self._record_chunk(sweep, bounds, result)
+                        self._note_chunk_done(
+                            sweep,
+                            index,
+                            bounds[0],
+                            bounds[1],
+                            result,
+                            attempt=attempts.get(index, 0) + 1,
+                        )
                 if broken:
                     if not self._rebuild_backend(executor, inflight, queue):
                         return  # serial fallback finishes the remainder
@@ -1017,6 +1096,7 @@ class ResilientRunner(TrialRunner):
                                 payloads,
                                 f"chunk exceeded the {self.chunk_timeout:g}s "
                                 "chunk timeout",
+                                duration=self.chunk_timeout,
                             )
                             retry_at[index] = (time.monotonic() + delay, bounds)
                         if not self._rebuild_backend(executor, inflight, queue):
@@ -1055,6 +1135,14 @@ class ResilientRunner(TrialRunner):
                 if isinstance(result, _ChunkPayload):
                     payloads[(lo, hi)] = result
                     self._record_chunk(sweep, (lo, hi), result)
+                    self._note_chunk_done(
+                        sweep,
+                        index,
+                        lo,
+                        hi,
+                        result,
+                        attempt=attempts.get(index, 0) + 1,
+                    )
                     break
                 delay = self._note_chunk_failure(
                     index,

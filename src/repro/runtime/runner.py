@@ -57,7 +57,8 @@ from typing import Any
 
 import numpy as np
 
-from repro.obs import MetricsRegistry, TraceRecorder
+from repro.obs import MetricsRegistry, SpanTracer, TraceRecorder
+from repro.obs.progress import ProgressTracker
 
 from .executors.base import (
     BackendUnavailable,
@@ -309,11 +310,29 @@ class TrialRunner:
         #: ``ResilientRunner`` -- recovery counters).  Never folded into
         #: result artifacts.
         self.ops_metrics = MetricsRegistry()
+        #: Operational trace: span records (schema v2) plus recovery
+        #: events.  Runner-owned, wall-clock timed -- never merged into a
+        #: result trace, so result artifacts stay byte-identical for any
+        #: worker count.
+        self.ops_trace = TraceRecorder()
+        self._born = time.monotonic()
+        #: Span tracer over :attr:`ops_trace` on the runner's operational
+        #: clock (seconds since construction).
+        self.spans = SpanTracer(self.ops_trace, clock=self._elapsed)
+        #: Optional progress sink (a :class:`~repro.obs.ProgressTracker`
+        #: or :class:`~repro.obs.ProgressReporter`); the runner feeds it
+        #: sweep/chunk completions.  ``None`` disables the feed.
+        self.progress: ProgressTracker | None = None
+        self._sweeps = 0
 
     @property
     def backend_name(self) -> str:
         """Telemetry label of the executor backend in use."""
         return self.backend.name if self.backend is not None else "local"
+
+    def _elapsed(self) -> float:
+        """Operational clock: seconds since the runner was constructed."""
+        return max(0.0, time.monotonic() - self._born)
 
     # ------------------------------------------------------------------
     def run(
@@ -385,17 +404,102 @@ class TrialRunner:
     ) -> Iterator[list[Any]]:
         if trials <= 0:
             raise ValueError(f"trials must be positive, got {trials}")
+        self._sweeps += 1
+        sweep = self._sweeps
+        # First seeding wins, so an enclosing campaign's structural seed
+        # (see repro.faults.campaign) takes precedence over this default.
+        self.spans.seed_trace(
+            f"{fn.__module__}:{getattr(fn, '__qualname__', repr(fn))}",
+            seed,
+            trials,
+        )
+        with self.spans.span(
+            "span.sweep",
+            key=("sweep", sweep),
+            trials=trials,
+            seed=seed,
+            backend=self.backend_name,
+        ):
+            yield from self._dispatch_chunks(
+                sweep, fn, trials, seed, args, timeout, metrics, trace
+            )
+
+    def _note_chunk_done(
+        self,
+        sweep: int,
+        index: int,
+        lo: int,
+        hi: int,
+        payload: ChunkPayload,
+        *,
+        attempt: int = 1,
+    ) -> None:
+        """Emit the chunk + attempt spans and feed the progress sink.
+
+        Retrospective by design: a chunk's execution interval is only
+        known once its payload arrives, so the spans are emitted complete
+        (:meth:`SpanTracer.emit`) with ``start = now - payload.seconds``
+        on the coordinator's clock.  Host attribution comes from the
+        payload (``getattr`` covers payloads unpickled from pre-span
+        checkpoint journals).
+        """
+        host = getattr(payload, "host", None)
+        now = self._elapsed()
+        start = max(0.0, now - payload.seconds)
+        chunk_span = self.spans.span_id("span.chunk", sweep, index)
+        self.spans.emit(
+            "span.attempt",
+            start=start,
+            duration=payload.seconds,
+            key=(sweep, index, attempt),
+            parent=chunk_span,
+            lo=lo,
+            hi=hi,
+            attempt=attempt,
+            host=host,
+            status="ok",
+        )
+        self.spans.emit(
+            "span.chunk",
+            start=start,
+            duration=payload.seconds,
+            key=(sweep, index),
+            lo=lo,
+            hi=hi,
+            attempts=attempt,
+            host=host,
+        )
+        self.ops_metrics.counter("runtime.trials_completed").inc(hi - lo)
+        if self.progress is not None:
+            self.progress.chunk_done(hi - lo, host=host, busy_s=payload.seconds)
+
+    def _dispatch_chunks(
+        self,
+        sweep: int,
+        fn: Callable[..., Any],
+        trials: int,
+        seed: int,
+        args: tuple[Any, ...],
+        timeout: float | None,
+        metrics: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> Iterator[list[Any]]:
         children = np.random.SeedSequence(seed).spawn(trials)
         bounds = self._chunk_bounds(trials)
         collect = (metrics is not None, trace is not None)
         began = time.perf_counter()
         worker_seconds = 0.0
+        self.ops_metrics.counter("runtime.trials_planned").inc(trials)
+        if self.progress is not None:
+            self.progress.begin_sweep(trials, len(bounds))
         #: Values of every chunk absorbed so far, in trial order; attached
         #: to TrialExecutionError so callers can salvage the completed
         #: prefix of a sweep that times out or crashes partway through.
         salvaged: list[Any] = []
 
-        def absorb(result: _ChunkPayload | _ChunkError) -> list[Any]:
+        def absorb(
+            result: _ChunkPayload | _ChunkError, index: int, lo: int, hi: int
+        ) -> list[Any]:
             nonlocal worker_seconds
             payload = self._check_chunk(result, salvaged)
             worker_seconds += payload.seconds
@@ -404,6 +508,7 @@ class TrialRunner:
             if trace is not None:
                 trace.extend(payload.records)
             self._absorb_batch_stats(payload)
+            self._note_chunk_done(sweep, index, lo, hi, payload)
             salvaged.extend(payload.values)
             return payload.values
 
@@ -415,6 +520,8 @@ class TrialRunner:
                 wall_seconds=time.perf_counter() - began,
                 worker_seconds=worker_seconds,
             )
+            if self.progress is not None:
+                self.progress.end_sweep()
 
         executor: ChunkExecutor | None = None
         owns_backend = False
@@ -438,12 +545,15 @@ class TrialRunner:
                 executor = None
 
         if executor is None:
-            for lo, hi in bounds:
+            for index, (lo, hi) in enumerate(bounds):
                 yield absorb(
                     run_chunk(
                         fn, lo, tuple(children[lo:hi]), args, *collect,
                         batch=self.batch,
-                    )
+                    ),
+                    index,
+                    lo,
+                    hi,
                 )
             finish()
             return
@@ -462,13 +572,14 @@ class TrialRunner:
                         args=args,
                         collect=collect,
                         batch=self.batch,
+                        trace_id=self.spans.trace_id,
                     )
                 )
                 for index, (lo, hi) in enumerate(bounds)
             ]
             # Consume in index order: buffering out-of-order completions in
             # the executor keeps the downstream fold deterministic.
-            for (lo, hi), future in zip(bounds, futures):
+            for index, ((lo, hi), future) in enumerate(zip(bounds, futures)):
                 remaining = None
                 if deadline is not None:
                     remaining = max(0.0, deadline - time.monotonic())
@@ -489,7 +600,7 @@ class TrialRunner:
                         f"(salvaged {len(salvaged)} completed trials)",
                         partial_values=salvaged,
                     ) from exc
-                yield absorb(chunk)
+                yield absorb(chunk, index, lo, hi)
             finish()
         finally:
             if owns_backend:

@@ -1,21 +1,28 @@
 """repro.obs: metrics semantics, trace schema round-trips, timers,
-stopwatch formatting, trace reports, and the CLI observability surface."""
+stopwatch formatting, OpenMetrics exposition, trace reports, and the
+CLI observability surface."""
 
 import json
+import math
 import re
+import urllib.request
 
 import pytest
 
 from repro.cli import main as mlec_main
 from repro.obs import (
     DISABLED_TIMERS,
+    OPENMETRICS_CONTENT_TYPE,
     TRACE_SCHEMA_VERSION,
+    MetricsExporter,
     MetricsRegistry,
     Stopwatch,
     Timers,
     TraceRecorder,
+    parse_openmetrics,
     read_jsonl,
     summarize_trace,
+    to_openmetrics,
     validate_record,
     write_jsonl,
 )
@@ -296,6 +303,217 @@ class TestSummarizeTrace:
         text = summarize_trace([])
         assert "trace summary: 0 records" in text
         assert "no loss events recorded" in text
+
+
+# --------------------------------------------------------------- quantiles
+class TestHistogramQuantiles:
+    """Pin the fixed-bucket interpolation exactly (the same estimator a
+    Prometheus ``histogram_quantile`` computes from the exported data)."""
+
+    @staticmethod
+    def _hist(bounds, values):
+        hist = MetricsRegistry().histogram("sim.net_repair_hours", bounds)
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_linear_interpolation_within_a_bucket(self):
+        hist = self._hist((10.0,), [1.0, 2.0, 3.0, 4.0])
+        # rank q*n mapped linearly across the (0, 10] bucket
+        assert hist.quantile(0.25) == pytest.approx(2.5)
+        assert hist.quantile(0.50) == pytest.approx(5.0)
+        assert hist.quantile(1.00) == pytest.approx(10.0)
+
+    def test_interpolation_across_buckets(self):
+        hist = self._hist((1.0, 4.0), [0.5, 1.0, 3.0, 100.0])
+        # rank 2 exhausts bucket (0, 1]; rank 3 sits at the top of (1, 4]
+        assert hist.quantile(0.50) == pytest.approx(1.0)
+        assert hist.quantile(0.75) == pytest.approx(4.0)
+
+    def test_overflow_rank_clamps_to_last_bound(self):
+        hist = self._hist((1.0, 4.0), [0.5, 1.0, 3.0, 100.0])
+        assert hist.quantile(0.99) == pytest.approx(4.0)
+
+    def test_empty_histogram_is_nan(self):
+        hist = self._hist((1.0,), [])
+        assert math.isnan(hist.quantile(0.5))
+
+    def test_out_of_range_q_rejected(self):
+        hist = self._hist((1.0,), [0.5])
+        with pytest.raises(ValueError, match="quantile"):
+            hist.quantile(1.5)
+
+    def test_snapshot_reports_p50_p95_p99(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("sim.net_repair_hours", bounds=(10.0,))
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        snap = reg.snapshot()["histograms"]["sim.net_repair_hours"]
+        assert snap["p50"] == pytest.approx(5.0)
+        assert snap["p95"] == pytest.approx(9.5)
+        assert snap["p99"] == pytest.approx(9.9)
+
+    def test_empty_snapshot_quantiles_are_null(self):
+        reg = MetricsRegistry()
+        reg.histogram("sim.net_repair_hours", bounds=(10.0,))
+        snap = reg.snapshot()["histograms"]["sim.net_repair_hours"]
+        assert snap["p50"] is snap["p95"] is snap["p99"] is None
+
+
+# -------------------------------------------------------------- openmetrics
+class TestOpenMetrics:
+    @staticmethod
+    def _registry():
+        reg = MetricsRegistry()
+        reg.counter("runtime.chunk_retries").inc(3)
+        reg.gauge("sim.active_repairs").set(2.5)
+        hist = reg.histogram("runtime.chunk_seconds", bounds=(1.0, 4.0))
+        for value in (0.5, 2.0, 9.0):
+            hist.observe(value)
+        return reg
+
+    def test_exposition_shape(self):
+        text = to_openmetrics(self._registry())
+        assert "# TYPE runtime_chunk_retries counter" in text
+        assert "runtime_chunk_retries_total 3" in text
+        assert "sim_active_repairs 2.5" in text
+        assert 'runtime_chunk_seconds_bucket{le="1"} 1' in text
+        assert 'runtime_chunk_seconds_bucket{le="4"} 2' in text  # cumulative
+        assert 'runtime_chunk_seconds_bucket{le="+Inf"} 3' in text
+        assert "runtime_chunk_seconds_count 3" in text
+        assert "runtime_chunk_seconds_sum 11.5" in text
+        assert text.endswith("# EOF\n")
+
+    def test_round_trip_through_the_parser(self):
+        parsed = parse_openmetrics(to_openmetrics(self._registry()))
+        assert parsed["counters"] == {"runtime_chunk_retries": 3.0}
+        assert parsed["gauges"] == {"sim_active_repairs": 2.5}
+        hist = parsed["histograms"]["runtime_chunk_seconds"]
+        assert hist["buckets"] == [("1", 1.0), ("4", 2.0), ("+Inf", 3.0)]
+        assert hist["count"] == 3
+        assert hist["sum"] == 11.5
+
+    def test_multiple_registries_merge_into_one_exposition(self):
+        other = MetricsRegistry()
+        other.counter("sim.trials").inc(7)
+        parsed = parse_openmetrics(to_openmetrics(self._registry(), other))
+        assert parsed["counters"]["sim_trials"] == 7.0
+        assert parsed["counters"]["runtime_chunk_retries"] == 3.0
+
+    def test_parser_requires_eof_and_type_lines(self):
+        with pytest.raises(ValueError, match="missing # EOF"):
+            parse_openmetrics("# TYPE sim_trials counter\nsim_trials_total 1\n")
+        with pytest.raises(ValueError, match="precedes its # TYPE"):
+            parse_openmetrics("sim_trials_total 1\n# EOF\n")
+        with pytest.raises(ValueError, match="content after # EOF"):
+            parse_openmetrics("# EOF\nsim_trials_total 1\n")
+
+    def test_exporter_serves_parseable_exposition(self):
+        reg = self._registry()
+        with MetricsExporter(lambda: to_openmetrics(reg)) as exporter:
+            host, port = exporter.address
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=10
+            ) as response:
+                assert response.status == 200
+                assert (
+                    response.headers["Content-Type"]
+                    == OPENMETRICS_CONTENT_TYPE
+                )
+                body = response.read().decode("utf-8")
+        parsed = parse_openmetrics(body)
+        assert parsed["counters"]["runtime_chunk_retries"] == 3.0
+
+    def test_exporter_scrape_reflects_live_mutation(self):
+        reg = self._registry()
+        with MetricsExporter(lambda: to_openmetrics(reg)) as exporter:
+            host, port = exporter.address
+
+            def scrape():
+                with urllib.request.urlopen(
+                    f"http://{host}:{port}/", timeout=10
+                ) as response:
+                    return parse_openmetrics(response.read().decode("utf-8"))
+
+            before = scrape()["counters"]["runtime_chunk_retries"]
+            reg.counter("runtime.chunk_retries").inc(2)
+            after = scrape()["counters"]["runtime_chunk_retries"]
+        assert (before, after) == (3.0, 5.0)
+
+    def test_exporter_unknown_path_is_404(self):
+        reg = self._registry()
+        with MetricsExporter(lambda: to_openmetrics(reg)) as exporter:
+            host, port = exporter.address
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://{host}:{port}/debug", timeout=10
+                )
+            assert excinfo.value.code == 404
+
+
+# ------------------------------------------------------------- span report
+class TestSpanReport:
+    @staticmethod
+    def _span_records():
+        rec = TraceRecorder()
+        rec.event(0.1, "chunk.retry", index=0, reason="transient outage")
+        rec.event(0.2, "checkpoint.write", record="chunk")
+        sweep = "a" * 16
+        chunk = "b" * 16
+        rec.span_record(
+            0.0, "span.sweep", sweep, None,
+            trials=8, status="ok", dur_s=4.0,
+        )
+        rec.span_record(
+            0.0, "span.chunk", chunk, sweep,
+            lo=0, hi=4, host="vm/10", status="ok", dur_s=3.0,
+        )
+        rec.span_record(
+            0.0, "span.attempt", "c" * 16, chunk,
+            lo=0, hi=4, attempt=1, host="vm/10", status="ok", dur_s=3.0,
+        )
+        rec.span_record(
+            3.0, "span.checkpoint_write", "d" * 16, sweep,
+            lo=0, hi=4, status="ok", dur_s=0.5,
+        )
+        return rec.records
+
+    def test_records_validate_as_v1_and_v2_mix(self):
+        for record in self._span_records():
+            validate_record(record)
+
+    def test_report_includes_ops_and_span_sections(self):
+        text = summarize_trace(self._span_records())
+        assert "recovery & scheduling events:" in text
+        assert "chunk retries (1 distinct reason(s))" in text
+        assert "journal appends (1 chunk)" in text
+        assert "span tree (4 spans, 1 root(s)" in text
+        assert "critical path (4.000s root" in text
+        assert "time by span kind" in text
+        assert "per-host utilization" in text
+        assert "vm/10" in text
+
+    def test_critical_path_follows_last_finishing_child(self):
+        text = summarize_trace(self._span_records())
+        path_section = text.split("critical path", 1)[1]
+        path_section = path_section.split("time by span kind", 1)[0]
+        # sweep -> checkpoint write (ends at 3.5s, after the chunk's 3.0s)
+        assert "span.checkpoint_write" in path_section
+        assert "span.attempt" not in path_section
+
+    def test_event_only_trace_has_no_span_section(self):
+        rec = TraceRecorder(trial=0)
+        rec.event(0.0, "sim.disk_failure", pool=1)
+        text = summarize_trace(rec.records)
+        assert "span tree" not in text
+
+    def test_trace_report_cli_renders_span_tree(self, tmp_path, capsys):
+        trace = tmp_path / "ops.jsonl"
+        write_jsonl(trace, self._span_records())
+        assert mlec_main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "critical path" in out
 
 
 # --------------------------------------------------------------------- CLI

@@ -1,0 +1,221 @@
+"""Progress streaming: rates, ETAs, throttling, and the JSONL stream.
+
+Everything runs on an injected fake clock, so rate/ETA arithmetic is
+pinned exactly and the throttle tests take no wall-clock time.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.progress import (
+    PROGRESS_SCHEMA_VERSION,
+    ProgressReporter,
+    ProgressTracker,
+)
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _tracker():
+    clock = _FakeClock()
+    return ProgressTracker(clock=clock), clock
+
+
+class TestTrackerEdgeCases:
+    def test_zero_completed_chunks_has_no_eta(self):
+        tracker, clock = _tracker()
+        tracker.begin_sweep(100, 10)
+        clock.now = 5.0
+        snap = tracker.snapshot()
+        assert snap.trials_done == 0
+        assert snap.rate_trials_per_s == 0.0
+        assert snap.eta_s is None  # no basis for an estimate yet
+        assert "ETA --" in snap.status_line()
+
+    def test_empty_tracker_snapshot_is_inert(self):
+        tracker, _ = _tracker()
+        snap = tracker.snapshot()
+        assert snap.fraction == 0.0
+        assert snap.elapsed_s == 0.0
+        assert snap.eta_s == 0.0  # zero remaining of a zero-trial sweep
+
+    def test_single_chunk_sweep_goes_straight_to_done(self):
+        tracker, clock = _tracker()
+        tracker.begin_sweep(8, 1)
+        clock.now = 2.0
+        tracker.chunk_done(8, host="a/1", busy_s=2.0)
+        snap = tracker.snapshot()
+        assert snap.fraction == 1.0
+        assert snap.eta_s == 0.0
+        assert snap.rate_trials_per_s == pytest.approx(4.0)
+        assert snap.utilization("a/1") == pytest.approx(1.0)
+
+    def test_eta_from_live_rate(self):
+        tracker, clock = _tracker()
+        tracker.begin_sweep(40, 4)
+        clock.now = 2.0
+        tracker.chunk_done(10)
+        snap = tracker.snapshot()
+        assert snap.rate_trials_per_s == pytest.approx(5.0)
+        assert snap.eta_s == pytest.approx(30 / 5.0)
+
+    def test_clock_stepping_backwards_never_shrinks_elapsed(self):
+        tracker, clock = _tracker()
+        tracker.begin_sweep(10, 2)
+        clock.now = 4.0
+        assert tracker.snapshot().elapsed_s == 4.0
+        clock.now = 1.0  # the clock steps back
+        snap = tracker.snapshot()
+        assert snap.elapsed_s == 4.0  # clamped, not shrunk
+        assert snap.rate_trials_per_s >= 0.0
+
+    def test_salvaged_trials_excluded_from_live_rate(self):
+        tracker, clock = _tracker()
+        tracker.begin_sweep(20, 4, salvaged_trials=10, salvaged_chunks=2)
+        clock.now = 2.0
+        tracker.chunk_done(5)
+        snap = tracker.snapshot()
+        assert snap.trials_done == 15
+        assert snap.salvaged_trials == 10
+        # Only the 5 live trials count toward the rate; the ETA for the
+        # remaining 5 reflects execution speed, not journal replay.
+        assert snap.rate_trials_per_s == pytest.approx(2.5)
+        assert snap.eta_s == pytest.approx(2.0)
+
+    def test_multi_sweep_totals_accumulate(self):
+        tracker, clock = _tracker()
+        tracker.begin_sweep(10, 2)
+        tracker.chunk_done(5)
+        tracker.chunk_done(5)
+        tracker.end_sweep()
+        tracker.begin_sweep(10, 2)
+        snap = tracker.snapshot()
+        assert snap.trials_total == 20
+        assert snap.trials_done == 10
+        assert snap.chunks_total == 4
+
+    def test_recovery_notes_counted_once_each(self):
+        tracker, _ = _tracker()
+        tracker.begin_sweep(10, 2)
+        tracker.note_retry()
+        tracker.note_steal()
+        tracker.note_worker_death()
+        snap = tracker.snapshot()
+        assert (snap.retries, snap.steals, snap.worker_deaths) == (1, 1, 1)
+        line = snap.status_line()
+        assert "1 retries" in line
+        assert "1 steals" in line
+        assert "1 worker deaths" in line
+
+    def test_host_accounting_ignores_anonymous_chunks(self):
+        tracker, clock = _tracker()
+        tracker.begin_sweep(8, 2)
+        clock.now = 4.0
+        tracker.chunk_done(4, host=None)
+        tracker.chunk_done(4, host="b/2", busy_s=1.0)
+        snap = tracker.snapshot()
+        assert set(snap.hosts) == {"b/2"}
+        assert snap.hosts["b/2"].chunks == 1
+        assert snap.utilization("b/2") == pytest.approx(0.25)
+        assert snap.utilization("nowhere") == 0.0
+
+
+class TestReporter:
+    def _reporter(self, tmp_path=None, **kwargs):
+        clock = _FakeClock()
+        stream = io.StringIO()
+        jsonl = None if tmp_path is None else tmp_path / "progress.jsonl"
+        reporter = ProgressReporter(
+            stream=stream, jsonl_path=jsonl, clock=clock, **kwargs
+        )
+        return reporter, clock, stream, jsonl
+
+    def test_throttle_under_fast_completion(self):
+        """Thousands of instantaneous chunk completions produce exactly
+        two emissions: the sweep-begin one and the forced final one."""
+        reporter, clock, stream, _ = self._reporter(min_interval=0.5)
+        reporter.begin_sweep(1000, 1000)
+        for _ in range(1000):
+            reporter.chunk_done(1)  # clock never advances
+        reporter.close()
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        assert len(lines) == 2
+        assert lines[0].startswith("progress: 0/1000")
+        assert lines[-1].startswith("progress: 1000/1000")
+
+    def test_interval_spaced_completions_all_emit(self):
+        reporter, clock, stream, _ = self._reporter(min_interval=0.5)
+        reporter.begin_sweep(4, 4)
+        for step in range(1, 5):
+            clock.now = step * 1.0  # slower than the throttle
+            reporter.chunk_done(1)
+        reporter.close()
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        # begin + 4 chunks + forced final
+        assert len(lines) == 6
+
+    def test_steals_counted_once_through_the_reporter(self):
+        reporter, clock, stream, _ = self._reporter(min_interval=0.0)
+        reporter.begin_sweep(4, 2)
+        reporter.note_steal()
+        reporter.chunk_done(2)
+        reporter.chunk_done(2)
+        reporter.close()
+        assert reporter.snapshot().steals == 1
+        final = stream.getvalue().splitlines()[-1]
+        assert "1 steals" in final
+
+    def test_jsonl_records_are_schema_stamped_and_ordered(self, tmp_path):
+        reporter, clock, stream, jsonl = self._reporter(
+            tmp_path, min_interval=0.0
+        )
+        reporter.begin_sweep(4, 2)
+        clock.now = 1.0
+        reporter.chunk_done(2, host="a/1", busy_s=1.0)
+        clock.now = 2.0
+        reporter.chunk_done(2, host="a/1", busy_s=1.0)
+        reporter.close()
+        records = [
+            json.loads(line)
+            for line in jsonl.read_text().splitlines()
+            if line
+        ]
+        assert all(r["v"] == PROGRESS_SCHEMA_VERSION for r in records)
+        assert [r["done"] for r in records] == [0, 2, 4, 4]
+        assert records[0]["eta_s"] is None  # nothing live completed yet
+        assert records[-1]["eta_s"] == 0.0
+        assert records[-1]["hosts"]["a/1"] == {"chunks": 2, "busy_s": 2.0}
+        # elapsed never decreases along the stream
+        elapsed = [r["elapsed_s"] for r in records]
+        assert elapsed == sorted(elapsed)
+
+    def test_non_tty_stream_gets_newlines_not_control_codes(self):
+        reporter, _, stream, _ = self._reporter(min_interval=0.0)
+        reporter.begin_sweep(1, 1)
+        reporter.close()
+        text = stream.getvalue()
+        assert "\r" not in text
+        assert "\x1b" not in text
+        assert text.endswith("\n")
+
+    def test_negative_min_interval_rejected(self):
+        with pytest.raises(ValueError, match="min_interval"):
+            ProgressReporter(min_interval=-0.1)
+
+    def test_close_is_idempotent_with_jsonl(self, tmp_path):
+        reporter, _, _, jsonl = self._reporter(tmp_path)
+        reporter.begin_sweep(1, 1)
+        reporter.chunk_done(1)
+        reporter.close()
+        size = jsonl.stat().st_size
+        assert size > 0
+        reporter.close()  # second close must not raise or append
+        assert jsonl.stat().st_size == size

@@ -46,12 +46,12 @@ def lint_sources(tmp_path, sources, *, rules=None):
 
 
 class TestRegistry:
-    def test_all_fifteen_rules_registered(self):
+    def test_all_sixteen_rules_registered(self):
         Linter()  # triggers rule-module import
         assert set(RULE_REGISTRY) == {
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
             "SL008", "SL009", "SL010", "SL011", "SL012", "SL013", "SL014",
-            "SL015",
+            "SL015", "SL016",
         }
 
     def test_rules_carry_title_and_rationale(self):
@@ -1153,6 +1153,65 @@ class TestSL015OpsTelemetrySegregation:
             def record(metrics):
                 metrics.counter("runtime.x")  # simlint: disable=SL015
         """, rules={"SL015"})
+        assert findings == []
+
+    def test_span_event_on_result_trace_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def record(trace):
+                trace.event(1.0, "span.sweep", {})
+        """, rules={"SL015"})
+        assert rule_ids(findings) == ["SL015"]
+
+
+class TestSL016SpanDiscipline:
+    def test_bare_begin_span_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def run(self):
+                opened = self.spans.begin_span("span.sweep", key=("sweep", 1))
+                self.spans.end_span(opened)
+        """, rules={"SL016"})
+        assert rule_ids(findings) == ["SL016"]
+        assert "begin_span" in findings[0].message
+
+    def test_span_context_manager_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def run(self):
+                with self.spans.span("span.sweep", key=("sweep", 1)):
+                    pass
+        """, rules={"SL016"})
+        assert findings == []
+
+    def test_emit_is_exempt(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def run(self):
+                self.spans.emit("span.attempt", start=0.0, duration=1.0)
+        """, rules={"SL016"})
+        assert findings == []
+
+    def test_multi_item_with_statement_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def run(self, lock):
+                with lock, self.spans.span("span.sweep"):
+                    pass
+        """, rules={"SL016"})
+        assert findings == []
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def run(self):
+                self._open = self.spans.begin_span("span.campaign")  # simlint: disable=SL016
+        """, rules={"SL016"})
+        assert findings == []
+
+    def test_tracer_implementation_out_of_scope(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def span(self, kind):
+                opened = self.begin_span(kind)
+                try:
+                    yield opened
+                finally:
+                    self.end_span(opened)
+        """, rules={"SL016"}, relpath="obs/spans.py")
         assert findings == []
 
 
