@@ -629,6 +629,7 @@ def cmd_workers(args: argparse.Namespace) -> int:
         port,
         processes=args.processes,
         connect_timeout=args.connect_timeout,
+        stay=args.stay,
     )
     if code == 2:
         print(
@@ -637,6 +638,35 @@ def cmd_workers(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return code
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the crash-safe simulation service daemon.
+
+    Jobs are submitted as JSON over HTTP, executed through a
+    checkpointing :class:`~repro.runtime.ResilientRunner`, deduped by
+    content hash, and survive ``kill -9`` of the daemon: restart it on
+    the same ``--state-dir`` and every unfinished job resumes from its
+    journal with byte-identical results.  See docs/service.md.
+    """
+    from pathlib import Path
+
+    from .service import ServiceConfig, serve
+
+    if args.queue_capacity < 1:
+        raise ValueError(
+            f"--queue-capacity must be >= 1, got {args.queue_capacity}"
+        )
+    config = ServiceConfig(
+        state_dir=Path(args.state_dir),
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        queue_capacity=args.queue_capacity,
+        retry_after=args.retry_after,
+    )
+    return serve(config, announce=print)
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
@@ -864,7 +894,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep retrying the initial connection this long, so workers "
              "may be started before the coordinator (default 30)",
     )
+    p.add_argument(
+        "--stay", action="store_true",
+        help="outlive coordinator restarts: after a clean shutdown or a "
+             "dropped connection, keep re-dialing (backoff capped at 5s) "
+             "and serve the next coordinator -- the fleet mode for a "
+             "long-lived `mlec-sim serve` daemon",
+    )
     p.set_defaults(func=cmd_workers)
+
+    p = sub.add_parser(
+        "serve",
+        help="crash-safe simulation service: HTTP job queue with durable "
+             "checkpoints and a dedupe cache",
+    )
+    p.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="durable service state: job WAL, per-job checkpoint journals "
+             "and result artifacts, endpoint.json (trusted input: job "
+             "checkpoints carry pickled payloads, so point this only at "
+             "state written by daemons you ran)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="listen address (default 127.0.0.1)")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="listen port; 0 picks a free one, published in "
+             "<state-dir>/endpoint.json (default 0)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per job sweep (default 1; results are "
+             "identical for any worker count; batch mode comes from each "
+             "job's spec, not a daemon flag)",
+    )
+    p.add_argument(
+        "--backend", default="local", metavar="SPEC",
+        help="chunk executor for job sweeps: 'local' or 'tcp://HOST:PORT' "
+             "to coordinate an `mlec-sim workers --stay` fleet "
+             "(default local)",
+    )
+    p.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="admission bound: submissions beyond N queued jobs get "
+             "HTTP 429 + Retry-After (default 64)",
+    )
+    p.add_argument(
+        "--retry-after", type=float, default=5.0, metavar="SECONDS",
+        help="Retry-After hint attached to 429/503 responses (default 5)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "trace-report",

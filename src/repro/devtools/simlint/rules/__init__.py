@@ -9,6 +9,7 @@ with ``@register_rule``, and import it below.
 from __future__ import annotations
 
 from . import (
+    asyncio_,
     batching,
     boundary,
     events,
@@ -26,6 +27,7 @@ from . import (
 )
 
 __all__ = [
+    "asyncio_",
     "rng",
     "events",
     "floats",

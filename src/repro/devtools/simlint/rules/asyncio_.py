@@ -1,0 +1,148 @@
+"""SL017 blocking-call-in-async: keep the service event loop responsive.
+
+The ``mlec-sim serve`` daemon multiplexes every client, the scheduler,
+and the drain path on one asyncio event loop.  A single blocking call
+inside a coroutine -- a ``time.sleep``, a synchronous socket operation,
+or worst of all a whole :class:`~repro.runtime.ResilientRunner` sweep --
+freezes all of them at once: health checks time out, SIGTERM drains
+stall, and the failure looks like a dead daemon rather than pointing at
+the blocking line.  The sanctioned bridge is
+:func:`repro.service.offload.offload`, which moves blocking work onto an
+executor thread and suspends only the calling coroutine.
+
+SL017 flags, inside ``async def`` bodies in :mod:`repro.service`:
+
+* ``time.sleep(...)`` (use ``await asyncio.sleep`` or offload);
+* blocking socket work: ``socket.create_connection`` and the classic
+  blocking socket methods (``accept``/``connect``/``recv*``/``sendall``);
+* direct runner use: constructing ``ResilientRunner``/``TrialRunner`` or
+  calling ``.run(...)``/``.map(...)`` on a runner-named receiver.
+
+Nested synchronous ``def`` bodies are exempt -- that is exactly the
+shape of a closure handed to ``offload`` -- and deliberate exceptions
+carry ``# simlint: disable=SL017``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["BlockingCallInAsync"]
+
+#: Blocking socket methods; in repro.service any receiver calling these
+#: is (or wraps) a real socket, so attribute matching is precise enough.
+_SOCKET_METHODS = frozenset(
+    {"accept", "connect", "recv", "recv_into", "recvfrom", "sendall"}
+)
+_RUNNER_TYPES = frozenset({"ResilientRunner", "TrialRunner"})
+_RUNNER_METHODS = frozenset({"run", "map"})
+
+
+def _async_body_nodes(tree: ast.AST) -> Iterator[ast.AST]:
+    """Every node lexically inside an ``async def``, minus nested sync defs.
+
+    A nested synchronous ``def`` is the offload idiom (the closure body
+    *should* block -- it runs on an executor thread), so its subtree is
+    skipped.  Nested ``async def``s are still coroutine code on the same
+    loop; each one is picked up by its own ``ast.walk`` visit, so the
+    stack below stops at them to avoid yielding their bodies twice.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+            while stack:
+                child = stack.pop()
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                yield child
+                stack.extend(ast.iter_child_nodes(child))
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``module.attr`` for simple attribute chains, else ``None``."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return f"{node.value.id}.{node.attr}"
+    return None
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register_rule
+class BlockingCallInAsync(Rule):
+    """SL017: no blocking calls inside ``async def`` in repro.service."""
+
+    rule_id = "SL017"
+    title = "blocking-call-in-async"
+    rationale = (
+        "A blocking call in a coroutine freezes the whole service event "
+        "loop -- every client, the scheduler, and the SIGTERM drain path "
+        "-- for its full duration; route blocking work through "
+        "repro.service.offload.offload (await asyncio.sleep for delays), "
+        "or mark a deliberate exception with # simlint: disable=SL017."
+    )
+
+    @staticmethod
+    def _in_scope(ctx: FileContext) -> bool:
+        parts = ctx.path.parts
+        return "service" in parts and "devtools" not in parts
+
+    def _diagnose(self, node: ast.AST) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        dotted = _dotted(func)
+        if dotted == "time.sleep":
+            return (
+                "time.sleep blocks the event loop; use "
+                "`await asyncio.sleep(...)`"
+            )
+        if dotted == "socket.create_connection":
+            return (
+                "socket.create_connection blocks the event loop; use "
+                "asyncio streams or offload the dial"
+            )
+        if isinstance(func, ast.Name) and func.id in _RUNNER_TYPES:
+            return (
+                f"constructing {func.id} in a coroutine blocks the loop "
+                "(checkpoint open + fsync); build and run it via offload"
+            )
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SOCKET_METHODS and isinstance(
+                func.value, (ast.Name, ast.Attribute)
+            ):
+                receiver = _receiver_name(func.value) or ""
+                if "sock" in receiver.lower():
+                    return (
+                        f"blocking socket .{func.attr}() stalls the event "
+                        "loop; use asyncio streams or offload it"
+                    )
+            if func.attr in _RUNNER_METHODS:
+                receiver = _receiver_name(func.value) or ""
+                if "runner" in receiver.lower():
+                    return (
+                        f"runner.{func.attr}() executes a whole sweep on "
+                        "the event loop thread; dispatch it through "
+                        "offload into the job executor"
+                    )
+        return None
+
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        if not self._in_scope(ctx):
+            return []
+        findings: list[Finding] = []
+        for node in _async_body_nodes(ctx.tree):
+            message = self._diagnose(node)
+            if message is not None:
+                findings.append(ctx.finding(self.rule_id, node, message))
+        return findings

@@ -29,6 +29,8 @@ from .resilience import (
     CheckpointError,
     ResilientRunner,
     RetryPolicy,
+    SweepStopped,
+    args_digest,
     read_checkpoint_argv,
 )
 from .runner import (
@@ -49,11 +51,13 @@ __all__ = [
     "ResilientRunner",
     "RetryPolicy",
     "RunTelemetry",
+    "SweepStopped",
     "TcpWorkQueueBackend",
     "TrialAggregate",
     "TrialContext",
     "TrialExecutionError",
     "TrialRunner",
+    "args_digest",
     "make_backend",
     "parse_backend_spec",
     "read_checkpoint_argv",

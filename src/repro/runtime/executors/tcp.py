@@ -335,6 +335,15 @@ class TcpWorkQueueBackend:
             self._wake.notify_all()
         server = self._server
         if server is not None:
+            # shutdown() before close(): close() alone does not abort the
+            # accept() blocked in the accept-loop thread (the in-flight
+            # syscall keeps the listening socket alive on Linux), so a
+            # worker that reconnects the instant it sees our shutdown
+            # frame would still complete a handshake against the corpse.
+            try:
+                server.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 server.close()
             except OSError:
@@ -619,8 +628,18 @@ class TcpWorkQueueBackend:
         return fallback
 
     def _drain_to_fallback(self) -> None:
-        """Hand every queued task to the embedded local pool."""
+        """Hand every queued task to the embedded local pool.
+
+        Tasks are claimed under the lock but submitted to the pool
+        outside it: a tiny chunk can finish before ``add_done_callback``
+        registers, in which case concurrent.futures runs
+        ``_complete_from_fallback`` inline on *this* thread -- and that
+        callback needs the (non-reentrant) lock.  Submitting under the
+        lock therefore self-deadlocks the dispatch loop and, with it,
+        every thread that touches the backend.
+        """
         fallback = self._ensure_fallback()
+        moved: list[tuple[int, ChunkJob]] = []
         with self._wake:
             if fallback is None:
                 # Nothing can run: fail queued futures so the runner's
@@ -642,7 +661,6 @@ class TcpWorkQueueBackend:
                         pass
                 self._queue.clear()
                 return
-            moved = 0
             for task_id in list(self._queue):
                 task = self._tasks.get(task_id)
                 if task is None or task.done or task.fallback:
@@ -652,21 +670,42 @@ class TcpWorkQueueBackend:
                     continue
                 task.queued -= 1
                 task.fallback = True
-                inner = fallback.submit(task.job)
-                inner.add_done_callback(
-                    lambda f, tid=task_id: self._complete_from_fallback(tid, f)
-                )
-                moved += 1
+                moved.append((task_id, task.job))
             self._queue.clear()
             if moved and not self._fallback_announced:
                 self._fallback_announced = True
                 self._events.append(
                     BackendEvent(
                         "fallback",
-                        {"moved": moved, "workers": self._fallback_workers},
+                        {"moved": len(moved), "workers": self._fallback_workers},
                     )
                 )
             self._wake.notify_all()
+        for task_id, job in moved:
+            try:
+                inner = fallback.submit(job)
+            except Exception as exc:
+                # Pool torn down under us (reset/shutdown racing the
+                # drain): fail the future so the runner's retry
+                # machinery takes over instead of killing this thread.
+                with self._wake:
+                    task = self._tasks.get(task_id)
+                    if task is None or task.done:
+                        continue
+                    task.done = True
+                    try:
+                        task.future.set_exception(
+                            BackendUnavailable(
+                                f"fallback pool rejected chunk ({exc!r})"
+                            )
+                        )
+                    except InvalidStateError:
+                        pass
+                    self._wake.notify_all()
+                continue
+            inner.add_done_callback(
+                lambda f, tid=task_id: self._complete_from_fallback(tid, f)
+            )
 
     def _complete_from_fallback(self, task_id: int, inner: ChunkFuture) -> None:
         with self._wake:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import socket
 import threading
 import time
@@ -28,21 +29,26 @@ __all__ = ["run_worker", "run_worker_fleet"]
 
 
 def _connect_with_retry(
-    host: str, port: int, timeout: float
+    host: str, port: int, timeout: float | None, backoff_max: float = 5.0
 ) -> socket.socket | None:
     """Dial the coordinator, retrying until ``timeout`` elapses.
 
     Retrying matters operationally: it lets workers be started before
     the coordinator (or ride out a coordinator restart at boot).
+    Retries back off exponentially from 0.2 s up to ``backoff_max`` so a
+    long-lived ``--stay`` fleet waiting out a daemon restart does not
+    spin-dial the dead address.  ``timeout=None`` retries forever.
     """
-    deadline = time.monotonic() + timeout
+    deadline = None if timeout is None else time.monotonic() + timeout
+    pause = 0.2
     while True:
         try:
             return socket.create_connection((host, port), timeout=10.0)
         except OSError:
-            if time.monotonic() >= deadline:
+            if deadline is not None and time.monotonic() >= deadline:
                 return None
-            time.sleep(0.2)
+            time.sleep(pause)
+            pause = min(backoff_max, pause * 2)
 
 
 def _heartbeat_loop(
@@ -65,19 +71,46 @@ def run_worker(
     worker_id: str | None = None,
     heartbeat_interval: float = 2.0,
     connect_timeout: float = 30.0,
+    stay: bool = False,
+    max_sessions: int | None = None,
 ) -> int:
     """Serve chunk leases from ``host:port`` until the coordinator goes away.
 
     Returns a process exit code: ``0`` on a clean finish (coordinator
     shut down or closed the connection), ``2`` when the coordinator was
     never reachable within ``connect_timeout``.
+
+    With ``stay=True`` the worker never treats a coordinator departure as
+    final: on clean shutdown, EOF, or connect failure it re-enters the
+    retry-connect loop (exponential backoff capped at 5 s) and serves the
+    next coordinator that binds the address.  That is the fleet mode for
+    ``mlec-sim serve`` -- the daemon restarting (including ``kill -9``)
+    must not orphan its workers.  A ``stay`` worker runs until the
+    process is signalled; ``max_sessions`` bounds the number of
+    coordinator sessions served (testing hook).
     """
     if heartbeat_interval <= 0:
         raise ValueError(f"heartbeat_interval must be > 0, got {heartbeat_interval}")
     label = worker_id or f"{socket.gethostname()}-{os.getpid()}"
-    sock = _connect_with_retry(host, port, connect_timeout)
-    if sock is None:
-        return 2
+    sessions = 0
+    while True:
+        sock = _connect_with_retry(
+            host, port, None if stay else connect_timeout
+        )
+        if sock is None:
+            return 2
+        code = _serve_coordinator(sock, label, heartbeat_interval)
+        sessions += 1
+        if not stay:
+            return code
+        if max_sessions is not None and sessions >= max_sessions:
+            return code
+
+
+def _serve_coordinator(
+    sock: socket.socket, label: str, heartbeat_interval: float
+) -> int:
+    """Serve one coordinator connection until it goes away."""
     sock.settimeout(None)
     send_lock = threading.Lock()
     stop = threading.Event()
@@ -142,7 +175,14 @@ def _fleet_entry(
     worker_id: str,
     heartbeat_interval: float,
     connect_timeout: float,
+    stay: bool,
 ) -> None:
+    # Fork-started children inherit the fleet parent's _stop_fleet
+    # handler, which only makes sense in the parent (it touches the
+    # parent's Process handles).  Restore the default disposition so
+    # terminate() kills the child instead of re-entering the handler.
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, signal.SIG_DFL)
     raise SystemExit(
         run_worker(
             host,
@@ -150,6 +190,7 @@ def _fleet_entry(
             worker_id=worker_id,
             heartbeat_interval=heartbeat_interval,
             connect_timeout=connect_timeout,
+            stay=stay,
         )
     )
 
@@ -162,12 +203,19 @@ def run_worker_fleet(
     heartbeat_interval: float = 2.0,
     connect_timeout: float = 30.0,
     mp_context: BaseContext | None = None,
+    stay: bool = False,
 ) -> int:
     """Run ``processes`` worker processes against one coordinator.
 
     Each process owns a private connection (one lease slot each), so
     the coordinator sees -- and survives the death of -- each process
-    independently.  Returns the worst child exit code.
+    independently.  Returns the worst child exit code.  ``stay`` makes
+    every process outlive coordinator departures (see :func:`run_worker`).
+
+    SIGTERM/SIGINT on the fleet parent tears the children down too and
+    counts as a clean stop (exit 0): a ``--stay`` fleet retries its
+    coordinator forever, so operator signals are the *only* way it ever
+    stops, and ``kill <fleet-pid>`` must not strand orphans mid-retry.
     """
     if processes < 1:
         raise ValueError(f"processes must be >= 1, got {processes}")
@@ -177,23 +225,52 @@ def run_worker_fleet(
             port,
             heartbeat_interval=heartbeat_interval,
             connect_timeout=connect_timeout,
+            stay=stay,
         )
     ctx: BaseContext = mp_context or multiprocessing.get_context()
     procs = []
-    base = f"{socket.gethostname()}-{os.getpid()}"
-    for slot in range(processes):
-        proc = ctx.Process(
-            target=_fleet_entry,
-            args=(host, port, f"{base}.{slot}", heartbeat_interval, connect_timeout),
-            daemon=False,
-        )
-        proc.start()
-        procs.append(proc)
-    worst = 0
-    for proc in procs:
-        proc.join()
-        code = proc.exitcode
-        if code is None:
-            code = 1
-        worst = max(worst, abs(code))
-    return worst
+    stopping = False
+
+    def _stop_fleet(_signum: int, _frame: object) -> None:
+        nonlocal stopping
+        stopping = True
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+
+    previous = {}
+    try:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, _stop_fleet)
+    except ValueError:
+        previous = {}  # not the main thread: the caller owns signals
+    try:
+        base = f"{socket.gethostname()}-{os.getpid()}"
+        for slot in range(processes):
+            proc = ctx.Process(
+                target=_fleet_entry,
+                args=(
+                    host,
+                    port,
+                    f"{base}.{slot}",
+                    heartbeat_interval,
+                    connect_timeout,
+                    stay,
+                ),
+                daemon=False,
+            )
+            proc.start()
+            procs.append(proc)
+        worst = 0
+        for proc in procs:
+            proc.join()
+            code = proc.exitcode
+            if code is None:
+                code = 1
+            if stopping and code == -signal.SIGTERM:
+                continue  # we asked for that death; not a failure
+            worst = max(worst, abs(code))
+        return worst
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)

@@ -53,6 +53,7 @@ import hashlib
 import json
 import os
 import pickle
+import threading
 import time
 import warnings
 from collections import deque
@@ -65,6 +66,7 @@ from typing import Any, TextIO
 
 import numpy as np
 
+from ..core.atomic import fsync_dir
 from ..obs import MetricsRegistry, TraceRecorder
 from .executors.base import BackendUnavailable, ChunkExecutor, ChunkJob
 from .executors.local import LocalProcessBackend
@@ -81,8 +83,11 @@ from .runner import (
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointError",
+    "JournalWriter",
     "RetryPolicy",
     "ResilientRunner",
+    "SweepStopped",
+    "args_digest",
     "read_checkpoint_argv",
 ]
 
@@ -95,6 +100,16 @@ _Bounds = tuple[int, int]
 
 class CheckpointError(RuntimeError):
     """A checkpoint journal is missing, corrupt, or from a different run."""
+
+
+class SweepStopped(RuntimeError):
+    """A sweep was stopped cooperatively via :meth:`ResilientRunner.request_stop`.
+
+    Not a failure: every chunk completed before the stop is journaled (when
+    a checkpoint is configured), so the sweep resumes from where it left
+    off -- this is how ``mlec-sim serve`` checkpoints running jobs during a
+    graceful drain instead of discarding their progress.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -182,8 +197,13 @@ def _decode_payload(text: str, where: str) -> _ChunkPayload:
     return obj
 
 
-def _args_digest(args: tuple[Any, ...]) -> str:
-    """Stable fingerprint of a sweep's args tuple for resume validation."""
+def args_digest(args: tuple[Any, ...]) -> str:
+    """Stable fingerprint of a sweep's args tuple for resume validation.
+
+    The same digest keys the ``mlec-sim serve`` dedupe cache: two sweep
+    submissions with identical ``(fn, args, trials, seed)`` hash to the
+    same journal header and therefore the same cache entry.
+    """
     try:
         blob = pickle.dumps(args, protocol=4)
     except Exception:
@@ -323,12 +343,23 @@ def read_checkpoint_argv(path: str | Path) -> list[str]:
     return loaded.argv
 
 
-class _JournalWriter:
-    """Append fsynced JSONL records; durability is the whole point."""
+class JournalWriter:
+    """Append fsynced JSONL records; durability is the whole point.
+
+    Creating the journal also fsyncs its parent directory: the file's
+    bytes are made durable by the per-append fsync, but the directory
+    entry naming the file is not -- without the directory fsync a power
+    cut just after creation can leave a fully-fsynced journal that no
+    longer has a name.  (The service job store reuses this writer for
+    its own WAL, so the discipline is shared.)
+    """
 
     def __init__(self, path: Path) -> None:
         self._path = path
+        fresh = not path.exists()
         self._fh: TextIO = open(path, "a", encoding="utf-8")
+        if fresh:
+            fsync_dir(path.parent)
 
     def append(self, record: Mapping[str, Any]) -> None:
         self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
@@ -405,8 +436,9 @@ class ResilientRunner(TrialRunner):
         # whether or not the sweep was ever interrupted.
         self._argv = list(argv) if argv is not None else None
         self._loaded: _LoadedCheckpoint | None = None
-        self._writer: _JournalWriter | None = None
+        self._writer: JournalWriter | None = None
         self._sweep = -1
+        self._stop = threading.Event()
         if self.checkpoint_path is not None:
             if self.checkpoint_path.exists():
                 if not resume:
@@ -471,6 +503,33 @@ class ResilientRunner(TrialRunner):
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def request_stop(self) -> None:
+        """Ask the running sweep to stop at the next chunk boundary.
+
+        Thread-safe and idempotent.  The sweep raises
+        :class:`SweepStopped` once every in-flight chunk has either
+        completed (and been journaled) or been abandoned; chunks are
+        never torn mid-trial, so a stopped sweep resumes byte-identically
+        from its checkpoint.  This is the graceful-drain primitive the
+        service daemon uses on SIGTERM.
+        """
+        self._stop.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        """Whether :meth:`request_stop` has been called for this sweep."""
+        return self._stop.is_set()
+
+    def clear_stop(self) -> None:
+        """Re-arm a stopped runner so a later sweep can run."""
+        self._stop.clear()
+
+    def _check_stop(self, payloads: dict[_Bounds, _ChunkPayload]) -> None:
+        if self._stop.is_set():
+            raise SweepStopped(
+                f"sweep stopped on request ({self._salvage_note(payloads)})"
+            )
+
     def recovery_summary(self) -> str:
         """One human line of recovery facts, for the CLI to print."""
         counters = self.ops_metrics.snapshot()["counters"]
@@ -524,7 +583,7 @@ class ResilientRunner(TrialRunner):
             "seed": seed,
             "chunk": self._resolved_chunk(trials),
             "fn": f"{fn_module}:{fn_name}",
-            "args_sha256": _args_digest(args),
+            "args_sha256": args_digest(args),
             "collect_metrics": metrics is not None,
             "collect_trace": trace is not None,
         }
@@ -649,12 +708,12 @@ class ResilientRunner(TrialRunner):
     # ------------------------------------------------------------------
     # Journal plumbing
     # ------------------------------------------------------------------
-    def _ensure_writer(self) -> _JournalWriter | None:
+    def _ensure_writer(self) -> JournalWriter | None:
         if self.checkpoint_path is None:
             return None
         if self._writer is None:
             fresh = not self.checkpoint_path.exists()
-            self._writer = _JournalWriter(self.checkpoint_path)
+            self._writer = JournalWriter(self.checkpoint_path)
             if fresh:
                 self._writer.append(
                     {
@@ -993,6 +1052,10 @@ class ResilientRunner(TrialRunner):
                 now = time.monotonic()
                 if deadline is not None and now >= deadline:
                     raise self._sweep_timeout_error(timeout, payloads)
+                # Chunk-boundary stop point: everything journaled so far
+                # is durable; in-flight chunks are abandoned (the finally
+                # clause resets the backend) and simply re-run on resume.
+                self._check_stop(payloads)
                 for index in [i for i, (t, _b) in retry_at.items() if t <= now]:
                     _due, bounds = retry_at.pop(index)
                     queue.append((index, bounds))
@@ -1129,6 +1192,7 @@ class ResilientRunner(TrialRunner):
             while True:
                 if deadline is not None and time.monotonic() >= deadline:
                     raise self._sweep_timeout_error(timeout, payloads)
+                self._check_stop(payloads)
                 result = _run_chunk(
                     fn, lo, children[lo:hi], args, *collect, batch=self.batch
                 )

@@ -1,0 +1,244 @@
+"""Minimal asyncio HTTP/1.1 JSON server (stdlib only).
+
+The service API is small (submit, poll, cancel, health, metrics) and the
+repository takes no third-party web dependencies, so this module speaks
+just enough HTTP/1.1 for robust machine clients: request line + headers,
+``Content-Length``-framed bodies with a hard size cap, JSON in and out,
+``Connection: close`` on every response (one request per connection --
+no keep-alive state machine to get wrong).
+
+Malformed requests are answered, not crashed on: a bad request line, an
+oversized body, or invalid JSON each produce a 4xx with a diagnostic
+body, and an exception escaping a handler produces a 500 while the
+server keeps serving other connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from collections.abc import Awaitable, Callable, Mapping
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = ["HttpError", "HttpRequest", "HttpResponse", "HttpServer"]
+
+#: Submissions are small JSON specs; anything bigger is abuse or a bug.
+MAX_BODY_BYTES = 1 << 20
+#: Generous per-request read deadline so a stalled client cannot pin a
+#: connection handler forever.
+_READ_TIMEOUT = 30.0
+_MAX_HEADER_LINES = 100
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Raise inside a handler to produce a specific HTTP error response."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = dict(headers or {})
+
+
+@dataclasses.dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request, body already JSON-decoded when present."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class HttpResponse:
+    """A response: JSON-serialized ``payload``, unless it is ``bytes``.
+
+    A ``bytes`` payload is sent verbatim with ``content_type`` -- the
+    escape hatch the OpenMetrics endpoint needs (its exposition format
+    is line-oriented text, not JSON).
+    """
+
+    status: int
+    payload: Any
+    headers: Mapping[str, str] = dataclasses.field(default_factory=dict)
+    content_type: str = "application/json"
+
+
+Handler = Callable[[HttpRequest], Awaitable[HttpResponse]]
+
+
+def _encode(
+    status: int,
+    payload: Any,
+    headers: Mapping[str, str],
+    content_type: str = "application/json",
+) -> bytes:
+    if isinstance(payload, bytes):
+        body = payload
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in sorted(headers.items()))
+    return "\r\n".join(lines).encode("ascii") + b"\r\n\r\n" + body
+
+
+async def _read_request(reader: asyncio.StreamReader) -> HttpRequest:
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("client closed before sending a request")
+    try:
+        method, target, version = request_line.decode("ascii").split()
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise HttpError(400, f"malformed request line: {exc}") from exc
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, _, value = line.decode("ascii").partition(":")
+        except UnicodeDecodeError as exc:
+            raise HttpError(400, f"malformed header: {exc}") from exc
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "too many headers")
+
+    body: Any = None
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError as exc:
+            raise HttpError(400, f"bad Content-Length {raw_length!r}") from exc
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {length}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(
+                413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}"
+            )
+        raw = await reader.readexactly(length)
+        if raw:
+            try:
+                body = json.loads(raw)
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise HttpError(400, f"body is not valid JSON: {exc}") from exc
+
+    parts = urlsplit(target)
+    return HttpRequest(
+        method=method.upper(),
+        path=parts.path,
+        query=dict(parse_qsl(parts.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+class HttpServer:
+    """Serve ``handler`` on an asyncio listener; one request per connection."""
+
+    def __init__(
+        self, handler: Handler, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._handler = handler
+        self._host = host
+        self._port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; resolves ``port=0`` to the real port."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return str(host), int(port)
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.address
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    _read_request(reader), timeout=_READ_TIMEOUT
+                )
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+            ):
+                return
+            except HttpError as exc:
+                writer.write(
+                    _encode(exc.status, {"error": str(exc)}, exc.headers)
+                )
+                await writer.drain()
+                return
+            try:
+                response = await self._handler(request)
+            except HttpError as exc:
+                response = HttpResponse(
+                    exc.status, {"error": str(exc)}, exc.headers
+                )
+            except Exception as exc:  # handler bug: report, keep serving
+                response = HttpResponse(
+                    500, {"error": f"internal error: {type(exc).__name__}"}
+                )
+            writer.write(
+                _encode(
+                    response.status,
+                    response.payload,
+                    response.headers,
+                    response.content_type,
+                )
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-response; nothing to salvage
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

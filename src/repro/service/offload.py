@@ -1,0 +1,46 @@
+"""The one sanctioned bridge from async code to blocking code.
+
+The daemon's HTTP handlers and scheduler run on an asyncio event loop;
+the simulation stack (:class:`~repro.runtime.ResilientRunner`, the
+executor backends, the fsynced job store) is synchronous and *slow* --
+a single ``runner.run`` call blocks for the whole sweep, and even one
+``fsync`` can stall the loop long enough to miss heartbeat deadlines.
+Calling any of that inline from a coroutine freezes every connected
+client for the duration.
+
+``offload`` is the only approved crossing: it runs the blocking callable
+on an executor thread and suspends the calling coroutine until the
+result is back.  simlint rule SL017 (``blocking-call-in-async``)
+enforces this boundary statically -- blocking calls inside ``async def``
+bodies in this package are build failures, not code-review nits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable
+from concurrent.futures import Executor
+from typing import Any, TypeVar
+
+__all__ = ["offload"]
+
+_T = TypeVar("_T")
+
+
+async def offload(
+    fn: Callable[..., _T],
+    /,
+    *args: Any,
+    executor: Executor | None = None,
+) -> _T:
+    """Run blocking ``fn(*args)`` off-loop; await its result.
+
+    ``executor=None`` uses the loop's default thread pool (fine for
+    short store/IO work).  Long-running sweeps must pass the daemon's
+    dedicated single-thread job executor so they queue behind each other
+    instead of starving the shared pool.
+    """
+    loop = asyncio.get_running_loop()
+    if args:
+        return await loop.run_in_executor(executor, lambda: fn(*args))
+    return await loop.run_in_executor(executor, fn)

@@ -1,0 +1,92 @@
+"""Bounded priority admission queue for the service daemon.
+
+Admission control is a robustness feature, not a scheduling nicety: an
+unbounded queue converts overload into unbounded memory growth and
+unbounded latency, and the failure shows up far from its cause.  This
+queue has a hard capacity; when full, :meth:`BoundedJobQueue.push`
+raises :class:`QueueFull` carrying a ``retry_after`` hint, which the
+HTTP layer maps to ``429 Too Many Requests`` + ``Retry-After`` -- the
+client learns *immediately* that the service is saturated instead of
+discovering it by timeout.
+
+The queue is deliberately not thread-safe: it is confined to the event
+loop thread (submissions and scheduler pops both run there), so locking
+would only paper over an architecture bug.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+__all__ = ["BoundedJobQueue", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """The admission queue is at capacity; retry after ``retry_after`` s."""
+
+    def __init__(self, capacity: int, retry_after: float) -> None:
+        super().__init__(
+            f"job queue at capacity ({capacity}); retry in {retry_after:g}s"
+        )
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+class BoundedJobQueue:
+    """Max-priority queue of job ids with a hard admission bound.
+
+    Ties break FIFO (a monotonic sequence number), so equal-priority
+    jobs run in submission order -- re-queued recovered jobs are pushed
+    first at startup and therefore resume before new arrivals at the
+    same priority.
+    """
+
+    def __init__(self, capacity: int, retry_after: float = 5.0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._retry_after = retry_after
+        self._heap: list[tuple[int, int, str]] = []
+        self._seq = itertools.count()
+        self._members: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._members
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def push(self, job_id: str, priority: int = 0) -> None:
+        """Admit ``job_id`` or raise :class:`QueueFull`.
+
+        Pushing an id already queued is a no-op: a duplicate submission
+        attaches to the queued job rather than double-scheduling it.
+        """
+        if job_id in self._members:
+            return
+        if len(self._heap) >= self._capacity:
+            raise QueueFull(self._capacity, self._retry_after)
+        heapq.heappush(self._heap, (-priority, next(self._seq), job_id))
+        self._members.add(job_id)
+
+    def pop(self) -> str | None:
+        """Highest-priority job id, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        _, _, job_id = heapq.heappop(self._heap)
+        self._members.discard(job_id)
+        return job_id
+
+    def remove(self, job_id: str) -> bool:
+        """Withdraw a queued job (cancellation); True if it was queued."""
+        if job_id not in self._members:
+            return False
+        self._heap = [entry for entry in self._heap if entry[2] != job_id]
+        heapq.heapify(self._heap)
+        self._members.discard(job_id)
+        return True

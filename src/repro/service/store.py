@@ -1,0 +1,291 @@
+"""Durable job store: a WAL of job state transitions.
+
+The store is the daemon's only memory.  Every job mutation -- submit,
+state change, attempt count, error, result location -- is one fsynced
+JSONL record appended through the same
+:class:`~repro.runtime.resilience.JournalWriter` the checkpoint journal
+uses, so the durability discipline (per-append fsync, directory fsync on
+creation, torn-tail tolerance on replay) is shared code, not a parallel
+reimplementation.
+
+Replay folds records newest-wins per job id.  A crash at any instant
+loses at most the torn final line; since a job's *trial progress* is
+journaled separately by its own checkpoint file, the worst case after
+``kill -9`` is a job whose last state record says ``running`` -- which
+recovery treats exactly like ``checkpointed`` and re-queues.
+
+Compaction rewrites the WAL as one snapshot record per job (via
+:func:`~repro.core.atomic.atomic_write_text`, so compaction itself is
+crash-safe) once the log grows past a threshold; without it a long-lived
+daemon's WAL grows without bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from ..core.atomic import atomic_write_text
+from ..runtime.resilience import JournalWriter
+
+__all__ = ["JobRecord", "JobState", "JobStore", "JobStoreError"]
+
+#: Version stamp on every store record; mismatches fail loudly.
+STORE_SCHEMA_VERSION = 1
+
+#: Rewrite the WAL as a snapshot once it holds this many transition
+#: records beyond the live-job count.
+_COMPACT_SLACK = 512
+
+
+class JobStoreError(RuntimeError):
+    """The job store file is unreadable or from an incompatible schema."""
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job (see docs/service.md for the full machine).
+
+    ``queued -> running -> (checkpointed ->) done | failed | cancelled``.
+    ``checkpointed`` is the graceful-drain / crash-recovery parking
+    state: progress is on disk, nothing is executing.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    CHECKPOINTED = "checkpointed"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+    @property
+    def active(self) -> bool:
+        """States a restarted daemon must pick back up."""
+        return self in (JobState.QUEUED, JobState.RUNNING, JobState.CHECKPOINTED)
+
+
+#: Legal transitions; anything else is a daemon bug worth crashing on.
+_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.QUEUED: frozenset(
+        {JobState.RUNNING, JobState.CANCELLED, JobState.FAILED}
+    ),
+    JobState.RUNNING: frozenset(
+        {JobState.CHECKPOINTED, JobState.DONE, JobState.FAILED,
+         JobState.CANCELLED}
+    ),
+    JobState.CHECKPOINTED: frozenset(
+        {JobState.QUEUED, JobState.RUNNING, JobState.CANCELLED,
+         JobState.FAILED}
+    ),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset({JobState.QUEUED}),  # resubmit retries
+    JobState.CANCELLED: frozenset({JobState.QUEUED}),
+}
+
+
+@dataclasses.dataclass
+class JobRecord:
+    """Everything the daemon knows about one job."""
+
+    job_id: str
+    spec: dict[str, Any]
+    state: JobState
+    priority: int
+    created_at: float
+    updated_at: float
+    attempts: int = 0
+    error: str | None = None
+    result_path: str | None = None
+    trials_done: int = 0
+    duplicates: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["state"] = self.state.value
+        return out
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> JobRecord:
+        data = dict(payload)
+        try:
+            data["state"] = JobState(data["state"])
+            return cls(**data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JobStoreError(f"malformed job record: {payload!r}") from exc
+
+    def public_view(self) -> dict[str, Any]:
+        """The shape ``GET /jobs/<id>`` returns."""
+        view = self.to_json()
+        view["terminal"] = self.state.terminal
+        return view
+
+
+class JobStore:
+    """Thread-safe durable map of job id -> :class:`JobRecord`.
+
+    All methods may be called from the event loop's offload thread and
+    from the executor thread concurrently; a single lock serializes both
+    the in-memory map and the WAL appends so replay order matches
+    mutation order.
+    """
+
+    def __init__(self, state_dir: Path) -> None:
+        self._dir = state_dir
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._path = state_dir / "jobs.jsonl"
+        self._lock = threading.Lock()
+        self._jobs: dict[str, JobRecord] = {}
+        self._dropped_tail = False
+        self._appends = 0
+        self._replay()
+        self._writer = JournalWriter(self._path)
+
+    # ------------------------------------------------------------------
+    # Replay / compaction
+    # ------------------------------------------------------------------
+    def _replay(self) -> None:
+        if not self._path.exists():
+            return
+        raw = self._path.read_bytes()
+        lines = raw.split(b"\n")
+        # A crash can tear the final line; everything before the last
+        # newline must parse (same contract as the checkpoint journal).
+        if lines and lines[-1] != b"":
+            self._dropped_tail = True
+        complete = lines[:-1]
+        for lineno, line in enumerate(complete, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise JobStoreError(
+                    f"{self._path}:{lineno}: corrupt job record "
+                    f"(mid-file corruption is not a torn tail): {exc}"
+                ) from exc
+            if record.get("schema") != STORE_SCHEMA_VERSION:
+                raise JobStoreError(
+                    f"{self._path}:{lineno}: schema "
+                    f"{record.get('schema')!r} != {STORE_SCHEMA_VERSION}"
+                )
+            job = JobRecord.from_json(record["job"])
+            self._jobs[job.job_id] = job
+            self._appends += 1
+
+    def compact_if_needed(self) -> bool:
+        """Rewrite the WAL as one snapshot line per job when it has grown."""
+        with self._lock:
+            if self._appends <= len(self._jobs) + _COMPACT_SLACK:
+                return False
+            text = "".join(
+                json.dumps(
+                    {"schema": STORE_SCHEMA_VERSION, "job": job.to_json()},
+                    separators=(",", ":"),
+                )
+                + "\n"
+                for job in self._jobs.values()
+            )
+            self._writer.close()
+            atomic_write_text(self._path, text)
+            self._writer = JournalWriter(self._path)
+            self._appends = len(self._jobs)
+            return True
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def dropped_tail(self) -> bool:
+        """True when replay discarded a torn (crash-truncated) final line."""
+        return self._dropped_tail
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return dataclasses.replace(job) if job is not None else None
+
+    def list_jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return [dataclasses.replace(job) for job in self._jobs.values()]
+
+    def active_jobs(self) -> list[JobRecord]:
+        """Jobs a freshly restarted daemon must re-queue."""
+        with self._lock:
+            return [
+                dataclasses.replace(job)
+                for job in self._jobs.values()
+                if job.state.active
+            ]
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def _persist(self, job: JobRecord) -> None:
+        self._writer.append(
+            {"schema": STORE_SCHEMA_VERSION, "job": job.to_json()}
+        )
+        self._appends += 1
+
+    def submit(self, job: JobRecord) -> JobRecord:
+        """Insert a brand-new job (caller has already checked for dupes)."""
+        with self._lock:
+            if job.job_id in self._jobs:
+                raise JobStoreError(f"job {job.job_id} already exists")
+            self._jobs[job.job_id] = job
+            self._persist(job)
+            return dataclasses.replace(job)
+
+    def transition(
+        self,
+        job_id: str,
+        state: JobState,
+        *,
+        error: str | None = None,
+        result_path: str | None = None,
+        trials_done: int | None = None,
+        bump_attempts: bool = False,
+    ) -> JobRecord:
+        """Move a job to ``state``, enforcing the lifecycle machine."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobStoreError(f"unknown job {job_id}")
+            if state is not job.state and state not in _TRANSITIONS[job.state]:
+                raise JobStoreError(
+                    f"illegal transition {job.state.value} -> {state.value} "
+                    f"for job {job_id}"
+                )
+            job.state = state
+            job.updated_at = time.time()
+            job.error = error
+            if result_path is not None:
+                job.result_path = result_path
+            if trials_done is not None:
+                job.trials_done = trials_done
+            if bump_attempts:
+                job.attempts += 1
+            self._persist(job)
+            return dataclasses.replace(job)
+
+    def note_duplicate(self, job_id: str) -> JobRecord:
+        """Record that a submission attached to this job (dedupe hit)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobStoreError(f"unknown job {job_id}")
+            job.duplicates += 1
+            job.updated_at = time.time()
+            self._persist(job)
+            return dataclasses.replace(job)
+
+    def close(self) -> None:
+        with self._lock:
+            self._writer.close()

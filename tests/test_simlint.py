@@ -46,12 +46,12 @@ def lint_sources(tmp_path, sources, *, rules=None):
 
 
 class TestRegistry:
-    def test_all_sixteen_rules_registered(self):
+    def test_all_seventeen_rules_registered(self):
         Linter()  # triggers rule-module import
         assert set(RULE_REGISTRY) == {
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
             "SL008", "SL009", "SL010", "SL011", "SL012", "SL013", "SL014",
-            "SL015", "SL016",
+            "SL015", "SL016", "SL017",
         }
 
     def test_rules_carry_title_and_rationale(self):
@@ -1212,6 +1212,98 @@ class TestSL016SpanDiscipline:
                 finally:
                     self.end_span(opened)
         """, rules={"SL016"}, relpath="obs/spans.py")
+        assert findings == []
+
+
+class TestSL017BlockingCallInAsync:
+    def test_time_sleep_in_coroutine_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import time
+
+            async def handler(request):
+                time.sleep(1.0)
+        """, rules={"SL017"}, relpath="service/daemon.py")
+        assert rule_ids(findings) == ["SL017"]
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_blocking_socket_ops_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import socket
+
+            async def dial(sock):
+                socket.create_connection(("h", 80))
+                sock.recv(1024)
+                sock.sendall(b"x")
+        """, rules={"SL017"}, relpath="service/daemon.py")
+        assert rule_ids(findings) == ["SL017", "SL017", "SL017"]
+
+    def test_direct_runner_use_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            from repro.runtime import ResilientRunner
+
+            async def execute(self, runner):
+                local = ResilientRunner(workers=2)
+                runner.run(trial, 100)
+                self.runner.map(trial, 100)
+        """, rules={"SL017"}, relpath="service/executor.py")
+        assert rule_ids(findings) == ["SL017", "SL017", "SL017"]
+        assert "offload" in findings[1].message
+
+    def test_offload_closure_is_exempt(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import time
+
+            async def execute(self, runner):
+                def blocking():
+                    time.sleep(0.1)
+                    return runner.run(trial, 100)
+                return await offload(blocking)
+        """, rules={"SL017"}, relpath="service/daemon.py")
+        assert findings == []
+
+    def test_sync_function_is_exempt(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import time
+
+            def blocking_helper():
+                time.sleep(1.0)
+        """, rules={"SL017"}, relpath="service/store.py")
+        assert findings == []
+
+    def test_nested_async_def_still_in_scope(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import time
+
+            async def outer():
+                async def inner():
+                    time.sleep(1.0)
+                await inner()
+        """, rules={"SL017"}, relpath="service/daemon.py")
+        assert rule_ids(findings) == ["SL017"]
+
+    def test_outside_service_package_out_of_scope(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import time
+
+            async def poll():
+                time.sleep(1.0)
+        """, rules={"SL017"}, relpath="runtime/poller.py")
+        assert findings == []
+
+    def test_non_socket_receiver_not_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            async def apply(self, queue):
+                queue.connect("amqp://")  # not a socket-named receiver
+        """, rules={"SL017"}, relpath="service/daemon.py")
+        assert findings == []
+
+    def test_suppression(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import time
+
+            async def shim():
+                time.sleep(0.0)  # simlint: disable=SL017
+        """, rules={"SL017"}, relpath="service/daemon.py")
         assert findings == []
 
 
